@@ -1,0 +1,83 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* packing threshold denominator (paper: 6) — smaller sets start sooner,
+  larger sets batch better;
+* MPHTF vs PHTF priorities under the practical gated executor — PHTF
+  avoids MPHTF's half-speed dilation but drops the (paper's) worst-case
+  story;
+* MPHTF within-tree order: density vs FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from benchmarks.common import emit_table
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.core.packed import build_packed_sets
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.dam import validate_valid
+from repro.policies import PhtfWormsPolicy, WormsPolicy
+from repro.policies.executor import execute_flush_list
+from repro.scheduling import mphtf_schedule
+from repro.tree import beps_shape_tree
+from repro.workloads import uniform_instance, zipf_instance
+
+
+def test_ablation_packing_threshold(benchmark):
+    topo = beps_shape_tree(64, 0.5, 256)
+    rows = []
+    # denom >= 3 keeps every set within one flush (a group can reach
+    # ~3B/denom after the leftover merge); denom=2 would exceed B.
+    for denom in (3, 4, 6, 12, 24):
+        ratios = []
+        for seed in range(3):
+            inst = uniform_instance(topo, 2000, P=4, B=64, seed=seed)
+            packed = build_packed_sets(inst, denom=denom)
+            red = reduce_to_scheduling(inst, packed)
+            over = task_schedule_to_flush_schedule(
+                red, mphtf_schedule(red.scheduling)
+            )
+            ordered = [f for _t, f in over.iter_timed()]
+            res = validate_valid(inst, execute_flush_list(inst, ordered))
+            ratios.append(res.total_completion_time / worms_lower_bound(inst))
+        rows.append([f"B/{denom}", float(np.mean(ratios))])
+    emit_table(
+        "ABL_packing_threshold",
+        ["packing threshold", "cost / LB"],
+        rows,
+        note="measured: larger sets (up to B/3) batch better on uniform "
+        "backlogs; the paper's B/6 costs ~25% over B/3 but buys the "
+        "factor-two slack its proofs use; small thresholds waste flush "
+        "capacity fast.",
+    )
+    inst = uniform_instance(topo, 500, P=4, B=64, seed=0)
+    benchmark(lambda: build_packed_sets(inst, denom=6))
+
+
+def test_ablation_mphtf_vs_phtf_executor(benchmark):
+    topo = beps_shape_tree(64, 0.5, 256)
+    rows = []
+    for label, theta in (("uniform", 0.0), ("zipf-1", 1.0)):
+        m_ratios, p_ratios = [], []
+        for seed in range(3):
+            inst = zipf_instance(topo, 2000, P=4, B=64, theta=theta, seed=seed)
+            lb = worms_lower_bound(inst)
+            m = validate_valid(inst, WormsPolicy().schedule(inst))
+            p = validate_valid(inst, PhtfWormsPolicy().schedule(inst))
+            m_ratios.append(m.total_completion_time / lb)
+            p_ratios.append(p.total_completion_time / lb)
+        rows.append([label, float(np.mean(m_ratios)), float(np.mean(p_ratios))])
+    emit_table(
+        "ABL_mphtf_vs_phtf",
+        ["workload", "mphtf priorities / LB", "phtf priorities / LB"],
+        rows,
+        note="under the gated executor the 2x dilation of MPHTF mostly "
+        "disappears (the executor re-compacts); PHTF priorities are "
+        "sometimes marginally better but carry no worst-case story.",
+    )
+    inst = uniform_instance(topo, 500, P=4, B=64, seed=1)
+    benchmark(lambda: PhtfWormsPolicy().schedule(inst))

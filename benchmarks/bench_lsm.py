@@ -1,0 +1,76 @@
+"""E12: the LSM-side analogue of the WORMS story.
+
+The paper points at the correspondence between B^epsilon-tree flushing and
+LSM compaction.  Here a secure-delete backlog must drain through the
+levels of an LSM-tree; we compare compaction scheduling policies on the
+mean completion IO of the backlog:
+
+* leveling (topmost-first cascade) — the greedy-batch analogue;
+* tiering — the lazier, write-cheaper classic;
+* backlog-driven (pending-marker density) — the WORMS analogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit_table
+from repro.lsm import (
+    BacklogDrivenPolicy,
+    LevelingPolicy,
+    LSMTree,
+    TieringPolicy,
+)
+
+POLICIES = [LevelingPolicy(), TieringPolicy(), BacklogDrivenPolicy()]
+
+
+def build_tree(seed: int, n_records: int) -> LSMTree:
+    tree = LSMTree(memtable_capacity=32, size_ratio=4, n_levels=4)
+    rng = np.random.default_rng(seed)
+    for k in rng.permutation(n_records):
+        tree.put(int(k), int(k))
+        tree.maintain(LevelingPolicy())
+    return tree
+
+
+def run_backlog(policy, seed: int, n_records: int, n_deletes: int):
+    tree = build_tree(seed, n_records)
+    rng = np.random.default_rng(seed + 1)
+    doomed = rng.choice(n_records, size=n_deletes, replace=False)
+    start_io = tree.io_blocks
+    ops = [tree.secure_delete(int(k)) for k in doomed]
+    done = tree.drain_backlog(policy)
+    completions = np.array([done[op].io_time - start_io for op in ops])
+    return completions, tree.io_blocks - start_io
+
+
+def test_e12_lsm_backlog(benchmark):
+    rows = []
+    for n_deletes in (50, 200):
+        for policy in POLICIES:
+            comps = []
+            totals = []
+            for seed in (0, 1):
+                c, total = run_backlog(policy, seed, 2000, n_deletes)
+                comps.append(c)
+                totals.append(total)
+            all_c = np.concatenate(comps)
+            rows.append(
+                [
+                    n_deletes,
+                    policy.name,
+                    float(all_c.mean()),
+                    float(np.percentile(all_c, 95)),
+                    float(np.mean(totals)),
+                ]
+            )
+    emit_table(
+        "E12_lsm_backlog",
+        ["backlog", "compaction policy", "mean done (IO)", "p95", "total IO"],
+        rows,
+        note="secure deletes complete when their tombstone compacts into "
+        "the bottom level.  The backlog-driven (density) scheduler is the "
+        "WORMS analogue on the LSM side.",
+    )
+    benchmark(lambda: run_backlog(BacklogDrivenPolicy(), 2, 500, 30))

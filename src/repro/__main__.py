@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows without writing code:
+
+* ``compare`` — generate a workload and compare the flushing policies;
+* ``solve``   — run the full paper pipeline on one instance and report
+  every stage's cost plus the trace summary;
+* ``gadget``  — build the Lemma 15 NP-hardness gadget for a 3-partition
+  input and decide it.
+
+Examples::
+
+    python -m repro compare --messages 2000 --P 4 --B 64 --skew 1.0
+    python -m repro solve --messages 500 --height 3 --fanout 4
+    python -m repro gadget 6 7 7 6 8 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.analysis.npc import (
+    build_gadget,
+    canonical_gadget_schedule,
+    solve_three_partition,
+)
+from repro.analysis.report import completion_cdf_report, utilization_report
+from repro.analysis.stats import compare_policies
+from repro.core import solve_worms
+from repro.dam import validate_valid
+from repro.dam.trace import record_trace
+from repro.policies import (
+    EagerPolicy,
+    GreedyBatchPolicy,
+    LazyThresholdPolicy,
+    WormsPolicy,
+)
+from repro.tree import balanced_tree, beps_shape_tree
+from repro.workloads import uniform_instance, zipf_instance
+
+
+def _make_instance(args: argparse.Namespace):
+    if args.fanout:
+        topo = balanced_tree(args.fanout, args.height)
+    else:
+        topo = beps_shape_tree(args.B, 0.5, args.leaves)
+    if args.skew > 0:
+        return zipf_instance(
+            topo, args.messages, P=args.P, B=args.B, theta=args.skew,
+            seed=args.seed,
+        )
+    return uniform_instance(
+        topo, args.messages, P=args.P, B=args.B, seed=args.seed
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the `compare` subcommand (policy comparison table)."""
+    inst = _make_instance(args)
+    print(f"instance: {inst!r}")
+    stats = compare_policies(
+        inst,
+        [
+            EagerPolicy(),
+            LazyThresholdPolicy(),
+            GreedyBatchPolicy(),
+            WormsPolicy(),
+        ],
+    )
+    lb = worms_lower_bound(inst)
+    print(f"{'policy':>16} {'mean':>9} {'p95':>8} {'max':>7} {'IOs':>7} {'vs LB':>7}")
+    for name, s in stats.items():
+        print(
+            f"{name:>16} {s.mean:>9.1f} {s.p95:>8.0f} {s.max:>7d} "
+            f"{s.n_steps:>7d} {s.total / max(lb, 1):>6.2f}x"
+        )
+    print(f"certified lower bound: {lb:.0f}")
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    """Run the `solve` subcommand (full pipeline + trace report)."""
+    inst = _make_instance(args)
+    print(f"instance: {inst!r}")
+    result = solve_worms(inst)
+    print(f"packed sets: {len(result.packed.sets)}")
+    print(f"reduced tasks: {result.reduced.n_tasks}")
+    print(f"task-schedule cost (== overfilling cost): {result.task_cost:.0f}")
+    print(
+        "valid schedule cost: "
+        f"{result.total_completion_time} "
+        f"(mean {result.mean_completion_time:.1f}, "
+        f"fallback={'yes' if result.conversion.used_fallback else 'no'})"
+    )
+    print(f"lower bound: {worms_lower_bound(inst):.0f}")
+    trace = record_trace(inst, result.schedule)
+    for line in trace.summary_lines():
+        print(f"  {line}")
+    print()
+    print(utilization_report(trace))
+    print()
+    print(completion_cdf_report(result.result.completion_times))
+    return 0
+
+
+def cmd_gadget(args: argparse.Namespace) -> int:
+    """Run the `gadget` subcommand (Lemma 15 decision + schedule)."""
+    try:
+        gadget = build_gadget(args.integers)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"invalid 3-partition input: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"gadget: n'={gadget.n_groups}, K={gadget.K}, X={gadget.X}, "
+        f"B={gadget.B}, |M|={gadget.instance.n_messages}, C1={gadget.C1}"
+    )
+    partition = solve_three_partition(args.integers)
+    if partition is None:
+        print("NO: no 3-partition exists; no 4n'-flush schedule meets C1")
+        return 1
+    print(f"YES: partition {partition}")
+    sched = canonical_gadget_schedule(gadget, partition)
+    res = validate_valid(gadget.instance, sched)
+    print(
+        f"canonical schedule: makespan {res.max_completion_time} "
+        f"(= 4n' = {4 * gadget.n_groups}), "
+        f"cost {res.total_completion_time} <= C1 = {gadget.C1}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Root-to-leaf scheduling in write-optimized trees.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--messages", type=int, default=1000)
+        p.add_argument("--P", type=int, default=4)
+        p.add_argument("--B", type=int, default=64)
+        p.add_argument("--leaves", type=int, default=256,
+                       help="B^eps-shaped tree with this many leaves")
+        p.add_argument("--fanout", type=int, default=0,
+                       help="use a balanced tree with this fanout instead")
+        p.add_argument("--height", type=int, default=3)
+        p.add_argument("--skew", type=float, default=0.0,
+                       help="Zipf theta (0 = uniform)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_compare = sub.add_parser("compare", help="compare flushing policies")
+    add_instance_args(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_solve = sub.add_parser("solve", help="run the full paper pipeline")
+    add_instance_args(p_solve)
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_gadget = sub.add_parser("gadget", help="Lemma 15 NP-hardness gadget")
+    p_gadget.add_argument("integers", type=int, nargs="+")
+    p_gadget.set_defaults(func=cmd_gadget)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

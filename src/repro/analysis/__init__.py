@@ -1,0 +1,25 @@
+"""Analysis: completion statistics, certified lower bounds, NP-hardness."""
+
+from repro.analysis.lower_bounds import (
+    scheduling_lower_bound,
+    worms_lower_bound,
+)
+from repro.analysis.npc import (
+    ThreePartitionGadget,
+    build_gadget,
+    canonical_gadget_schedule,
+    solve_three_partition,
+)
+from repro.analysis.stats import CompletionStats, compare_policies, summarize
+
+__all__ = [
+    "CompletionStats",
+    "summarize",
+    "compare_policies",
+    "worms_lower_bound",
+    "scheduling_lower_bound",
+    "ThreePartitionGadget",
+    "build_gadget",
+    "canonical_gadget_schedule",
+    "solve_three_partition",
+]

@@ -1,0 +1,112 @@
+"""Certified lower bounds on optimal total completion time.
+
+The paper's own lower-bound route (``cost^f`` of PHTF via Lemmas 12-13)
+turned out not to be sound as stated — see EXPERIMENTS.md, finding R1 —
+so measured approximation ratios in this package are reported against the
+*combinatorial* bounds below, each of which holds for every valid (indeed
+every overfilling) schedule:
+
+WORMS (messages start at the root, target heights ``h_m``):
+
+* **height bound** — ``c(m) >= h_m`` since a message needs one flush per
+  edge of its path: ``OPT >= sum_m h_m``;
+* **work bound** — one time step moves at most ``P * B`` message-hops, and
+  completing any ``i`` messages takes at least ``H_i`` hops (``H_i`` = sum
+  of the ``i`` smallest path lengths), so the ``i``-th earliest completion
+  is ``>= ceil(H_i / (P B))``: ``OPT >= sum_i ceil(H_i / (P B))``;
+* **leaf-flush bound** — a step performs at most ``P`` flushes and each
+  message's completing flush enters its target leaf, a flush delivers to
+  one leaf at most ``B`` messages; completing ``i`` messages needs at
+  least ``F_i`` leaf-entering flushes (``F_i`` = minimum number of
+  (leaf, batch-of-B) slots covering ``i`` messages), so the ``i``-th
+  earliest completion is ``>= ceil(F_i / P)``.
+
+``P | outtree, p_j = 1 | Sum wC``:
+
+* **capacity bound** — at most ``P`` tasks complete per step, so pairing
+  the largest weights with the earliest slots (rearrangement inequality)
+  bounds ``OPT >= sum_i w_(i) * ceil(i / P)``;
+* **depth bound** — a task at precedence depth ``d`` completes no earlier
+  than ``d + 1``: ``OPT >= sum_j w_j (depth_j + 1)``.
+
+Each function returns the max of its constituent bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.worms import WORMSInstance
+from repro.scheduling.instance import SchedulingInstance
+
+
+def worms_lower_bound(instance: WORMSInstance) -> float:
+    """Max of the height, work, and leaf-flush bounds (see module doc).
+
+    Honors per-message weights: the height bound becomes ``sum w_m h_m``
+    and the step-sequence bounds pair the largest weights with the
+    earliest feasible completion slots (rearrangement inequality), which
+    is the adversarially best assignment and therefore still a valid
+    lower bound.  With unit weights this reduces to the unweighted bound.
+    """
+    topo = instance.topology
+    heights = topo.heights
+    path_lengths = np.array(
+        [
+            int(heights[m.target_leaf]) - int(heights[instance.start_of(m.msg_id)])
+            for m in instance.messages
+        ],
+        dtype=np.int64,
+    )
+    if path_lengths.size == 0:
+        return 0
+    PB = instance.P * instance.B
+    w_desc = np.sort(instance.message_weights)[::-1]
+
+    height_bound = float(instance.message_weights @ path_lengths)
+
+    sorted_lengths = np.sort(path_lengths)
+    hops_prefix = np.cumsum(sorted_lengths)
+    work_slots = -(-hops_prefix // PB)  # i-th earliest completion >= this
+    work_bound = float(w_desc @ work_slots)
+
+    # Leaf-flush bound: completing i messages needs at least F_i
+    # leaf-entering flushes, where F_i is met by consuming the largest
+    # per-leaf batches (size <= B) first.  Enumerate all batches globally,
+    # largest first, so F_i is the exact minimum (a per-leaf ordering
+    # would overestimate and invalidate the bound).
+    batch_sizes: list[int] = []
+    for load in (int(c) for c in instance.messages_per_leaf if c > 0):
+        full, rem = divmod(load, instance.B)
+        batch_sizes.extend([instance.B] * full)
+        if rem:
+            batch_sizes.append(rem)
+    batch_sizes.sort(reverse=True)
+    flush_costs: list[int] = []  # marginal leaf-flush count per message
+    for size in batch_sizes:
+        flush_costs.append(1)
+        flush_costs.extend([0] * (size - 1))
+    flushes_prefix = np.cumsum(np.asarray(flush_costs, dtype=np.int64))
+    leaf_slots = -(-flushes_prefix // instance.P)
+    leaf_bound = float(w_desc @ leaf_slots)
+
+    return max(height_bound, work_bound, leaf_bound)
+
+
+def scheduling_lower_bound(instance: SchedulingInstance) -> float:
+    """Max of the capacity and depth bounds (see module doc)."""
+    n = instance.n_tasks
+    if n == 0:
+        return 0.0
+    weights = np.asarray(instance.weights, dtype=np.float64)
+
+    slots = -(-(np.arange(1, n + 1)) // instance.P)  # ceil(i / P)
+    capacity_bound = float(np.sort(weights)[::-1] @ slots)
+
+    depths = np.empty(n, dtype=np.int64)
+    for j in instance.topological_order():
+        p = int(instance.parent[j])
+        depths[j] = 0 if p < 0 else depths[p] + 1
+    depth_bound = float(weights @ (depths + 1))
+
+    return max(capacity_bound, depth_bound)

@@ -1,0 +1,187 @@
+"""The NP-hardness gadget of Lemma 15 (reduction from 3-partition).
+
+Given integers ``I`` (``3n'`` values summing to ``n'K``, each in
+``(K/4, K/2)``), the gadget is the WORMS instance ``(T1, M1, 1, B)`` with
+
+* ``B = 3X + K`` where ``X = 12 n'^2 K``,
+* a root ``r``, a middle node ``x``, and one leaf per integer ``i`` with
+  ``X + i`` messages targeting it.
+
+``I`` admits a 3-partition **iff** the gadget has a valid schedule using
+at most ``4 n'`` flushes with total completion time at most ``C1`` — each
+root-to-``x`` flush must then carry exactly the representatives of a
+triple summing to ``K`` (a larger triple does not fit in ``B``).  The
+full reduction pads with ``8 n' |M1| + C1`` two-edge paths so the single
+bound ``C2`` suffices; padding is optional here because it makes the
+instance enormous without changing the interesting structure.
+
+This module builds gadgets, solves 3-partition exactly (for test-sized
+inputs), constructs the canonical schedule from a partition, and exposes
+the bounds ``C1``/``C2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.tree.messages import Message
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class ThreePartitionGadget:
+    """The Lemma 15 instance plus its bookkeeping constants."""
+
+    instance: WORMSInstance
+    integers: tuple[int, ...]
+    K: int
+    X: int
+    B: int
+    n_groups: int  # the paper's n'
+    C1: int
+    #: leaf node id for each integer index.
+    leaf_of: tuple[int, ...]
+    #: message ids targeting each leaf (the "representative messages").
+    representatives: tuple[tuple[int, ...], ...]
+
+
+def build_gadget(integers: "list[int]") -> ThreePartitionGadget:
+    """Build ``(T1, M1, 1, B)`` for the 3-partition input ``integers``."""
+    if len(integers) % 3 != 0 or not integers:
+        raise InvalidInstanceError("3-partition needs a multiple of 3 integers")
+    n_groups = len(integers) // 3
+    total = sum(integers)
+    if total % n_groups != 0:
+        raise InvalidInstanceError(
+            f"sum {total} is not divisible by n'={n_groups}"
+        )
+    K = total // n_groups
+    for i in integers:
+        if not (4 * i > K and 2 * i < K):
+            raise InvalidInstanceError(
+                f"integer {i} outside the strict (K/4, K/2) range with K={K}"
+            )
+    X = 12 * n_groups * n_groups * K
+    B = 3 * X + K
+
+    # Topology: 0 = r, 1 = x, leaves 2 .. 3n'+1 (leaf j for integer j-2).
+    parent = [-1, 0] + [1] * len(integers)
+    topo = TreeTopology(parent)
+    messages: list[Message] = []
+    leaf_of: list[int] = []
+    representatives: list[tuple[int, ...]] = []
+    for idx, value in enumerate(integers):
+        leaf = 2 + idx
+        leaf_of.append(leaf)
+        ids = []
+        for _ in range(X + value):
+            ids.append(len(messages))
+            messages.append(Message(len(messages), leaf))
+        representatives.append(tuple(ids))
+
+    instance = WORMSInstance(topo, messages, P=1, B=B)
+    C1 = sum(
+        4 * (i - 1) * (3 * X + K) + X * (2 + 3 + 4) + 4 * K
+        for i in range(1, n_groups + 1)
+    )
+    return ThreePartitionGadget(
+        instance=instance,
+        integers=tuple(integers),
+        K=K,
+        X=X,
+        B=B,
+        n_groups=n_groups,
+        C1=C1,
+        leaf_of=tuple(leaf_of),
+        representatives=tuple(representatives),
+    )
+
+
+def canonical_gadget_schedule(
+    gadget: ThreePartitionGadget, partition: "list[tuple[int, int, int]]"
+) -> FlushSchedule:
+    """The canonical schedule induced by a 3-partition of the integers.
+
+    ``partition`` lists index triples into ``gadget.integers``.  Per
+    triple: one flush ``r -> x`` carrying all three leaves'
+    representatives (exactly ``3X + K = B`` messages), then three flushes
+    ``x -> leaf``.  Uses ``4 n'`` flushes and finishes by step ``4 n'``.
+    """
+    schedule = FlushSchedule()
+    t = 0
+    for triple in partition:
+        if len(triple) != 3:
+            raise InvalidInstanceError("each partition class must have 3 items")
+        msgs: list[int] = []
+        for idx in triple:
+            msgs.extend(gadget.representatives[idx])
+        if len(msgs) > gadget.B:
+            raise InvalidInstanceError(
+                f"triple {triple} carries {len(msgs)} messages > B={gadget.B} "
+                "(its integers do not sum to K)"
+            )
+        t += 1
+        schedule.add(t, Flush(src=0, dest=1, messages=tuple(msgs)))
+        for idx in triple:
+            t += 1
+            schedule.add(
+                t,
+                Flush(
+                    src=1,
+                    dest=gadget.leaf_of[idx],
+                    messages=gadget.representatives[idx],
+                ),
+            )
+    return schedule
+
+
+def solve_three_partition(
+    integers: "list[int]",
+) -> "list[tuple[int, int, int]] | None":
+    """Exact 3-partition by memoized search (test-sized inputs only).
+
+    Returns index triples, or ``None`` when no 3-partition exists.
+    """
+    n = len(integers)
+    if n % 3 != 0:
+        return None
+    n_groups = n // 3
+    total = sum(integers)
+    if n_groups == 0 or total % n_groups != 0:
+        return None
+    K = total // n_groups
+
+    @lru_cache(maxsize=None)
+    def search(used_mask: int) -> "tuple[tuple[int, int, int], ...] | None":
+        if used_mask == (1 << n) - 1:
+            return ()
+        first = next(i for i in range(n) if not used_mask & (1 << i))
+        rest = [
+            i
+            for i in range(first + 1, n)
+            if not used_mask & (1 << i)
+        ]
+        for a, b in combinations(rest, 2):
+            if integers[first] + integers[a] + integers[b] != K:
+                continue
+            sub = search(used_mask | (1 << first) | (1 << a) | (1 << b))
+            if sub is not None:
+                return ((first, a, b),) + sub
+        return None
+
+    result = search(0)
+    search.cache_clear()
+    return list(result) if result is not None else None
+
+
+def gadget_has_fast_schedule(gadget: ThreePartitionGadget) -> bool:
+    """Decision interface of Lemma 15: does a schedule with ``4 n'``
+    flushes and cost ``<= C1`` exist?  Equivalent to 3-partition (any
+    ``r -> x`` flush of more than one triple's representatives overflows
+    ``B``), so it delegates to the exact solver."""
+    return solve_three_partition(list(gadget.integers)) is not None

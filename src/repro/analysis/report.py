@@ -1,0 +1,91 @@
+"""Plain-text reporting: completion CDFs and utilization timelines.
+
+Everything here renders to monospace text (no plotting dependencies), so
+reports drop straight into terminals, logs, and EXPERIMENTS.md.  Used by
+the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Unicode eighth-blocks for sparklines, lowest to highest.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render values as a fixed-width block sparkline.
+
+    Values are bucketed by mean onto ``width`` columns and scaled to the
+    maximum; an empty input renders as an empty string.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Bucket means: pad to a multiple of width, then reshape.  Padding
+        # with NaN keeps bucket means honest; a bucket that ends up all-NaN
+        # (possible when the padding spans a whole bucket) renders blank.
+        pad = (-arr.size) % width
+        padded = np.concatenate([arr, np.full(pad, np.nan)])
+        buckets = padded.reshape(width, -1)
+        counts = np.sum(~np.isnan(buckets), axis=1)
+        sums = np.nansum(buckets, axis=1)
+        arr = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    top = float(np.nanmax(arr))
+    if top <= 0:
+        return _BLOCKS[0] * arr.size
+    chars = []
+    for v in arr:
+        if np.isnan(v):
+            chars.append(_BLOCKS[0])
+            continue
+        level = int(round(v / top * (len(_BLOCKS) - 1)))
+        chars.append(_BLOCKS[max(0, min(level, len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def completion_cdf_report(
+    completion_times, *, n_points: int = 10, label: str = "completions"
+) -> str:
+    """Textual CDF of completion times: 'p% done by step s' rows."""
+    c = np.sort(np.asarray(completion_times, dtype=np.float64))
+    if c.size == 0:
+        return f"{label}: none"
+    lines = [f"{label} CDF ({c.size} messages):"]
+    for q in np.linspace(0.1, 1.0, n_points):
+        idx = min(c.size - 1, int(np.ceil(q * c.size)) - 1)
+        lines.append(f"  {int(q * 100):>3d}% done by step {int(c[idx])}")
+    return "\n".join(lines)
+
+
+def utilization_report(trace, width: int = 60) -> str:
+    """Sparkline view of a :class:`~repro.dam.trace.ScheduleTrace`."""
+    lines = [
+        f"slot utilization    {sparkline(trace.slot_utilization, width)}",
+        f"payload utilization {sparkline(trace.payload_utilization, width)}",
+        f"completions/step    {sparkline(trace.completions_per_step, width)}",
+    ]
+    for d in range(trace.moves_by_level.shape[1]):
+        lines.append(
+            f"moves into depth {d + 1:<2d} "
+            f"{sparkline(trace.moves_by_level[:, d], width)}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(stats: dict, lower_bound: float | None = None) -> str:
+    """Render a policy-comparison dict (name -> CompletionStats)."""
+    header = (
+        f"{'policy':>16} {'mean':>9} {'median':>8} {'p95':>8} "
+        f"{'max':>7} {'IOs':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, s in stats.items():
+        lines.append(
+            f"{name:>16} {s.mean:>9.1f} {s.median:>8.0f} {s.p95:>8.0f} "
+            f"{s.max:>7d} {s.n_steps:>7d}"
+        )
+    if lower_bound is not None:
+        lines.append(f"certified lower bound on total completion: {lower_bound:.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Completion-time statistics and policy comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.worms import WORMSInstance
+from repro.dam.validator import validate_valid
+
+
+@dataclass(frozen=True)
+class CompletionStats:
+    """Summary of a completion-time distribution (1-based steps)."""
+
+    n: int
+    total: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: int
+    n_steps: int
+
+    @property
+    def throughput(self) -> float:
+        """Messages completed per time step over the whole schedule."""
+        return self.n / self.n_steps if self.n_steps else 0.0
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for bench tables."""
+        return {
+            "n": self.n,
+            "total": self.total,
+            "mean": round(self.mean, 2),
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+            "steps": self.n_steps,
+            "throughput": round(self.throughput, 3),
+        }
+
+
+def summarize(completion_times: np.ndarray, n_steps: int) -> CompletionStats:
+    """Build :class:`CompletionStats` from a completion-time array."""
+    c = np.asarray(completion_times, dtype=np.float64)
+    if c.size == 0:
+        return CompletionStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0, n_steps)
+    return CompletionStats(
+        n=int(c.size),
+        total=int(c.sum()),
+        mean=float(c.mean()),
+        median=float(np.median(c)),
+        p95=float(np.percentile(c, 95)),
+        p99=float(np.percentile(c, 99)),
+        max=int(c.max()),
+        n_steps=n_steps,
+    )
+
+
+def weighted_total_completion(instance: WORMSInstance, completion_times) -> float:
+    """Weighted objective ``sum_m w_m c_m`` for a simulation result."""
+    c = np.asarray(completion_times, dtype=np.float64)
+    return float(instance.message_weights @ c)
+
+
+def compare_policies(
+    instance: WORMSInstance, policies: Iterable
+) -> dict[str, CompletionStats]:
+    """Run each policy on ``instance``; validate; return stats by name.
+
+    Raises if any policy emits an invalid schedule — baselines are held to
+    the same rules as the paper's scheduler.
+    """
+    results: dict[str, CompletionStats] = {}
+    for policy in policies:
+        schedule = policy.schedule(instance)
+        sim = validate_valid(instance, schedule)
+        results[policy.name] = summarize(sim.completion_times, schedule.n_steps)
+    return results

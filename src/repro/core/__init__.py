@@ -1,0 +1,29 @@
+"""WORMS core: the paper's primary contribution.
+
+Pipeline (Section 4.3): a WORMS instance is reduced to a
+``P|outtree,p_j=1|Sum wC`` scheduling instance via *oblivious packed sets*
+(:mod:`repro.core.packed`, :mod:`repro.core.reduction`), solved with the
+4-approximate MPHTF algorithm (:mod:`repro.scheduling.mphtf`), converted
+back to an *overfilling* flush schedule (:mod:`repro.core.task_to_flush`,
+Lemma 8), and finally made *valid* (:mod:`repro.core.valid_conversion`,
+Lemma 1).  :func:`repro.core.pipeline.solve_worms` glues the stages.
+"""
+
+from repro.core.packed import PackedDecomposition, build_packed_sets
+from repro.core.pipeline import PipelineResult, solve_worms
+from repro.core.reduction import ReducedInstance, reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.core.valid_conversion import make_valid
+from repro.core.worms import WORMSInstance
+
+__all__ = [
+    "WORMSInstance",
+    "PackedDecomposition",
+    "build_packed_sets",
+    "ReducedInstance",
+    "reduce_to_scheduling",
+    "task_schedule_to_flush_schedule",
+    "make_valid",
+    "solve_worms",
+    "PipelineResult",
+]

@@ -1,0 +1,278 @@
+"""Oblivious packed nodes and packed sets (Sections 3.1-3.2).
+
+A node ``v`` is **packed** when at least ``B/6`` messages target its
+subtree and are not already claimed by a deeper packed node; the root is
+always packed and claims every leftover message.  Each message therefore
+belongs to the *packed contents* ``C(v)`` of exactly one packed node — its
+lowest packed ancestor-or-self.
+
+The packed contents are then split into **packed sets** of total size in
+``[B/6, B/2]``:
+
+* for a *leaf* packed node, messages are chunked directly;
+* for an *internal* packed node, whole *children* of ``v`` are grouped
+  greedily (each child holds < ``B/6`` unclaimed messages, else it would
+  be packed itself), so that two messages flushed from ``v`` to the same
+  child always share a packed set — the property Lemma 1's ``L``-schedule
+  construction relies on.
+
+This module implements the *oblivious* variant (depends only on
+``(T, M, P, B)``, not on any schedule), which is the one the reduction of
+Section 3.2 uses.  The divisor 6 is exposed as a parameter for the
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.worms import WORMSInstance
+from repro.util.errors import InvalidInstanceError
+
+#: Paper constants: a node is packed at >= B/PACKED_DENOM unclaimed
+#: messages; packed sets have size in [B/PACKED_DENOM, B/2].
+PACKED_DENOM = 6
+
+
+@dataclass(frozen=True)
+class PackedSet:
+    """One packed set: messages sharing a packed parent and child group."""
+
+    index: int
+    parent_node: int
+    messages: tuple[int, ...]
+    #: children of ``parent_node`` whose subtrees hold this set's messages
+    #: (empty when the packed parent is a leaf).
+    child_group: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of messages in the set."""
+        return len(self.messages)
+
+
+@dataclass(frozen=True)
+class PackedDecomposition:
+    """The full packed-node/packed-set structure of a WORMS instance."""
+
+    instance: WORMSInstance
+    packed_nodes: tuple[int, ...]
+    sets: tuple[PackedSet, ...]
+    #: per message: its packed parent node and its packed-set index.
+    packed_parent_of: np.ndarray
+    set_of: np.ndarray
+
+    @cached_property
+    def sets_of_node(self) -> dict[int, tuple[int, ...]]:
+        """Map packed node -> indices of its packed sets."""
+        result: dict[int, list[int]] = {v: [] for v in self.packed_nodes}
+        for s in self.sets:
+            result[s.parent_node].append(s.index)
+        return {v: tuple(ixs) for v, ixs in result.items()}
+
+    def check_invariants(self) -> None:
+        """Assert the structural properties the paper's lemmas rely on."""
+        inst = self.instance
+        B = inst.B
+        topo = inst.topology
+        seen = np.zeros(inst.n_messages, dtype=bool)
+        for s in self.sets:
+            if not s.messages:
+                raise InvalidInstanceError(f"packed set {s.index} is empty")
+            for m in s.messages:
+                if seen[m]:
+                    raise InvalidInstanceError(f"message {m} in two packed sets")
+                seen[m] = True
+                if self.set_of[m] != s.index:
+                    raise InvalidInstanceError("set_of inconsistent")
+                if self.packed_parent_of[m] != s.parent_node:
+                    raise InvalidInstanceError("packed_parent_of inconsistent")
+                if not topo.is_descendant(
+                    inst.messages[m].target_leaf, s.parent_node
+                ):
+                    raise InvalidInstanceError(
+                        f"message {m} target not under packed parent"
+                    )
+            # Size bounds: every non-root set in [B/6, B/2]; root sets may
+            # undershoot (the root claims whatever remains).
+            if s.parent_node != topo.root and not (
+                PACKED_DENOM * s.size >= B and 2 * s.size <= B
+            ):
+                raise InvalidInstanceError(
+                    f"packed set {s.index} size {s.size} outside "
+                    f"[B/{PACKED_DENOM}, B/2] with B={B}"
+                )
+            if s.parent_node == topo.root and 2 * s.size > B:
+                raise InvalidInstanceError(
+                    f"root packed set {s.index} size {s.size} > B/2"
+                )
+        if not seen.all():
+            raise InvalidInstanceError("some messages belong to no packed set")
+
+
+def build_packed_sets(
+    instance: WORMSInstance, *, denom: int = PACKED_DENOM
+) -> PackedDecomposition:
+    """Construct the oblivious packed decomposition of ``instance``.
+
+    ``denom`` overrides the packing threshold ``B/6`` (ablation hook);
+    set sizes then fall in roughly ``[B/denom, 3B/denom]``, so ``denom``
+    must be at least 3 for every set to fit in a single ``B``-flush (the
+    paper's 6 leaves the factor-two slack its proofs use).
+    """
+    if denom < 2:
+        raise InvalidInstanceError(f"denom must be >= 2, got {denom}")
+    topo = instance.topology
+    B = instance.B
+    n_nodes = topo.n_nodes
+    n_msgs = instance.n_messages
+
+    # Bottom-up: unclaimed[v] = messages targeting subtree(v) not claimed
+    # by a packed strict descendant of v.  v becomes packed when
+    # unclaimed[v] >= B/denom (exact integer comparison).
+    unclaimed = np.array(instance.messages_per_leaf, dtype=np.int64)
+    is_packed = np.zeros(n_nodes, dtype=bool)
+    parents = topo.parents
+    for v in topo.bfs_order[::-1]:
+        v = int(v)
+        if v == topo.root:
+            continue
+        if denom * unclaimed[v] >= B:
+            is_packed[v] = True
+        else:
+            p = int(parents[v])
+            unclaimed[p] += unclaimed[v]
+    is_packed[topo.root] = True
+
+    # Each message's packed parent: lowest packed ancestor-or-self of its
+    # target leaf.
+    packed_parent_of = np.empty(n_msgs, dtype=np.int64)
+    # Memoize per node: lowest packed ancestor-or-self.
+    lowest_packed = np.full(n_nodes, -1, dtype=np.int64)
+    for v in topo.bfs_order:
+        v = int(v)
+        if is_packed[v]:
+            lowest_packed[v] = v
+        else:
+            # root is packed, so every non-root node has a packed ancestor;
+            # note "lowest" walks bottom-up, so we must not inherit from the
+            # parent — a message claimed by a deep packed node must stop
+            # there.  lowest_packed[v] here means: the packed node that
+            # claims messages whose lowest packed ancestor chain starts at v.
+            lowest_packed[v] = lowest_packed[int(parents[v])]
+    for m in range(n_msgs):
+        leaf = instance.messages[m].target_leaf
+        packed_parent_of[m] = lowest_packed[leaf]
+
+    # Group messages by packed parent, preserving message-id order.
+    contents: dict[int, list[int]] = {}
+    for m in range(n_msgs):
+        contents.setdefault(int(packed_parent_of[m]), []).append(m)
+
+    # For internal packed parents we need, per child of v, the unclaimed
+    # messages routed through that child.  A message of C(v) routed through
+    # child c means c is on the path v -> target; find it by walking up.
+    sets: list[PackedSet] = []
+    set_of = np.full(n_msgs, -1, dtype=np.int64)
+    threshold = -(-B // denom)  # ceil(B / denom)
+
+    packed_nodes = [int(v) for v in np.flatnonzero(is_packed)]
+    for v in packed_nodes:
+        msgs = contents.get(v, [])
+        if not msgs:
+            continue  # packed by count but all its messages claimed deeper
+        if topo.is_leaf(v):
+            _chunk_leaf_sets(sets, set_of, v, msgs, threshold)
+        else:
+            _group_child_sets(instance, sets, set_of, v, msgs, threshold)
+
+    decomposition = PackedDecomposition(
+        instance=instance,
+        packed_nodes=tuple(packed_nodes),
+        sets=tuple(sets),
+        packed_parent_of=packed_parent_of,
+        set_of=set_of,
+    )
+    return decomposition
+
+
+def _chunk_leaf_sets(
+    sets: list[PackedSet],
+    set_of: np.ndarray,
+    v: int,
+    msgs: list[int],
+    threshold: int,
+) -> None:
+    """Split a leaf packed node's messages into chunks of ~threshold."""
+    chunks: list[list[int]] = []
+    for start in range(0, len(msgs), threshold):
+        chunks.append(msgs[start : start + threshold])
+    if len(chunks) >= 2 and len(chunks[-1]) < threshold:
+        chunks[-2].extend(chunks.pop())
+    for chunk in chunks:
+        _emit(sets, set_of, v, chunk, ())
+
+
+def _group_child_sets(
+    instance: WORMSInstance,
+    sets: list[PackedSet],
+    set_of: np.ndarray,
+    v: int,
+    msgs: list[int],
+    threshold: int,
+) -> None:
+    """Group an internal packed node's children into packed sets."""
+    topo = instance.topology
+    by_child: dict[int, list[int]] = {}
+    own: list[int] = []  # internal-target extension: messages ending at v
+    for m in msgs:
+        target = instance.messages[m].target_leaf
+        if target == v:
+            own.append(m)
+            continue
+        child = topo.child_towards(v, target)
+        by_child.setdefault(child, []).append(m)
+    # Messages completing at v itself behave like leaf-parent messages:
+    # chunk them into their own sets with no child group.
+    if own:
+        _chunk_leaf_sets(sets, set_of, v, own, threshold)
+    groups: list[tuple[list[int], list[int]]] = []  # (children, messages)
+    cur_children: list[int] = []
+    cur_msgs: list[int] = []
+    for child in sorted(by_child):
+        cur_children.append(child)
+        cur_msgs.extend(by_child[child])
+        if len(cur_msgs) >= threshold:
+            groups.append((cur_children, cur_msgs))
+            cur_children, cur_msgs = [], []
+    if cur_msgs:
+        if groups:
+            groups[-1][0].extend(cur_children)
+            groups[-1][1].extend(cur_msgs)
+        else:
+            groups.append((cur_children, cur_msgs))
+    for children, group_msgs in groups:
+        _emit(sets, set_of, v, group_msgs, tuple(children))
+
+
+def _emit(
+    sets: list[PackedSet],
+    set_of: np.ndarray,
+    v: int,
+    msgs: list[int],
+    child_group: tuple[int, ...],
+) -> None:
+    index = len(sets)
+    for m in msgs:
+        set_of[m] = index
+    sets.append(
+        PackedSet(
+            index=index,
+            parent_node=v,
+            messages=tuple(sorted(msgs)),
+            child_group=child_group,
+        )
+    )

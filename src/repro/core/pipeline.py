@@ -1,0 +1,107 @@
+"""End-to-end WORMS solver (Section 4.3).
+
+``solve_worms`` chains the paper's stages:
+
+1. build the oblivious packed sets and reduce to
+   ``P | outtree, p_j = 1 | Sum wC`` (Lemmas 8-9);
+2. solve the scheduling instance with MPHTF (Lemma 14; the paper's
+   4-approximation) — or any other task scheduler passed in;
+3. convert the task schedule to an overfilling flush schedule of equal
+   cost (Lemma 8);
+4. convert the overfilling schedule to a valid one (Lemma 1).
+
+The result carries every intermediate artifact so experiments can measure
+each stage's cost inflation separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.packed import PackedDecomposition, build_packed_sets
+from repro.core.reduction import ReducedInstance, reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.core.valid_conversion import ConversionDiagnostics, make_valid
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import FlushSchedule
+from repro.dam.simulator import SimulationResult, simulate
+from repro.scheduling.cost import TaskSchedule, schedule_cost
+from repro.scheduling.horn import compute_horn
+from repro.scheduling.instance import SchedulingInstance
+from repro.scheduling.mphtf import mphtf_schedule
+from repro.util.errors import InvalidScheduleError
+
+
+@dataclass
+class PipelineResult:
+    """Everything ``solve_worms`` produced, stage by stage."""
+
+    instance: WORMSInstance
+    packed: PackedDecomposition
+    reduced: ReducedInstance
+    task_schedule: TaskSchedule
+    task_cost: float
+    overfilling: FlushSchedule
+    overfilling_result: SimulationResult
+    schedule: FlushSchedule
+    result: SimulationResult
+    conversion: ConversionDiagnostics
+
+    @property
+    def total_completion_time(self) -> int:
+        """Objective value of the final valid schedule."""
+        return self.result.total_completion_time
+
+    @property
+    def mean_completion_time(self) -> float:
+        """Average completion time of the final valid schedule."""
+        return self.result.mean_completion_time
+
+
+def solve_worms(
+    instance: WORMSInstance,
+    *,
+    task_scheduler: Callable[[SchedulingInstance], TaskSchedule] | None = None,
+    verify: bool = True,
+) -> PipelineResult:
+    """Run the full O(1)-approximation pipeline on a WORMS instance.
+
+    ``task_scheduler`` defaults to MPHTF; pass e.g. Horn's algorithm for
+    ``P == 1`` or a baseline for ablations.  With ``verify`` (default) the
+    final schedule is checked by the DAM simulator and an
+    :class:`InvalidScheduleError` is raised if it is not valid — this
+    should never happen (the fallback stage is valid by construction) and
+    exists as an internal safety net.
+    """
+    packed = build_packed_sets(instance)
+    reduced = reduce_to_scheduling(instance, packed)
+    if task_scheduler is None:
+        horn = compute_horn(reduced.scheduling)
+        sigma = mphtf_schedule(reduced.scheduling, horn)
+    else:
+        sigma = task_scheduler(reduced.scheduling)
+    task_cost = schedule_cost(reduced.scheduling, sigma)
+    overfilling = task_schedule_to_flush_schedule(reduced, sigma)
+    overfilling_result = simulate(instance, overfilling)
+
+    conversion = ConversionDiagnostics()
+    schedule = make_valid(instance, packed, overfilling, diagnostics=conversion)
+    result = simulate(instance, schedule)
+    if verify and not result.is_valid:
+        raise InvalidScheduleError(
+            "pipeline produced an invalid schedule: "
+            f"{result.violations[:3]} {result.space_violations[:3]}"
+        )
+    return PipelineResult(
+        instance=instance,
+        packed=packed,
+        reduced=reduced,
+        task_schedule=sigma,
+        task_cost=task_cost,
+        overfilling=overfilling,
+        overfilling_result=overfilling_result,
+        schedule=schedule,
+        result=result,
+        conversion=conversion,
+    )

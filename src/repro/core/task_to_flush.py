@@ -1,0 +1,35 @@
+"""Lemma 8: a task schedule for ``T(T,M,P,B)`` becomes an overfilling
+flush schedule of *equal* cost.
+
+Each reduced task stands for one flush (a packed set's messages crossing
+one tree edge); processing the task at step ``t`` schedules that flush at
+step ``t``.  Precedence constraints in the reduced instance guarantee the
+flushes are valid (messages are always at the flush source), and a
+message's completion step equals the completion step of the weighted task
+that delivers it — so ``c(S') = cost(sigma)`` exactly.
+
+The output generally *overfills* interior nodes (sets park in mid-path
+nodes between their chain tasks); Lemma 1
+(:mod:`repro.core.valid_conversion`) repairs that.
+"""
+
+from __future__ import annotations
+
+from repro.core.reduction import ReducedInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.scheduling.cost import TaskSchedule
+
+
+def task_schedule_to_flush_schedule(
+    reduced: ReducedInstance, sigma: TaskSchedule
+) -> FlushSchedule:
+    """Convert task schedule ``sigma`` into an overfilling flush schedule."""
+    schedule = FlushSchedule()
+    edges = reduced.task_edges
+    for t, tasks in enumerate(sigma.steps, start=1):
+        for j in tasks:
+            edge = edges[j]
+            schedule.add(
+                t, Flush(src=edge.src, dest=edge.dest, messages=edge.messages)
+            )
+    return schedule.trim()

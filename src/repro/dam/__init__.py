@@ -1,0 +1,36 @@
+"""Disk Access Machine (DAM) model: schedules, simulation, validation.
+
+The DAM model (Aggarwal & Vitter) charges one IO per time step; in one IO
+up to ``P`` disjoint sets of ``B`` contiguous elements move.  For WORMS,
+one time step therefore performs up to ``P`` flushes of up to ``B``
+messages each (Section 2.1 of the paper).
+
+* :mod:`repro.dam.schedule` — the :class:`Flush`/:class:`FlushSchedule`
+  data types every scheduler produces.
+* :mod:`repro.dam.simulator` — replays a schedule against a WORMS instance,
+  tracking message locations, completion times, and node occupancy.
+* :mod:`repro.dam.validator` — checks the paper's validity conditions
+  (valid / overfilling) and raises precise errors.
+"""
+
+from repro.dam.machine import DAMSpec
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.dam.simulator import SimulationResult, simulate
+from repro.dam.validator import (
+    ScheduleViolation,
+    check_schedule,
+    validate_overfilling,
+    validate_valid,
+)
+
+__all__ = [
+    "DAMSpec",
+    "Flush",
+    "FlushSchedule",
+    "simulate",
+    "SimulationResult",
+    "check_schedule",
+    "validate_valid",
+    "validate_overfilling",
+    "ScheduleViolation",
+]

@@ -1,0 +1,49 @@
+"""DAM machine parameters.
+
+The classic DAM model has three machine parameters: the line size ``B``,
+the parallelism ``P``, and the cache size ``M >> PB``.  Following the
+paper (footnote 2) the cache size does not affect any result, so it is
+optional metadata here; ``P`` and ``B`` drive all scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass(frozen=True, slots=True)
+class DAMSpec:
+    """Machine-dependent DAM parameters.
+
+    Attributes
+    ----------
+    P:
+        Number of disjoint cache-line transfers per IO (parallel flushes
+        per time step).  Small constant on real systems; the algorithms
+        never assume it is.
+    B:
+        Cache-line size: messages per node and per flush.
+    M:
+        Optional cache size; must satisfy ``M >= P * B`` when given.
+    """
+
+    P: int
+    B: int
+    M: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.P < 1:
+            raise InvalidInstanceError(f"P must be >= 1, got {self.P}")
+        if self.B < 1:
+            raise InvalidInstanceError(f"B must be >= 1, got {self.B}")
+        if self.M is not None and self.M < self.P * self.B:
+            raise InvalidInstanceError(
+                f"cache M={self.M} smaller than P*B={self.P * self.B}"
+            )
+
+    @property
+    def messages_per_io(self) -> int:
+        """Upper bound on messages moved in one IO (= one time step)."""
+        return self.P * self.B

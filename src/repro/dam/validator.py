@@ -1,0 +1,71 @@
+"""Raise-style validation wrappers around the simulator.
+
+:func:`check_schedule` returns the full diagnosis; the ``validate_*``
+functions raise :class:`~repro.util.errors.InvalidScheduleError` with the
+first few violations formatted, which is what tests and the pipeline's
+internal assertions want.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import FlushSchedule
+from repro.dam.simulator import SimulationResult, Violation, simulate
+from repro.util.errors import InvalidScheduleError
+
+#: How many violations to include in an exception message.
+_REPORT_LIMIT = 5
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleViolation:
+    """Re-export-friendly alias wrapper kept for API stability."""
+
+    violation: Violation
+
+
+def check_schedule(
+    instance: WORMSInstance, schedule: FlushSchedule
+) -> SimulationResult:
+    """Replay and return the full :class:`SimulationResult` (never raises)."""
+    return simulate(instance, schedule)
+
+
+def _raise(header: str, violations: list[Violation]) -> None:
+    shown = "\n  ".join(repr(v) for v in violations[:_REPORT_LIMIT])
+    extra = len(violations) - _REPORT_LIMIT
+    if extra > 0:
+        shown += f"\n  ... and {extra} more"
+    raise InvalidScheduleError(f"{header}:\n  {shown}")
+
+
+def validate_overfilling(
+    instance: WORMSInstance, schedule: FlushSchedule
+) -> SimulationResult:
+    """Check the *overfilling* conditions (flush validity + completion).
+
+    Space-requirement violations are permitted.  Returns the simulation
+    result on success; raises :class:`InvalidScheduleError` otherwise.
+    """
+    result = simulate(instance, schedule)
+    if result.violations:
+        _raise("schedule is not overfilling", result.violations)
+    return result
+
+
+def validate_valid(
+    instance: WORMSInstance, schedule: FlushSchedule
+) -> SimulationResult:
+    """Check full validity (overfilling + space requirement).
+
+    Returns the simulation result on success; raises
+    :class:`InvalidScheduleError` otherwise.
+    """
+    result = simulate(instance, schedule)
+    if result.violations:
+        _raise("schedule is not overfilling", result.violations)
+    if result.space_violations:
+        _raise("schedule violates the space requirement", result.space_violations)
+    return result

@@ -1,0 +1,41 @@
+"""LSM-tree substrate: the other write-optimized dictionary.
+
+The paper (Section 1, "B^epsilon-trees") notes that "similar strategies to
+those presented here would apply to other WODs, such as LSM-trees" and
+points at the correspondence between LSM compaction strategies and
+B^epsilon-tree flushing policies.  This package makes that concrete:
+
+* :class:`~repro.lsm.lsm_tree.LSMTree` — memtable + leveled runs with
+  block-granular IO accounting, point queries, tombstone deletes, and the
+  two root-to-leaf analogues: **secure deletes** (complete when the secure
+  tombstone compacts into the bottom level, physically shadowing nothing)
+  and **deferred queries** (answered when their marker meets the newest
+  version during compaction or reaches the bottom).
+* :mod:`~repro.lsm.compaction` — compaction policies: classic *leveling*
+  and *tiering* (throughput-oriented), plus a *backlog-driven* scheduler
+  that prioritizes compactions by pending-root-to-leaf density — the
+  direct analogue of the paper's WORMS scheduler.
+
+Bench E12 compares the three on a secure-delete backlog, reproducing the
+paper's eager/lazy/middle-ground story on the LSM side.
+"""
+
+from repro.lsm.compaction import (
+    BacklogDrivenPolicy,
+    CompactionPolicy,
+    LevelingPolicy,
+    TieringPolicy,
+)
+from repro.lsm.lsm_tree import LSMTree
+from repro.lsm.sstable import Entry, EntryKind, SSTable
+
+__all__ = [
+    "LSMTree",
+    "SSTable",
+    "Entry",
+    "EntryKind",
+    "CompactionPolicy",
+    "LevelingPolicy",
+    "TieringPolicy",
+    "BacklogDrivenPolicy",
+]

@@ -1,0 +1,114 @@
+"""Compaction policies: which runs merge next.
+
+A policy answers one question — ``choose(tree) -> (level, run_indices)``
+— under two regimes:
+
+* **maintenance** (some level over capacity): restore the size invariant;
+* **drain** (a root-to-leaf backlog must finish): pick compactions that
+  push pending markers toward the bottom level.
+
+``LevelingPolicy`` and ``TieringPolicy`` are the textbook strategies; the
+``BacklogDrivenPolicy`` is the WORMS analogue — it scores each candidate
+compaction by *pending-marker density* (markers completed-or-advanced per
+entry moved), the same work-per-progress idea as Horn densities.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.util.errors import InvalidInstanceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lsm.lsm_tree import LSMTree
+
+
+class CompactionPolicy(abc.ABC):
+    """Strategy interface; stateless so one instance serves many trees."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def choose(self, tree: "LSMTree") -> tuple[int, "list[int] | None"]:
+        """Return ``(level, run_indices)`` for the next compaction."""
+
+    # Helpers shared by the concrete policies -------------------------
+    @staticmethod
+    def _overfull_or_marker_levels(tree: "LSMTree") -> list[int]:
+        over = tree.over_capacity_levels()
+        if over:
+            return over
+        marker_levels = sorted(
+            {op.level for op in tree.pending.values() if op.level >= 0}
+        )
+        if not marker_levels:
+            raise InvalidInstanceError(
+                "no compaction needed: no overfull level and no pending ops"
+            )
+        return [lv for lv in marker_levels if lv < tree.n_levels - 1]
+
+
+class LevelingPolicy(CompactionPolicy):
+    """Classic leveling: merge the topmost relevant level wholesale."""
+
+    name = "leveling"
+
+    def choose(self, tree: "LSMTree") -> tuple[int, "list[int] | None"]:
+        """Compact the topmost overfull (or marker-bearing) level."""
+        candidates = self._overfull_or_marker_levels(tree)
+        return candidates[0], None
+
+
+class TieringPolicy(CompactionPolicy):
+    """Tiering: merge a level only once it accumulates ``T`` runs (or when
+    forced by capacity/drain), trading read cost for write cost."""
+
+    name = "tiering"
+
+    def choose(self, tree: "LSMTree") -> tuple[int, "list[int] | None"]:
+        """Compact once a level accumulates ``T`` runs (or when forced)."""
+        for level in range(tree.n_levels - 1):
+            if len(tree.levels[level]) >= tree.size_ratio:
+                return level, None
+        candidates = self._overfull_or_marker_levels(tree)
+        return candidates[0], None
+
+
+class BacklogDrivenPolicy(CompactionPolicy):
+    """The WORMS analogue: maximize pending-marker progress per entry.
+
+    Every non-bottom level with at least one pending marker is a
+    candidate; its score is ``markers_in_level / entries_to_merge`` where
+    ``entries_to_merge`` counts the level's runs plus the overlapping runs
+    below.  Capacity restoration takes priority (correctness), then the
+    densest candidate wins.
+    """
+
+    name = "backlog-driven"
+
+    def choose(self, tree: "LSMTree") -> tuple[int, "list[int] | None"]:
+        """Pick the single file with the best pending-marker density."""
+        over = tree.over_capacity_levels()
+        if over:
+            return over[0], None
+        best: tuple[int, "list[int] | None"] | None = None
+        best_score = -1.0
+        for level in range(tree.n_levels - 1):
+            for run_index, markers in tree.marker_runs(level):
+                run = tree.levels[level][run_index]
+                overlapping = sum(
+                    r.size
+                    for r in tree.levels[level + 1]
+                    if run.overlaps(r)
+                )
+                cost = run.size + overlapping
+                score = markers / max(1, cost)
+                if score > best_score:
+                    best_score = score
+                    best = (level, [run_index])
+        if best is None:
+            raise InvalidInstanceError(
+                "no compaction needed: no overfull level and no pending ops"
+            )
+        return best

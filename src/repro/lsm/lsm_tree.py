@@ -1,0 +1,411 @@
+"""A leveled LSM-tree with block-granular IO accounting.
+
+Structure: an in-memory memtable of capacity ``C`` plus disk levels
+``0..L``; level ``i`` holds sorted runs with a total-entry capacity of
+``C * T^(i+1)`` (size ratio ``T``).  A full memtable flushes to level 0;
+over-capacity levels are merged downward by a compaction policy
+(:mod:`repro.lsm.compaction`).
+
+Root-to-leaf analogues (the paper's subject, transplanted):
+
+* a **secure delete** inserts a *secure tombstone*: it shadows older
+  versions like a normal tombstone but the operation only *completes*
+  when the tombstone has been compacted into the bottom level (no older
+  physical copy can remain below it).  If newer data arrives for the key,
+  the tombstone demotes to a *rider* and keeps descending.
+* a **deferred query** inserts a query marker that rides compactions and
+  resolves when it first meets a data version older than itself (or the
+  bottom level, answering "absent").
+
+Completion times are recorded in *IO units* (blocks read + written so
+far), the LSM analogue of the DAM time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.lsm.sstable import Entry, EntryKind, SSTable
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass
+class PendingOp:
+    """A queued root-to-leaf operation and where its marker currently is."""
+
+    op_id: int
+    kind: EntryKind
+    key: Any
+    seq: int
+    level: int = -1  # -1 = memtable
+
+
+@dataclass
+class CompletedOp:
+    """Outcome of a finished root-to-leaf operation."""
+
+    op_id: int
+    io_time: int
+    result: Any = None
+
+
+class LSMTree:
+    """See module docstring.
+
+    Parameters
+    ----------
+    memtable_capacity:
+        Entries buffered in memory before a flush (the ``B`` analogue).
+    size_ratio:
+        Growth factor ``T`` between level capacities.
+    n_levels:
+        Number of disk levels; the last is the *bottom* (unbounded).
+    """
+
+    def __init__(
+        self,
+        memtable_capacity: int = 64,
+        size_ratio: int = 4,
+        n_levels: int = 4,
+    ) -> None:
+        if memtable_capacity < 1 or size_ratio < 2 or n_levels < 1:
+            raise InvalidInstanceError(
+                "need memtable_capacity >= 1, size_ratio >= 2, n_levels >= 1"
+            )
+        self.memtable_capacity = memtable_capacity
+        self.size_ratio = size_ratio
+        self.n_levels = n_levels
+        self.levels: list[list[SSTable]] = [[] for _ in range(n_levels)]
+        self._memtable: dict[Any, Entry] = {}
+        self._mem_riders: list[Entry] = []
+        self._seq = 0
+        self._next_op = 0
+        self.io_blocks = 0
+        self.pending: dict[int, PendingOp] = {}
+        self.completed: dict[int, CompletedOp] = {}
+
+    # ------------------------------------------------------------------
+    # Capacities and accounting
+    # ------------------------------------------------------------------
+    def level_capacity(self, level: int) -> int:
+        """Entry capacity of ``level`` (the bottom level is unbounded)."""
+        if level == self.n_levels - 1:
+            return 1 << 62
+        return self.memtable_capacity * self.size_ratio ** (level + 1)
+
+    def level_size(self, level: int) -> int:
+        """Total entries (riders included) currently in ``level``."""
+        return sum(run.size for run in self.levels[level])
+
+    def _charge(self, entries: int) -> None:
+        """Charge IO for moving ``entries`` through the memory hierarchy.
+
+        One block holds ``memtable_capacity`` entries; a compaction reads
+        and writes its data once each.
+        """
+        blocks = -(-entries // self.memtable_capacity)
+        self.io_blocks += blocks
+
+    def _take_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._memtable[key] = Entry(key, self._take_seq(), EntryKind.PUT, value)
+        self._maybe_flush()
+
+    def delete(self, key: Any) -> None:
+        """Tombstone delete (logical, lazily compacted)."""
+        self._memtable[key] = Entry(key, self._take_seq(), EntryKind.TOMBSTONE)
+        self._maybe_flush()
+
+    def secure_delete(self, key: Any) -> int:
+        """Queue a secure delete; returns its op id."""
+        op_id = self._next_op
+        self._next_op += 1
+        entry = Entry(
+            key, self._take_seq(), EntryKind.SECURE_TOMBSTONE, op_id=op_id
+        )
+        self._memtable[key] = entry
+        self.pending[op_id] = PendingOp(op_id, entry.kind, key, entry.seq)
+        self._maybe_flush()
+        return op_id
+
+    def deferred_query(self, key: Any) -> int:
+        """Queue a deferred query; returns its op id."""
+        op_id = self._next_op
+        self._next_op += 1
+        entry = Entry(
+            key, self._take_seq(), EntryKind.DEFERRED_QUERY, op_id=op_id
+        )
+        self._mem_riders.append(entry)
+        self.pending[op_id] = PendingOp(op_id, entry.kind, key, entry.seq)
+        self._maybe_flush()
+        return op_id
+
+    def _maybe_flush(self) -> None:
+        if len(self._memtable) + len(self._mem_riders) >= self.memtable_capacity:
+            self.flush_memtable()
+
+    def flush_memtable(self) -> None:
+        """Write the memtable as a new level-0 run (no-op when empty)."""
+        if not self._memtable and not self._mem_riders:
+            return
+        run = SSTable.from_unsorted(
+            list(self._memtable.values()), self._mem_riders
+        )
+        self._charge(run.size)
+        self.levels[0].insert(0, run)  # newest first
+        for e in run.iter_all():
+            if e.op_id >= 0 and e.op_id in self.pending:
+                self.pending[e.op_id].level = 0
+        self._memtable = {}
+        self._mem_riders = []
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> Any:
+        """Point query: newest visible version of ``key`` (or None).
+
+        Charges one block per run probed (no bloom filters — the paper's
+        read/write asymmetry in its plainest form).
+        """
+        entry = self._memtable.get(key)
+        if entry is not None:
+            return entry.value if entry.kind is EntryKind.PUT else None
+        for level in self.levels:
+            for run in level:  # newest first within a level
+                self.io_blocks += 1
+                found = run.get(key)
+                if found is not None:
+                    return found.value if found.kind is EntryKind.PUT else None
+        return None
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, level: int, run_indices: "list[int] | None" = None) -> None:
+        """Merge runs of ``level`` (default: all) into ``level + 1``.
+
+        Overlapping runs of the destination participate in the merge (the
+        leveling discipline).  Newest version per key wins; tombstones
+        drop at the bottom; root-to-leaf markers complete/resolve per the
+        module docstring.
+        """
+        if not (0 <= level < self.n_levels - 1):
+            raise InvalidInstanceError(f"cannot compact level {level}")
+        src_runs = self.levels[level]
+        if run_indices is None:
+            run_indices = list(range(len(src_runs)))
+        if not run_indices:
+            return
+        if level == 0:
+            # Level-0 runs overlap each other; moving a newer run below an
+            # older overlapping sibling would let stale versions resurface.
+            # Take the transitive overlap closure (the RocksDB rule).
+            chosen = set(run_indices)
+            changed = True
+            while changed:
+                changed = False
+                for i, run in enumerate(src_runs):
+                    if i in chosen:
+                        continue
+                    if any(run.overlaps(src_runs[j]) for j in chosen):
+                        chosen.add(i)
+                        changed = True
+            run_indices = sorted(chosen)
+        moving = [src_runs[i] for i in run_indices]
+        self.levels[level] = [
+            r for i, r in enumerate(src_runs) if i not in set(run_indices)
+        ]
+        dest = level + 1
+        overlapping = [
+            r for r in self.levels[dest] if any(m.overlaps(r) for m in moving)
+        ]
+        self.levels[dest] = [r for r in self.levels[dest] if r not in overlapping]
+
+        in_entries = sum(r.size for r in moving + overlapping)
+        self._charge(in_entries)  # read cost
+
+        at_bottom = dest == self.n_levels - 1
+        merged, riders = self._merge(moving + overlapping, at_bottom, dest)
+        out_size = len(merged) + len(riders)
+        self._charge(out_size)  # write cost
+        # Partition the output into bounded, non-overlapping files so a
+        # level consists of many independently-compactable runs (this is
+        # what makes compaction *scheduling* meaningful).
+        for run in self._partition_output(merged, riders):
+            self.levels[dest].insert(0, run)
+
+    @property
+    def target_run_entries(self) -> int:
+        """Maximum entries per output run (the "file size")."""
+        return self.memtable_capacity * self.size_ratio
+
+    def _partition_output(
+        self, merged: "list[Entry]", riders: "list[Entry]"
+    ) -> "list[SSTable]":
+        if not merged and not riders:
+            return []
+        if not merged:
+            return [SSTable(entries=(), riders=tuple(riders))]
+        chunk = self.target_run_entries
+        runs: list[SSTable] = []
+        bounds: list[tuple[Any, Any]] = []
+        pieces = [
+            merged[i : i + chunk] for i in range(0, len(merged), chunk)
+        ]
+        rider_bins: list[list[Entry]] = [[] for _ in pieces]
+        for rider in riders:
+            # Bin each rider with the piece covering its key (last piece
+            # for keys beyond every boundary).
+            placed = len(pieces) - 1
+            for i, piece in enumerate(pieces):
+                if rider.key <= piece[-1].key:
+                    placed = i
+                    break
+            rider_bins[placed].append(rider)
+        for piece, bin_riders in zip(pieces, rider_bins):
+            runs.append(
+                SSTable(entries=tuple(piece), riders=tuple(bin_riders))
+            )
+        return runs
+
+    def _merge(
+        self, runs: "list[SSTable]", at_bottom: bool, dest: int
+    ) -> tuple[list[Entry], list[Entry]]:
+        versions: dict[Any, list[Entry]] = {}
+        riders: list[Entry] = []
+        for run in runs:
+            for e in run.entries:
+                versions.setdefault(e.key, []).append(e)
+            riders.extend(run.riders)
+        newest: dict[Any, Entry] = {}
+        for key, entries in versions.items():
+            entries.sort(key=lambda e: e.seq, reverse=True)
+            newest[key] = entries[0]
+            # Shadowed secure tombstones keep descending as riders.
+            riders.extend(
+                e
+                for e in entries[1:]
+                if e.kind is EntryKind.SECURE_TOMBSTONE
+            )
+
+        # Resolve deferred-query riders against *every* version seen in
+        # this merge: anything deeper in the tree is older than all of
+        # them, so the newest in-merge version below the query's sequence
+        # is the authoritative answer (and must be consumed now — the
+        # merge is about to destroy shadowed versions).
+        surviving_riders: list[Entry] = []
+        for rider in riders:
+            if rider.kind is EntryKind.DEFERRED_QUERY:
+                older = [
+                    e
+                    for e in versions.get(rider.key, ())
+                    if e.seq < rider.seq
+                ]
+                if older:
+                    data = max(older, key=lambda e: e.seq)
+                    self._finish(
+                        rider.op_id,
+                        result=data.value
+                        if data.kind is EntryKind.PUT
+                        else None,
+                    )
+                    continue
+                if at_bottom:
+                    self._finish(rider.op_id, result=None)
+                    continue
+            elif rider.kind is EntryKind.SECURE_TOMBSTONE and at_bottom:
+                self._finish(rider.op_id, result=True)
+                continue
+            surviving_riders.append(rider)
+            if rider.op_id >= 0 and rider.op_id in self.pending:
+                self.pending[rider.op_id].level = dest
+
+        out: list[Entry] = []
+        for e in sorted(newest.values(), key=lambda e: e.key):
+            if at_bottom and e.kind is EntryKind.TOMBSTONE:
+                continue  # nothing below to shadow
+            if e.kind is EntryKind.SECURE_TOMBSTONE:
+                if at_bottom:
+                    self._finish(e.op_id, result=True)
+                    continue
+                if e.op_id in self.pending:
+                    self.pending[e.op_id].level = dest
+            out.append(e)
+        return out, surviving_riders
+
+    def _finish(self, op_id: int, result: Any) -> None:
+        if op_id in self.pending:
+            del self.pending[op_id]
+            self.completed[op_id] = CompletedOp(op_id, self.io_blocks, result)
+
+    # ------------------------------------------------------------------
+    # Maintenance / draining
+    # ------------------------------------------------------------------
+    def marker_runs(self, level: int) -> "list[tuple[int, int]]":
+        """``(run_index, pending_marker_count)`` for runs carrying markers."""
+        result = []
+        for i, run in enumerate(self.levels[level]):
+            count = sum(
+                1
+                for e in run.iter_all()
+                if e.op_id >= 0 and e.op_id in self.pending
+            )
+            if count:
+                result.append((i, count))
+        return result
+
+    def over_capacity_levels(self) -> list[int]:
+        """Non-bottom levels currently above their entry capacity."""
+        return [
+            i
+            for i in range(self.n_levels - 1)
+            if self.level_size(i) > self.level_capacity(i)
+        ]
+
+    def maintain(self, policy) -> None:
+        """Compact until no level is over capacity (policy picks what)."""
+        guard = 0
+        while self.over_capacity_levels():
+            level, runs = policy.choose(self)
+            self.compact(level, runs)
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - policy bug backstop
+                raise RuntimeError("compaction did not converge")
+
+    def drain_backlog(self, policy) -> dict[int, CompletedOp]:
+        """Compact until every pending root-to-leaf operation completes.
+
+        Returns the completed-op records of the ops that were pending when
+        the drain started.
+        """
+        self.flush_memtable()
+        target_ops = set(self.pending)
+        guard = 0
+        while any(op in self.pending for op in target_ops):
+            level, runs = policy.choose(self)
+            self.compact(level, runs)
+            guard += 1
+            if guard > 100_000:  # pragma: no cover - policy bug backstop
+                raise RuntimeError("backlog drain did not converge")
+        return {op: self.completed[op] for op in target_ops}
+
+    def check_invariants(self) -> None:
+        """Structural checks used by tests."""
+        for level, runs in enumerate(self.levels):
+            for run in runs:
+                keys = [e.key for e in run.entries]
+                assert keys == sorted(keys)
+        for op_id, op in self.pending.items():
+            assert op_id not in self.completed

@@ -1,0 +1,118 @@
+"""Immutable sorted runs (SSTables) and their entries.
+
+An entry is the LSM analogue of a B^epsilon-tree message: a put, a
+tombstone, a *secure* tombstone (must reach the bottom level before the
+delete "takes effect" physically), or a deferred-query marker.  Entries
+carry a global sequence number; higher sequence shadows lower for the
+same key.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.errors import InvalidInstanceError
+
+
+class EntryKind(enum.Enum):
+    """What an SSTable entry encodes."""
+
+    PUT = "put"
+    TOMBSTONE = "tombstone"
+    SECURE_TOMBSTONE = "secure_tombstone"
+    DEFERRED_QUERY = "deferred_query"
+
+    @property
+    def is_root_to_leaf(self) -> bool:
+        """True iff the entry only completes at the bottom level."""
+        return self in (EntryKind.SECURE_TOMBSTONE, EntryKind.DEFERRED_QUERY)
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One key's record inside a run.
+
+    ``seq`` orders versions globally (assigned by the tree); ``op_id``
+    identifies the originating root-to-leaf operation, if any.
+    """
+
+    key: Any
+    seq: int
+    kind: EntryKind
+    value: Any = None
+    op_id: int = -1
+
+    def shadows(self, other: "Entry") -> bool:
+        """True iff this entry supersedes ``other`` for the same key."""
+        return self.key == other.key and self.seq > other.seq
+
+
+@dataclass(frozen=True)
+class SSTable:
+    """An immutable run of entries sorted by key (unique keys per run)."""
+
+    entries: tuple[Entry, ...]
+    #: riders: root-to-leaf markers carried alongside the main entries
+    #: (several markers can exist for one key; they never shadow data).
+    riders: tuple[Entry, ...] = ()
+
+    def __post_init__(self) -> None:
+        keys = [e.key for e in self.entries]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise InvalidInstanceError(
+                "SSTable entries must be strictly sorted by key"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of entries (riders included) — the run's IO weight."""
+        return len(self.entries) + len(self.riders)
+
+    @property
+    def min_key(self) -> Any:
+        """Smallest key across entries and riders (None for empty runs)."""
+        keys = [e.key for e in self.iter_all()]
+        return min(keys) if keys else None
+
+    @property
+    def max_key(self) -> Any:
+        """Largest key across entries and riders (None for empty runs)."""
+        keys = [e.key for e in self.iter_all()]
+        return max(keys) if keys else None
+
+    def get(self, key: Any) -> "Entry | None":
+        """Binary-search the run for ``key``."""
+        keys = [e.key for e in self.entries]
+        i = bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return self.entries[i]
+        return None
+
+    def overlaps(self, other: "SSTable") -> bool:
+        """True iff the key ranges of the two runs intersect."""
+        if self.size == 0 or other.size == 0:
+            return False
+        return not (
+            self.max_key < other.min_key or other.max_key < self.min_key
+        )
+
+    def iter_all(self) -> Iterator[Entry]:
+        """All entries and riders, main entries first."""
+        yield from self.entries
+        yield from self.riders
+
+    @classmethod
+    def from_unsorted(
+        cls, entries: "list[Entry]", riders: "list[Entry] | None" = None
+    ) -> "SSTable":
+        """Build a run from unsorted entries, keeping the newest per key."""
+        newest: dict[Any, Entry] = {}
+        for e in entries:
+            cur = newest.get(e.key)
+            if cur is None or e.seq > cur.seq:
+                newest[e.key] = e
+        ordered = tuple(sorted(newest.values(), key=lambda e: e.key))
+        return cls(entries=ordered, riders=tuple(riders or ()))

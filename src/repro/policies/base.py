@@ -1,0 +1,26 @@
+"""The policy interface: a named strategy mapping instances to schedules."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import FlushSchedule
+
+
+class Policy(abc.ABC):
+    """A flushing policy produces a *valid* schedule for a WORMS instance.
+
+    Policies are stateless between calls; configuration goes through the
+    constructor so a configured policy can be reused across a sweep.
+    """
+
+    #: short identifier used in bench tables.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def schedule(self, instance: WORMSInstance) -> FlushSchedule:
+        """Return a valid flush schedule completing every message."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

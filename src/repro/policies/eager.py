@@ -1,0 +1,50 @@
+"""Eager per-operation flushing (the latency-first classic).
+
+Each message is flushed down its entire root-to-leaf path on its own:
+``h`` flushes of a single message.  With ``P`` parallel slots, ``P``
+messages are in flight at once (one per machine track).  Work begins on
+each operation immediately, but only one message moves per IO slot — the
+"pessimal throughput" end of the paper's tradeoff.
+
+Valid by construction: a message moves every step while in flight, so no
+internal node ever retains anything.
+"""
+
+from __future__ import annotations
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.policies.base import Policy
+
+
+class EagerPolicy(Policy):
+    """One message per flush, pipelined over the ``P`` machine tracks.
+
+    ``order`` optionally permutes message processing order (default:
+    message-id order, i.e. arrival order).
+    """
+
+    name = "eager"
+
+    def __init__(self, order: "list[int] | None" = None) -> None:
+        self._order = order
+
+    def schedule(self, instance: WORMSInstance) -> FlushSchedule:
+        """Build the per-message pipelined schedule."""
+        topo = instance.topology
+        order = self._order
+        if order is None:
+            order = list(range(instance.n_messages))
+        schedule = FlushSchedule()
+        track_free = [1] * instance.P  # next free step per track
+        for pos, m in enumerate(order):
+            track = pos % instance.P
+            start = track_free[track]
+            edges = topo.edges_from_root(instance.messages[m].target_leaf)
+            # Skip edges above the message's start node (custom starts).
+            start_node = instance.start_of(m)
+            edges = [e for e in edges if topo.height_of(e[0]) >= topo.height_of(start_node)]
+            for k, (src, dest) in enumerate(edges):
+                schedule.add(start + k, Flush(src=src, dest=dest, messages=(m,)))
+            track_free[track] = start + len(edges)
+        return schedule.trim()

@@ -1,0 +1,109 @@
+"""Threshold-lazy flushing: the true write-optimized classic.
+
+A real B^epsilon-tree only flushes a buffer once it is *full* — that is
+what makes inserts cheap.  Applied to a root-to-leaf backlog this is the
+paper's "group the delete messages using a write-optimized approach"
+strategy: excellent work per IO, but a message whose buffer never fills
+sits high in the tree indefinitely.  Because a backlog is finite, the
+policy ends with a forced drain pass that flushes everything left (else
+stragglers would never complete); their completion times make the mean
+blow up, which is exactly the pathology the paper motivates WORMS with.
+"""
+
+from __future__ import annotations
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.policies.base import Policy
+
+
+class LazyThresholdPolicy(Policy):
+    """Flush a node only when it holds >= ``threshold_fraction * B``
+    messages (default: a full buffer), then drain the leftovers."""
+
+    name = "lazy-threshold"
+
+    def __init__(self, threshold_fraction: float = 1.0) -> None:
+        if not (0.0 < threshold_fraction <= 1.0):
+            raise ValueError("threshold_fraction must be in (0, 1]")
+        self._fraction = threshold_fraction
+
+    def schedule(self, instance: WORMSInstance) -> FlushSchedule:
+        """Build a valid schedule: flush full buffers, then force-drain."""
+        topo = instance.topology
+        threshold = max(1, int(self._fraction * instance.B))
+        buffers: dict[int, dict[int, list[int]]] = {}
+        node_load: dict[int, int] = {}
+        remaining = 0
+
+        def park(m: int, v: int) -> None:
+            child = topo.child_towards(v, instance.messages[m].target_leaf)
+            buffers.setdefault(v, {}).setdefault(child, []).append(m)
+            node_load[v] = node_load.get(v, 0) + 1
+
+        for m in range(instance.n_messages):
+            v = instance.start_of(m)
+            if v != instance.messages[m].target_leaf:
+                park(m, v)
+                remaining += 1
+
+        schedule = FlushSchedule()
+        t = 0
+        draining = False
+        while remaining:
+            t += 1
+            eligible = [
+                v
+                for v, load in node_load.items()
+                if draining or load >= threshold
+            ]
+            if not eligible:
+                draining = True  # backlog exhausted the full buffers: drain
+                t -= 1
+                continue
+            eligible.sort(key=lambda v: (-node_load[v], v))
+            used = 0
+            touched: set[int] = set()
+            arrivals: list[tuple[int, int]] = []
+            for v in eligible:
+                if used >= instance.P:
+                    break
+                if v in touched or node_load.get(v, 0) == 0:
+                    continue
+                groups = buffers[v]
+                child = max(groups, key=lambda c: (len(groups[c]), -c))
+                moving = groups[child][: instance.B]
+                parking = [
+                    m
+                    for m in moving
+                    if instance.messages[m].target_leaf != child
+                ]
+                if not topo.is_leaf(child):
+                    if node_load.get(child, 0) + len(parking) > instance.B:
+                        continue
+                used += 1
+                touched.add(v)
+                touched.add(child)
+                schedule.add(t, Flush(src=v, dest=child, messages=tuple(moving)))
+                del groups[child][: len(moving)]
+                if not groups[child]:
+                    del groups[child]
+                node_load[v] -= len(moving)
+                if node_load[v] == 0:
+                    del node_load[v]
+                    buffers.pop(v, None)
+                parking_set = set(parking)
+                for m in moving:
+                    if m in parking_set:
+                        arrivals.append((m, child))
+                    else:
+                        remaining -= 1
+            if used == 0:
+                # All eligible nodes were gated; flip to drain mode so the
+                # bottom of the tree clears (prevents threshold deadlock).
+                draining = True
+                t -= 1
+                continue
+            for m, v in arrivals:
+                park(m, v)
+        return schedule.trim()

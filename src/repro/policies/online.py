@@ -1,0 +1,121 @@
+"""Online root-to-leaf scheduling: a probe at the paper's future work.
+
+Section 5 leaves open the online setting where messages arrive over time.
+This module implements a simple *density-guided* online heuristic so the
+E9 bench can measure how much clairvoyance buys:
+
+* messages carry release steps; a message participates once released;
+* at every step the scheduler scores each (node, child) buffer group by a
+  completion-aware density, ``count / remaining_height`` — the analogue of
+  Horn densities without lookahead (a group that can complete soon and
+  moves many messages at once scores high);
+* the ``P`` best admissible groups flush (same gate as the other
+  policies, so the result is valid by construction).
+
+The offline policies can be run on the same arrival traces by releasing
+everything at step 1, which is what the bench compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineArrival:
+    """Message ``msg_id`` becomes available at 1-based ``release_step``."""
+
+    msg_id: int
+    release_step: int
+
+
+def online_density_schedule(
+    instance: WORMSInstance,
+    arrivals: "list[OnlineArrival] | None" = None,
+) -> FlushSchedule:
+    """Run the online density heuristic; returns a valid schedule.
+
+    ``arrivals`` defaults to all messages released at step 1 (the offline
+    special case).  Completion times in the returned schedule are absolute
+    steps; subtract release steps for flow time.
+    """
+    topo = instance.topology
+    root = topo.root
+    heights = topo.heights
+    tree_h = topo.height
+    if arrivals is None:
+        arrivals = [OnlineArrival(m, 1) for m in range(instance.n_messages)]
+    by_release: dict[int, list[int]] = {}
+    for a in arrivals:
+        by_release.setdefault(max(1, a.release_step), []).append(a.msg_id)
+
+    buffers: dict[int, dict[int, list[int]]] = {}
+    node_load: dict[int, int] = {}
+    remaining = 0
+
+    def park(m: int, v: int) -> None:
+        child = topo.child_towards(v, instance.messages[m].target_leaf)
+        buffers.setdefault(v, {}).setdefault(child, []).append(m)
+        node_load[v] = node_load.get(v, 0) + 1
+
+    schedule = FlushSchedule()
+    t = 0
+    last_release = max(by_release) if by_release else 0
+    while remaining or t < last_release:
+        t += 1
+        for m in by_release.get(t, ()):
+            v = instance.start_of(m)
+            if v != instance.messages[m].target_leaf:
+                park(m, v)
+                remaining += 1
+        if not remaining:
+            continue
+        # Score every (node, child) group: prefer groups that move many
+        # messages and are close to completing.
+        scored: list[tuple[float, int, int]] = []
+        for v, groups in buffers.items():
+            for c, msgs in groups.items():
+                if not msgs:
+                    continue
+                remaining_height = tree_h - int(heights[v])
+                score = len(msgs) / max(1, remaining_height)
+                scored.append((-score, v, c))
+        scored.sort()
+        used = 0
+        touched: set[int] = set()
+        arrivals_now: list[tuple[int, int]] = []
+        for _neg, v, c in scored:
+            if used >= instance.P:
+                break
+            if v in touched or c in touched:
+                continue
+            moving = buffers[v][c][: instance.B]
+            parking = [
+                m for m in moving if instance.messages[m].target_leaf != c
+            ]
+            if not topo.is_leaf(c):
+                if node_load.get(c, 0) + len(parking) > instance.B:
+                    continue
+            used += 1
+            touched.add(v)
+            touched.add(c)
+            schedule.add(t, Flush(src=v, dest=c, messages=tuple(moving)))
+            del buffers[v][c][: len(moving)]
+            if not buffers[v][c]:
+                del buffers[v][c]
+            node_load[v] -= len(moving)
+            if node_load[v] == 0:
+                del node_load[v]
+                buffers.pop(v, None)
+            parking_set = set(parking)
+            for m in moving:
+                if m in parking_set:
+                    arrivals_now.append((m, c))
+                else:
+                    remaining -= 1
+        for m, v in arrivals_now:
+            park(m, v)
+    return schedule.trim()

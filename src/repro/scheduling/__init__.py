@@ -1,0 +1,50 @@
+"""The classic scheduling problem ``P | outtree, p_j = 1 | Sum w_j C_j``.
+
+Unit-time tasks with out-tree (forest) precedence constraints on ``P``
+identical machines, minimizing total weighted completion time.  The paper
+reduces WORMS to this problem and contributes a simple 4-approximation:
+
+* :mod:`repro.scheduling.horn` — task densities, Horn's trees, and Horn's
+  optimal single-machine algorithm (Lemma 10);
+* :mod:`repro.scheduling.phtf` — Parallel Heaviest Tree First, optimal for
+  the fractional cost ``cost^f`` (Lemma 12);
+* :mod:`repro.scheduling.mphtf` — Modified PHTF, the 4-approximation
+  (Lemma 14);
+* :mod:`repro.scheduling.brute_force` — exact optimum for tiny instances
+  (the problem is strongly NP-hard for general ``P``);
+* :mod:`repro.scheduling.baselines` — list-scheduling baselines.
+"""
+
+from repro.scheduling.baselines import (
+    bfs_order_schedule,
+    critical_path_schedule,
+    list_schedule,
+    random_order_schedule,
+    weight_greedy_schedule,
+)
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.cost import TaskSchedule, fractional_cost, schedule_cost
+from repro.scheduling.generators import random_outtree_instance
+from repro.scheduling.horn import HornDecomposition, compute_horn, horn_schedule
+from repro.scheduling.instance import SchedulingInstance
+from repro.scheduling.mphtf import mphtf_schedule
+from repro.scheduling.phtf import phtf_schedule
+
+__all__ = [
+    "SchedulingInstance",
+    "TaskSchedule",
+    "schedule_cost",
+    "fractional_cost",
+    "HornDecomposition",
+    "compute_horn",
+    "horn_schedule",
+    "phtf_schedule",
+    "mphtf_schedule",
+    "brute_force_optimal",
+    "list_schedule",
+    "weight_greedy_schedule",
+    "bfs_order_schedule",
+    "random_order_schedule",
+    "critical_path_schedule",
+    "random_outtree_instance",
+]

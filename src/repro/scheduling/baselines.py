@@ -1,0 +1,94 @@
+"""List-scheduling baselines for ``P | outtree, p_j = 1 | Sum wC``.
+
+All baselines share one engine, :func:`list_schedule`, which at every time
+step runs the ``P`` available tasks of highest priority.  They differ only
+in the priority function; comparing them against MPHTF in bench E4 shows
+why looking at *subtree densities* (and not, say, just a task's own weight)
+matters for weighted completion time under precedence constraints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.scheduling.cost import TaskSchedule
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.rng import make_rng
+
+
+def list_schedule(
+    instance: SchedulingInstance,
+    priority: Callable[[int], float],
+) -> TaskSchedule:
+    """Greedy list scheduling: highest ``priority(j)`` first, ``P`` per step.
+
+    Ties break by lowest task id for determinism.
+    """
+    children = instance.children_lists()
+    available = [(-priority(j), j) for j in instance.roots()]
+    heapq.heapify(available)
+    schedule = TaskSchedule()
+    t = 0
+    while available:
+        t += 1
+        batch = []
+        for _ in range(min(instance.P, len(available))):
+            _, j = heapq.heappop(available)
+            batch.append(j)
+            schedule.add(t, j)
+        for j in batch:
+            for c in children[j]:
+                heapq.heappush(available, (-priority(c), c))
+    return schedule
+
+
+def weight_greedy_schedule(instance: SchedulingInstance) -> TaskSchedule:
+    """Priority = the task's own weight (ignores everything below it)."""
+    return list_schedule(instance, lambda j: float(instance.weights[j]))
+
+
+def subtree_weight_schedule(instance: SchedulingInstance) -> TaskSchedule:
+    """Priority = total weight of the subtree hanging below the task.
+
+    A natural heuristic ("unlock the heaviest region first") that still
+    ignores how *long* unlocking takes; Horn densities fix exactly that.
+    """
+    n = instance.n_tasks
+    subtree = [float(w) for w in instance.weights]
+    for j in reversed(instance.topological_order()):
+        p = int(instance.parent[j])
+        if p >= 0:
+            subtree[p] += subtree[j]
+    return list_schedule(instance, lambda j: subtree[j])
+
+
+def bfs_order_schedule(instance: SchedulingInstance) -> TaskSchedule:
+    """FIFO: tasks run in the order they become available (weight-blind)."""
+    counter = {"next": 0.0}
+
+    def priority(_j: int) -> float:
+        counter["next"] -= 1.0  # earlier availability = higher priority
+        return counter["next"]
+
+    return list_schedule(instance, priority)
+
+
+def random_order_schedule(
+    instance: SchedulingInstance, seed: "int | None" = None
+) -> TaskSchedule:
+    """Uniformly random priorities (the weakest sensible baseline)."""
+    rng = make_rng(seed)
+    prios = rng.random(instance.n_tasks)
+    return list_schedule(instance, lambda j: float(prios[j]))
+
+
+def critical_path_schedule(instance: SchedulingInstance) -> TaskSchedule:
+    """Priority = height of the subtree below the task (makespan-driven)."""
+    n = instance.n_tasks
+    depth_below = [0] * n
+    for j in reversed(instance.topological_order()):
+        p = int(instance.parent[j])
+        if p >= 0:
+            depth_below[p] = max(depth_below[p], depth_below[j] + 1)
+    return list_schedule(instance, lambda j: float(depth_below[j]))

@@ -1,0 +1,100 @@
+"""Exact optimum for tiny ``P | outtree, p_j = 1 | Sum wC`` instances.
+
+``P | outtree, p_j = 1 | Sum wC`` is strongly NP-hard (Lenstra & Rinnooy
+Kan; Timkovsky), so this exact solver exists purely to certify the
+approximation algorithms on small instances in tests and the E4 bench.
+
+It is a memoized dynamic program over the set of completed tasks: from a
+state ``done``, the next time step runs some subset of the available tasks,
+and the step contributes the total weight of all not-yet-completed tasks
+(summing that per step reproduces ``Sum_j w_j C_j``).  With non-negative
+weights and unit processing times it is never harmful to keep every machine
+busy, so only subsets of size ``min(P, |available|)`` are enumerated.
+
+Complexity is exponential; ``max_tasks`` guards against accidental misuse.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+
+from repro.scheduling.cost import TaskSchedule
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidInstanceError
+
+#: Hard cap on instance size; the DP state space is 2^n.
+MAX_BRUTE_FORCE_TASKS = 18
+
+
+def brute_force_optimal(
+    instance: SchedulingInstance,
+    *,
+    max_tasks: int = MAX_BRUTE_FORCE_TASKS,
+) -> tuple[float, TaskSchedule]:
+    """Return ``(optimal_cost, an_optimal_schedule)``.
+
+    Raises :class:`InvalidInstanceError` when the instance exceeds
+    ``max_tasks`` (the DP would blow up).
+    """
+    n = instance.n_tasks
+    if n > max_tasks:
+        raise InvalidInstanceError(
+            f"brute force limited to {max_tasks} tasks, got {n}"
+        )
+    if n == 0:
+        return 0.0, TaskSchedule()
+
+    parent = [int(p) for p in instance.parent]
+    weights = [float(w) for w in instance.weights]
+    total_weight = sum(weights)
+    P = instance.P
+    full = (1 << n) - 1
+
+    def available(done_mask: int) -> list[int]:
+        avail = []
+        for j in range(n):
+            if done_mask & (1 << j):
+                continue
+            p = parent[j]
+            if p == -1 or (done_mask & (1 << p)):
+                avail.append(j)
+        return avail
+
+    @lru_cache(maxsize=None)
+    def best(done_mask: int) -> tuple[float, tuple[int, ...]]:
+        """Min cost-to-go from ``done_mask``; returns (cost, chosen batch)."""
+        if done_mask == full:
+            return 0.0, ()
+        pending_weight = total_weight - sum(
+            weights[j] for j in range(n) if done_mask & (1 << j)
+        )
+        avail = available(done_mask)
+        k = min(P, len(avail))
+        best_cost = float("inf")
+        best_batch: tuple[int, ...] = ()
+        for batch in combinations(avail, k):
+            mask = done_mask
+            for j in batch:
+                mask |= 1 << j
+            sub_cost, _ = best(mask)
+            cost = pending_weight + sub_cost
+            if cost < best_cost:
+                best_cost = cost
+                best_batch = batch
+        return best_cost, best_batch
+
+    opt_cost, _ = best(0)
+
+    # Reconstruct one optimal schedule by replaying the memoized choices.
+    schedule = TaskSchedule()
+    done_mask = 0
+    t = 0
+    while done_mask != full:
+        t += 1
+        _, batch = best(done_mask)
+        for j in batch:
+            schedule.add(t, j)
+            done_mask |= 1 << j
+    best.cache_clear()
+    return opt_cost, schedule

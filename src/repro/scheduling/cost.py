@@ -1,0 +1,135 @@
+"""Task schedules and the two cost functions (``cost`` and ``cost^f``).
+
+A :class:`TaskSchedule` lists, per time step, which tasks are processed.
+``schedule_cost`` evaluates the classic objective ``Sum w_j C_j``;
+``fractional_cost`` evaluates the relaxed objective of Section 4.2, where
+an algorithm gets credit for the *portion* of each Horn's tree it has
+completed.  Lemma 13 shows ``cost^f(sigma) <= cost(sigma)`` for every
+schedule, which is what makes ``cost^f`` of PHTF a certified lower bound
+on the integral optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.horn import HornDecomposition
+
+
+@dataclass
+class TaskSchedule:
+    """``steps[t]`` lists the tasks processed at 1-based time step ``t+1``."""
+
+    steps: list[list[int]] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of time steps used."""
+        return len(self.steps)
+
+    def add(self, time_step: int, task: int) -> None:
+        """Place ``task`` at 1-based ``time_step``."""
+        if time_step < 1:
+            raise ValueError(f"time steps are 1-based, got {time_step}")
+        while len(self.steps) < time_step:
+            self.steps.append([])
+        self.steps[time_step - 1].append(task)
+
+    def completion_times(self, n_tasks: int) -> np.ndarray:
+        """``C[j]`` = 1-based completion step of task ``j`` (0 if absent)."""
+        completion = np.zeros(n_tasks, dtype=np.int64)
+        for t, tasks in enumerate(self.steps, start=1):
+            for j in tasks:
+                completion[j] = t
+        return completion
+
+    def trim(self) -> "TaskSchedule":
+        """Drop trailing empty steps in place; returns self."""
+        while self.steps and not self.steps[-1]:
+            self.steps.pop()
+        return self
+
+    def iter_tasks(self) -> Iterable[int]:
+        """All scheduled tasks in time order."""
+        for step in self.steps:
+            yield from step
+
+    def __repr__(self) -> str:
+        n_tasks = sum(len(s) for s in self.steps)
+        return f"TaskSchedule({self.n_steps} steps, {n_tasks} tasks)"
+
+
+def validate_task_schedule(
+    instance: SchedulingInstance, schedule: TaskSchedule
+) -> np.ndarray:
+    """Check machine and precedence feasibility; return completion times.
+
+    Raises :class:`InvalidScheduleError` if a step exceeds ``P`` tasks, a
+    task is scheduled more than once or not at all, or a task runs at or
+    before its predecessor's completion step.
+    """
+    n = instance.n_tasks
+    completion = np.zeros(n, dtype=np.int64)
+    for t, tasks in enumerate(schedule.steps, start=1):
+        if len(tasks) > instance.P:
+            raise InvalidScheduleError(
+                f"step {t} runs {len(tasks)} tasks > P={instance.P}"
+            )
+        for j in tasks:
+            if not (0 <= j < n):
+                raise InvalidScheduleError(f"unknown task {j} at step {t}")
+            if completion[j] != 0:
+                raise InvalidScheduleError(f"task {j} scheduled twice")
+            completion[j] = t
+    missing = int((completion == 0).sum())
+    if missing:
+        raise InvalidScheduleError(f"{missing} task(s) never scheduled")
+    for j in range(n):
+        p = int(instance.parent[j])
+        if p >= 0 and completion[j] <= completion[p]:
+            raise InvalidScheduleError(
+                f"task {j} (step {completion[j]}) does not strictly follow "
+                f"its predecessor {p} (step {completion[p]})"
+            )
+    return completion
+
+
+def schedule_cost(
+    instance: SchedulingInstance,
+    schedule: TaskSchedule,
+    *,
+    validate: bool = True,
+) -> float:
+    """Total weighted completion time ``Sum_j w_j C_j``."""
+    if validate:
+        completion = validate_task_schedule(instance, schedule)
+    else:
+        completion = schedule.completion_times(instance.n_tasks)
+    return float((completion * instance.weights).sum())
+
+
+def fractional_cost(
+    instance: SchedulingInstance,
+    schedule: TaskSchedule,
+    horn: "HornDecomposition",
+) -> Fraction:
+    """The relaxed cost ``cost^f`` of Section 4.2, computed exactly.
+
+    Each task ``j`` in Horn's tree ``T_i`` is unfinished for ``C_j`` time
+    steps and contributes ``w(T_i)/s(T_i)`` per unfinished step, so
+    ``cost^f(sigma) = Sum_j C_j * w(T_i(j)) / s(T_i(j))``.
+    """
+    completion = validate_task_schedule(instance, schedule)
+    total = Fraction(0)
+    for j in range(instance.n_tasks):
+        root = horn.horn_root[j]
+        total += int(completion[j]) * horn.tree_density(root)
+    return total

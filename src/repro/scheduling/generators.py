@@ -1,0 +1,81 @@
+"""Random instance generators for the scheduling substrate.
+
+Used by tests (property-based and randomized) and by the E4/E5 benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidInstanceError
+from repro.util.rng import make_rng
+
+
+def random_outtree_instance(
+    n_tasks: int,
+    P: int = 2,
+    *,
+    n_roots: int = 1,
+    max_weight: int = 10,
+    zero_weight_fraction: float = 0.0,
+    seed: "int | None" = None,
+) -> SchedulingInstance:
+    """Random forest of out-trees with integer weights.
+
+    Task ``j > 0`` attaches to a uniformly random earlier task (or becomes
+    a root, for the first ``n_roots`` tasks), giving random recursive
+    trees.  ``zero_weight_fraction`` of tasks get weight 0 — the WORMS
+    reduction produces many zero-weight chain tasks, so baselines and
+    approximations must be exercised on that regime too.
+    """
+    if n_tasks < 1:
+        raise InvalidInstanceError(f"need at least one task, got {n_tasks}")
+    if not (1 <= n_roots <= n_tasks):
+        raise InvalidInstanceError(
+            f"need 1 <= n_roots <= n_tasks, got n_roots={n_roots}"
+        )
+    rng = make_rng(seed)
+    parent = np.full(n_tasks, -1, dtype=np.int64)
+    for j in range(n_roots, n_tasks):
+        parent[j] = int(rng.integers(0, j))
+    weights = rng.integers(1, max_weight + 1, size=n_tasks).astype(np.float64)
+    if zero_weight_fraction > 0.0:
+        zero = rng.random(n_tasks) < zero_weight_fraction
+        weights[zero] = 0.0
+    return SchedulingInstance(parent, weights, P)
+
+
+def random_chain_instance(
+    n_chains: int,
+    chain_length: int,
+    P: int = 2,
+    *,
+    max_weight: int = 10,
+    seed: "int | None" = None,
+) -> SchedulingInstance:
+    """Disjoint chains (the structure of the WORMS reduction's upper part).
+
+    All weight sits on chain tails with probability 1/2 per chain,
+    otherwise spread along the chain — mimicking how the reduction puts
+    weight only on leaf-delivery tasks.
+    """
+    if n_chains < 1 or chain_length < 1:
+        raise InvalidInstanceError("need n_chains >= 1 and chain_length >= 1")
+    rng = make_rng(seed)
+    n = n_chains * chain_length
+    parent = np.full(n, -1, dtype=np.int64)
+    weights = np.zeros(n, dtype=np.float64)
+    for c in range(n_chains):
+        base = c * chain_length
+        for k in range(1, chain_length):
+            parent[base + k] = base + k - 1
+        if rng.random() < 0.5:
+            weights[base + chain_length - 1] = float(
+                rng.integers(1, max_weight + 1)
+            )
+        else:
+            weights[base : base + chain_length] = rng.integers(
+                0, max_weight + 1, size=chain_length
+            )
+    return SchedulingInstance(parent, weights, P)

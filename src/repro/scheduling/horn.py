@@ -1,0 +1,159 @@
+"""Horn task densities, Horn's trees, and Horn's single-machine algorithm.
+
+For a task ``j``, ``F_j`` is the highest-density subtree rooted at ``j``
+(density = total weight / number of tasks); the *task density* of ``j`` is
+the density of ``F_j``.  The *Horn's trees* partition all tasks: repeatedly
+take a root ``j`` of the remaining forest, carve out ``F_j``, and recurse
+(Section 4.2).
+
+The construction runs bottom-up in ``O(n log n)`` using mergeable pairing
+heaps: every task starts as its own F-tree; while the densest subtree
+pending below the growing ``F_j`` is strictly denser than ``F_j``, absorb
+it.  Eager heap melding is sound because a subtree pending below ``F_c``
+is strictly less dense than ``F_c`` and therefore can never be popped
+before the item for ``F_c`` itself; ties are broken LIFO (higher insertion
+sequence first) so an ancestor item always pops before its equal-density
+pending descendants.
+
+All densities are exact :class:`fractions.Fraction` values — Observation 11
+style arguments (and therefore the Horn-tree partition) depend on exact
+density comparisons, which floats would occasionally get wrong.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.scheduling.cost import TaskSchedule
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.pairing_heap import PairingHeap
+
+
+@dataclass(frozen=True)
+class HornDecomposition:
+    """Task densities and the Horn's-tree partition of an instance.
+
+    Attributes
+    ----------
+    task_density:
+        ``task_density[j]`` = density of ``F_j`` (exact fraction).
+    f_weight / f_size:
+        Weight and size of ``F_j`` at the moment it was fixed.
+    horn_root:
+        ``horn_root[j]`` = id of the task whose ``F``-tree is the Horn's
+        tree containing ``j``.
+    """
+
+    task_density: tuple[Fraction, ...]
+    f_weight: tuple[Fraction, ...]
+    f_size: tuple[int, ...]
+    horn_root: np.ndarray
+
+    def tree_density(self, root: int) -> Fraction:
+        """Density ``w(T_i)/s(T_i)`` of the Horn's tree rooted at ``root``."""
+        return self.task_density[root]
+
+    def tree_members(self) -> dict[int, list[int]]:
+        """Map Horn-tree root -> sorted member task ids."""
+        members: dict[int, list[int]] = {}
+        for j, r in enumerate(self.horn_root):
+            members.setdefault(int(r), []).append(j)
+        return members
+
+    @property
+    def n_trees(self) -> int:
+        """Number of Horn's trees in the partition."""
+        return len(set(int(r) for r in self.horn_root))
+
+
+def compute_horn(instance: SchedulingInstance) -> HornDecomposition:
+    """Compute task densities and Horn's trees in ``O(n log n)``."""
+    n = instance.n_tasks
+    children = instance.children_lists()
+    order = instance.topological_order()
+
+    density: list[Fraction | None] = [None] * n
+    f_weight: list[Fraction | None] = [None] * n
+    f_size = [0] * n
+    absorbed_into = np.full(n, -1, dtype=np.int64)
+    # Heap of pending subtrees strictly below the growing F_j, keyed by
+    # (density, insertion sequence) so equal densities pop LIFO.
+    pending: list[PairingHeap | None] = [None] * n
+    seq = 0
+
+    for j in reversed(order):
+        heap: PairingHeap = PairingHeap()
+        for c in children[j]:
+            child_heap = pending[c]
+            assert child_heap is not None
+            heap.meld(child_heap)
+            pending[c] = None  # released: its items now live in `heap`
+            heap.push((density[c], seq), c)
+            seq += 1
+        w = instance.weight_fraction(j)
+        s = 1
+        cur = w  # == w / s while s == 1
+        while heap and heap.peek()[0][0] > cur:
+            (_, _), x = heap.pop()
+            w += f_weight[x]
+            s += f_size[x]
+            cur = w / s
+            absorbed_into[x] = j
+        density[j] = cur
+        f_weight[j] = w
+        f_size[j] = s
+        pending[j] = heap
+
+    # Resolve the partition: a task's Horn root is the top of its
+    # absorbed-into chain.  Iterative with path compression.
+    horn_root = np.arange(n, dtype=np.int64)
+    for j in range(n):
+        chain = []
+        x = j
+        while absorbed_into[x] != -1 and horn_root[x] == x:
+            chain.append(x)
+            x = int(absorbed_into[x])
+        top = int(horn_root[x])
+        for y in chain:
+            horn_root[y] = top
+        horn_root[j] = top
+    horn_root.setflags(write=False)
+
+    return HornDecomposition(
+        task_density=tuple(density),  # type: ignore[arg-type]
+        f_weight=tuple(f_weight),  # type: ignore[arg-type]
+        f_size=tuple(f_size),
+        horn_root=horn_root,
+    )
+
+
+def horn_schedule(
+    instance: SchedulingInstance,
+    horn: HornDecomposition | None = None,
+) -> TaskSchedule:
+    """Horn's algorithm: optimal for ``1 | outtree | Sum wC`` (Lemma 10).
+
+    Greedy by task density: one task per time step, always the available
+    task whose ``F``-tree is densest (ties broken by lowest id).  Works for
+    any ``P`` in the instance but is only *optimal* when ``P == 1``; for
+    ``P > 1`` use :func:`repro.scheduling.phtf.phtf_schedule`.
+    """
+    if horn is None:
+        horn = compute_horn(instance)
+    children = instance.children_lists()
+    # Min-heap on (-density, id): highest density first, then lowest id.
+    available = [(-horn.task_density[j], j) for j in instance.roots()]
+    heapq.heapify(available)
+    schedule = TaskSchedule()
+    t = 0
+    while available:
+        t += 1
+        _, j = heapq.heappop(available)
+        schedule.add(t, j)
+        for c in children[j]:
+            heapq.heappush(available, (-horn.task_density[c], c))
+    return schedule

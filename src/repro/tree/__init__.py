@@ -1,0 +1,37 @@
+"""B^epsilon-tree substrate: static topologies, messages, and the dictionary.
+
+Two levels of abstraction live here:
+
+* :class:`~repro.tree.topology.TreeTopology` — the *static* rooted tree the
+  WORMS model schedules on (the paper assumes a static tree: no rebalances
+  while the backlog is flushed).
+* :class:`~repro.tree.betree.BeTree` — a full write-optimized dictionary
+  (buffered B^epsilon-tree) with inserts, queries, tombstone deletes, secure
+  deletes, and deferred queries.  It can snapshot itself into a
+  ``TreeTopology`` plus a message backlog, which is exactly a WORMS instance.
+"""
+
+from repro.tree.betree import BeTree
+from repro.tree.builder import (
+    balanced_tree,
+    beps_shape_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+    tree_from_children,
+)
+from repro.tree.messages import Message, MessageKind
+from repro.tree.topology import TreeTopology
+
+__all__ = [
+    "TreeTopology",
+    "Message",
+    "MessageKind",
+    "BeTree",
+    "balanced_tree",
+    "beps_shape_tree",
+    "path_tree",
+    "star_tree",
+    "random_tree",
+    "tree_from_children",
+]

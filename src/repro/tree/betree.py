@@ -1,0 +1,507 @@
+"""A write-optimized B^epsilon-tree dictionary.
+
+This is the substrate the paper schedules on: a tree of nodes of capacity
+``B`` where each node carries a message buffer, inserts/upserts are encoded
+as messages placed in the root buffer, and full buffers are flushed to the
+child receiving the most messages (Section 1, "B^epsilon-trees").
+
+Besides the classic lazily-flushed operations (insert, query, tombstone
+delete), the tree supports the paper's two *root-to-leaf* operations:
+
+* **secure delete** — the tombstone must reach the target leaf and purge the
+  physical record before the delete "takes effect";
+* **deferred query** — the query message collects its answer as it flushes
+  down and resolves at the target leaf.
+
+Root-to-leaf operations are queued in the (unbounded) root backlog rather
+than flushed lazily; :meth:`BeTree.backlog_instance` snapshots the current
+static shape plus that backlog into a WORMS instance, which the schedulers
+in :mod:`repro.core` and :mod:`repro.policies` can then flush optimally.
+This mirrors the paper's motivating scenario of a nightly purge producing a
+large batch of root-to-leaf operations over a momentarily-static tree.
+
+IO accounting follows the DAM model: every node read or written during an
+operation costs one IO (a node fits in one cache line of size ``B``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.tree.messages import Message, MessageKind
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass
+class IOCounter:
+    """Running DAM-model IO counts for dictionary operations."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total IOs charged so far."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero the counters (used between experiment phases)."""
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class _BeNode:
+    """Internal tree node: pivots + children, or a leaf record map.
+
+    ``pivots[i]`` separates ``children[i]`` (keys < pivot) from
+    ``children[i+1]`` (keys >= pivot).  ``buffer`` maps key -> message for
+    lazily-flushed operations, coalesced per key (a newer message for the
+    same key supersedes the older one, except that pending secure deletes
+    are tracked in the root backlog instead and never coalesced away).
+    """
+
+    is_leaf: bool
+    pivots: list[Any] = field(default_factory=list)
+    children: list["_BeNode"] = field(default_factory=list)
+    buffer: dict[Any, Message] = field(default_factory=dict)
+    records: dict[Any, Any] = field(default_factory=dict)
+
+    def child_index_for(self, key: Any) -> int:
+        """Index of the child whose subtree owns ``key``."""
+        return bisect_right(self.pivots, key)
+
+
+class BeTree:
+    """A B^epsilon-tree dictionary with message buffers.
+
+    Parameters
+    ----------
+    B:
+        Node capacity: max records per leaf, max buffered messages per
+        internal node, and max messages moved per flush.
+    eps:
+        Fanout exponent; internal fanout is ``max(2, ceil(B**eps))``.
+    """
+
+    def __init__(self, B: int = 64, eps: float = 0.5) -> None:
+        if B < 4:
+            raise InvalidInstanceError(f"B must be >= 4, got {B}")
+        if not (0.0 < eps <= 1.0):
+            raise InvalidInstanceError(f"eps must be in (0, 1], got {eps}")
+        self.B = B
+        self.eps = eps
+        self.fanout = max(2, math.ceil(B**eps))
+        self.io = IOCounter()
+        self._root = _BeNode(is_leaf=True)
+        self._n_records = 0
+        self._backlog: list[Message] = []  # pending root-to-leaf operations
+        self._next_msg_id = 0
+        self._purged_keys: list[Any] = []  # audit log of physical purges
+        self._resolved_queries: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lazily-flushed operations
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``key -> value`` (write-optimized: buffered at the root)."""
+        self._upsert(Message(self._take_id(), -1, MessageKind.INSERT, key, value))
+
+    def delete(self, key: Any) -> None:
+        """Tombstone delete: logically removes ``key``, lazily applied."""
+        self._upsert(Message(self._take_id(), -1, MessageKind.DELETE, key))
+
+    def _take_id(self) -> int:
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        return msg_id
+
+    def _upsert(self, msg: Message) -> None:
+        """Place a message in the root buffer, flushing if over capacity."""
+        self.io.writes += 1  # the root is re-written with the new message
+        if self._root.is_leaf:
+            self._apply_to_leaf(self._root, msg)
+            self._maybe_split_root()
+            return
+        self._root.buffer[msg.key] = msg
+        if len(self._root.buffer) > self.B:
+            self._flush_fullest_child(self._root)
+        self._maybe_split_root()
+
+    def query(self, key: Any) -> Any:
+        """Point query: returns the value for ``key`` or ``None``.
+
+        Walks the root-to-leaf path; the first buffered message found (the
+        newest, since newer messages sit higher) determines the answer.
+        Costs one read IO per node on the path.
+        """
+        node = self._root
+        while True:
+            self.io.reads += 1
+            if node.is_leaf:
+                return node.records.get(key)
+            msg = node.buffer.get(key)
+            if msg is not None:
+                if msg.kind is MessageKind.INSERT:
+                    return msg.payload
+                return None  # tombstone shadows anything deeper
+            node = node.children[node.child_index_for(key)]
+
+    def __contains__(self, key: Any) -> bool:
+        return self.query(key) is not None
+
+    def __len__(self) -> int:
+        """Logical record count: applied records plus buffered inserts,
+        with shadowing resolved (a buffered message hides anything deeper
+        for the same key).  O(n); intended for tests and small trees."""
+        count = 0
+        # DFS with backtracking: `shadowed` holds keys already decided by
+        # a message buffered higher on the current path.
+        shadowed: set[Any] = set()
+        stack: list[tuple[_BeNode, list[Any] | None]] = [(self._root, None)]
+        while stack:
+            node, to_unshadow = stack.pop()
+            if to_unshadow is not None:  # post-visit marker
+                shadowed.difference_update(to_unshadow)
+                continue
+            if node.is_leaf:
+                count += sum(1 for k in node.records if k not in shadowed)
+                continue
+            newly = [k for k in node.buffer if k not in shadowed]
+            count += sum(
+                1
+                for k in newly
+                if node.buffer[k].kind is MessageKind.INSERT
+            )
+            shadowed.update(newly)
+            stack.append((node, newly))  # unshadow after the subtree
+            stack.extend((c, None) for c in node.children)
+        return count
+
+    # ------------------------------------------------------------------
+    # Root-to-leaf operations (the paper's subject)
+    # ------------------------------------------------------------------
+    def secure_delete(self, key: Any) -> Message:
+        """Queue a secure delete of ``key``.
+
+        The returned message sits in the root backlog until a purge is
+        scheduled; the key stays *logically* deleted immediately (a
+        tombstone is also buffered) but is only *physically* purged when
+        the message reaches its leaf.
+        """
+        self.delete(key)  # logical effect is immediate
+        msg = Message(self._take_id(), -1, MessageKind.SECURE_DELETE, key)
+        self._backlog.append(msg)
+        return msg
+
+    def secure_delete_range(self, lo: Any, hi: Any) -> list[Message]:
+        """Queue secure deletes for every present key in ``[lo, hi)``.
+
+        The nightly-purge idiom ("purge everything older than X"): expands
+        to one secure delete per *logically present* key in the range, so
+        the WORMS scheduler can batch them by subtree.  Returns the queued
+        messages (empty when the range holds nothing).
+        """
+        keys = [k for k in self._keys_in_range(lo, hi)]
+        return [self.secure_delete(k) for k in keys]
+
+    def _keys_in_range(self, lo: Any, hi: Any) -> list[Any]:
+        """Logically present keys in ``[lo, hi)`` (buffer-aware)."""
+        present: set[Any] = set()
+        shadowed: set[Any] = set()
+        stack: list[tuple[_BeNode, list[Any] | None]] = [(self._root, None)]
+        while stack:
+            node, to_unshadow = stack.pop()
+            if to_unshadow is not None:
+                shadowed.difference_update(to_unshadow)
+                continue
+            if node.is_leaf:
+                present.update(
+                    k
+                    for k in node.records
+                    if lo <= k < hi and k not in shadowed
+                )
+                continue
+            newly = [k for k in node.buffer if k not in shadowed]
+            for k in newly:
+                if lo <= k < hi and node.buffer[k].kind is MessageKind.INSERT:
+                    present.add(k)
+            shadowed.update(newly)
+            stack.append((node, newly))
+            stack.extend((c, None) for c in node.children)
+        return sorted(present)
+
+    def deferred_query(self, key: Any) -> Message:
+        """Queue a deferred ("derange") query for ``key``.
+
+        The answer becomes available via :meth:`query_result` once the
+        message has flushed through its entire root-to-leaf path.
+        """
+        msg = Message(self._take_id(), -1, MessageKind.DEFERRED_QUERY, key)
+        self._backlog.append(msg)
+        return msg
+
+    def query_result(self, msg: Message) -> Any:
+        """Result of a resolved deferred query (raises if still pending)."""
+        if msg.msg_id not in self._resolved_queries:
+            raise KeyError(f"deferred query {msg.msg_id} has not resolved yet")
+        return self._resolved_queries[msg.msg_id]
+
+    @property
+    def backlog_size(self) -> int:
+        """Number of queued root-to-leaf operations."""
+        return len(self._backlog)
+
+    @property
+    def purged_keys(self) -> list[Any]:
+        """Keys physically purged so far, in purge order (audit log)."""
+        return list(self._purged_keys)
+
+    def backlog_instance(self, P: int = 1):
+        """Snapshot the tree + backlog as a WORMS instance.
+
+        Returns ``(instance, id_maps)`` where ``instance`` is a
+        :class:`repro.core.worms.WORMSInstance` over the *current static
+        shape* of the tree and ``id_maps`` is a :class:`SnapshotMaps`
+        translating between topology node ids, tree nodes, and backlog
+        messages.  The tree must not be mutated between snapshotting and
+        :meth:`apply_flush_plan`.
+        """
+        from repro.core.worms import WORMSInstance  # local: avoid cycle
+
+        maps = self._snapshot()
+        messages = []
+        for i, msg in enumerate(self._backlog):
+            leaf_node = self._leaf_for(msg.key)
+            target = maps.node_to_id[id(leaf_node)]
+            messages.append(
+                Message(i, target, msg.kind, msg.key, msg.payload)
+            )
+        instance = WORMSInstance(maps.topology, messages, P=P, B=self.B)
+        return instance, maps
+
+    def apply_flush_plan(self, schedule, maps: "SnapshotMaps") -> dict[int, int]:
+        """Execute a WORMS flush schedule against the real tree.
+
+        ``schedule`` is a :class:`repro.dam.schedule.FlushSchedule` over the
+        snapshot from :meth:`backlog_instance`.  Applies each root-to-leaf
+        operation's effect when its message reaches its leaf (physical purge
+        for secure deletes, answer resolution for deferred queries) and
+        charges one IO per flush.  Returns ``{msg_id: completion_step}``
+        keyed by *backlog index* and clears the backlog.
+        """
+        completion: dict[int, int] = {}
+        # Operations whose target is the root itself (the tree is a single
+        # leaf) are already delivered: apply them at step 0.
+        root_node = maps.id_to_node[0]
+        if root_node.is_leaf:
+            for mid, msg in enumerate(self._backlog):
+                completion[mid] = 0
+                self._apply_root_to_leaf(msg, root_node)
+        for step_index, flushes in enumerate(schedule.steps, start=1):
+            for flush in flushes:
+                self.io.reads += 1
+                self.io.writes += 1
+                dest = maps.id_to_node[flush.dest]
+                if not dest.is_leaf:
+                    continue
+                for mid in flush.messages:
+                    completion[mid] = step_index
+                    self._apply_root_to_leaf(self._backlog[mid], dest)
+        if len(completion) != len(self._backlog):
+            missing = len(self._backlog) - len(completion)
+            raise InvalidInstanceError(
+                f"flush plan left {missing} backlog operation(s) unfinished"
+            )
+        self._backlog.clear()
+        return completion
+
+    def _apply_root_to_leaf(self, msg: Message, leaf: _BeNode) -> None:
+        if msg.kind is MessageKind.SECURE_DELETE:
+            # The tombstone physically purges everything on its path: any
+            # buffered message for the key (an in-flight insert would
+            # otherwise resurrect the record later) and the leaf record.
+            node = self._root
+            while not node.is_leaf:
+                node.buffer.pop(msg.key, None)
+                node = node.children[node.child_index_for(msg.key)]
+            if leaf.records.pop(msg.key, None) is not None:
+                self._n_records -= 1
+            self._purged_keys.append(msg.key)
+        elif msg.kind is MessageKind.DEFERRED_QUERY:
+            # The query message examined every buffer on its way down
+            # (Section 1): the highest buffered message for the key is the
+            # newest and decides the answer; otherwise the leaf record does.
+            node = self._root
+            answer = leaf.records.get(msg.key)
+            while not node.is_leaf:
+                buffered = node.buffer.get(msg.key)
+                if buffered is not None:
+                    answer = (
+                        buffered.payload
+                        if buffered.kind is MessageKind.INSERT
+                        else None
+                    )
+                    break
+                node = node.children[node.child_index_for(msg.key)]
+            self._resolved_queries[msg.msg_id] = answer
+        else:  # pragma: no cover - backlog only holds root-to-leaf kinds
+            raise InvalidInstanceError(f"unexpected backlog kind {msg.kind}")
+
+    # ------------------------------------------------------------------
+    # Flushing & structural maintenance
+    # ------------------------------------------------------------------
+    def _flush_fullest_child(self, node: _BeNode) -> None:
+        """Flush the buffered messages headed to the most popular child.
+
+        This is the classic B^epsilon-tree policy: group the buffer by next
+        child, move the largest group (up to ``B`` messages), recurse if the
+        child overflows.
+        """
+        counts = [0] * len(node.children)
+        for key in node.buffer:
+            counts[node.child_index_for(key)] += 1
+        target = max(range(len(counts)), key=counts.__getitem__)
+        moving = [
+            msg
+            for key, msg in node.buffer.items()
+            if node.child_index_for(key) == target
+        ][: self.B]
+        child = node.children[target]
+        self.io.reads += 1
+        self.io.writes += 1
+        for msg in moving:
+            del node.buffer[msg.key]
+            if child.is_leaf:
+                self._apply_to_leaf(child, msg)
+            else:
+                child.buffer[msg.key] = msg
+        if child.is_leaf:
+            if len(child.records) > self.B:
+                self._split_child(node, target)
+        else:
+            if len(child.buffer) > self.B:
+                self._flush_fullest_child(child)
+            if len(child.children) > self.fanout:
+                self._split_child(node, target)
+
+    def _apply_to_leaf(self, leaf: _BeNode, msg: Message) -> None:
+        if msg.kind is MessageKind.INSERT:
+            if msg.key not in leaf.records:
+                self._n_records += 1
+            leaf.records[msg.key] = msg.payload
+        elif msg.kind in (MessageKind.DELETE, MessageKind.SECURE_DELETE):
+            if leaf.records.pop(msg.key, None) is not None:
+                self._n_records -= 1
+
+    def _maybe_split_root(self) -> None:
+        root = self._root
+        needs_split = (
+            len(root.records) > self.B
+            if root.is_leaf
+            else len(root.children) > self.fanout
+        )
+        if not needs_split:
+            return
+        # Grow the tree: old root becomes the single child of a new root.
+        new_root = _BeNode(is_leaf=False, children=[root])
+        self._root = new_root
+        self._split_child(new_root, 0)
+
+    def _split_child(self, parent: _BeNode, index: int) -> None:
+        """Split ``parent.children[index]`` into two siblings."""
+        child = parent.children[index]
+        self.io.writes += 2
+        if child.is_leaf:
+            keys = sorted(child.records)
+            mid = len(keys) // 2
+            pivot = keys[mid]
+            right = _BeNode(is_leaf=True)
+            for key in keys[mid:]:
+                right.records[key] = child.records.pop(key)
+        else:
+            mid = len(child.children) // 2
+            pivot = child.pivots[mid - 1]
+            right = _BeNode(
+                is_leaf=False,
+                pivots=child.pivots[mid:],
+                children=child.children[mid:],
+            )
+            child.pivots = child.pivots[: mid - 1]
+            child.children = child.children[:mid]
+            for key in list(child.buffer):
+                if key >= pivot:
+                    right.buffer[key] = child.buffer.pop(key)
+        parent.pivots.insert(index, pivot)
+        parent.children.insert(index + 1, right)
+
+    # ------------------------------------------------------------------
+    # Snapshotting
+    # ------------------------------------------------------------------
+    def _leaf_for(self, key: Any) -> _BeNode:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[node.child_index_for(key)]
+        return node
+
+    def _iter_nodes_bfs(self) -> Iterator[_BeNode]:
+        queue = [self._root]
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            yield node
+            queue.extend(node.children)
+
+    def _snapshot(self) -> "SnapshotMaps":
+        node_to_id: dict[int, int] = {}
+        id_to_node: list[_BeNode] = []
+        for node in self._iter_nodes_bfs():
+            node_to_id[id(node)] = len(id_to_node)
+            id_to_node.append(node)
+        parent = [-1] * len(id_to_node)
+        for node in id_to_node:
+            for child in node.children:
+                parent[node_to_id[id(child)]] = node_to_id[id(node)]
+        return SnapshotMaps(TreeTopology(parent), node_to_id, id_to_node)
+
+    @property
+    def height(self) -> int:
+        """Current number of edges on any root-to-leaf path."""
+        h = 0
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises on violation (test hook)."""
+        expected = 0
+        for node in self._iter_nodes_bfs():
+            if node.is_leaf:
+                expected += len(node.records)
+                if node.buffer:
+                    raise InvalidInstanceError("leaf has a message buffer")
+            else:
+                if len(node.pivots) != len(node.children) - 1:
+                    raise InvalidInstanceError("pivot/children count mismatch")
+                if len(node.children) > self.fanout + 1:
+                    raise InvalidInstanceError("fanout exceeded")
+        if expected != self._n_records:
+            raise InvalidInstanceError(
+                f"record count drifted: {expected} != {self._n_records}"
+            )
+
+
+@dataclass
+class SnapshotMaps:
+    """Bidirectional mapping between a BeTree and its topology snapshot."""
+
+    topology: TreeTopology
+    node_to_id: dict[int, int]
+    id_to_node: list[_BeNode]

@@ -1,0 +1,148 @@
+"""Constructors for the static tree topologies used in tests and benches.
+
+All builders return :class:`~repro.tree.topology.TreeTopology` instances
+with node 0 as the root.  Unless noted otherwise, every leaf sits at the
+same height, matching the paper's assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+from repro.util.rng import make_rng
+
+
+def tree_from_children(children: Sequence[Sequence[int]]) -> TreeTopology:
+    """Build a topology from explicit children lists.
+
+    ``children[v]`` lists the child ids of node ``v``.  Convenient for
+    writing down the paper's figure instances verbatim.
+    """
+    n = len(children)
+    parent = [-1] * n
+    for v, kids in enumerate(children):
+        for c in kids:
+            if not (0 <= c < n):
+                raise InvalidInstanceError(f"child id {c} out of range")
+            if c != 0 and parent[c] != -1:
+                raise InvalidInstanceError(f"node {c} has two parents")
+            parent[c] = v
+    return TreeTopology(parent)
+
+
+def balanced_tree(fanout: int, height: int) -> TreeTopology:
+    """Complete ``fanout``-ary tree with the given height (root height 0).
+
+    ``height == 0`` yields a single-node tree whose root is also its leaf.
+    """
+    if fanout < 1:
+        raise InvalidInstanceError(f"fanout must be >= 1, got {fanout}")
+    if height < 0:
+        raise InvalidInstanceError(f"height must be >= 0, got {height}")
+    parent = [-1]
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for v in frontier:
+            for _ in range(fanout):
+                parent.append(v)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return TreeTopology(parent)
+
+
+def path_tree(height: int) -> TreeTopology:
+    """A path of ``height + 1`` nodes: the degenerate single-leaf tree."""
+    if height < 0:
+        raise InvalidInstanceError(f"height must be >= 0, got {height}")
+    return TreeTopology([-1] + list(range(height)))
+
+
+def star_tree(n_leaves: int) -> TreeTopology:
+    """A root with ``n_leaves`` children, all leaves (height 1)."""
+    if n_leaves < 1:
+        raise InvalidInstanceError(f"need at least one leaf, got {n_leaves}")
+    return TreeTopology([-1] + [0] * n_leaves)
+
+
+def beps_shape_tree(B: int, eps: float, n_leaves: int) -> TreeTopology:
+    """A tree shaped like a B^epsilon-tree: fanout ``Theta(B^eps)``.
+
+    Builds the shortest complete ``ceil(B**eps)``-ary tree with at least
+    ``n_leaves`` leaves.  This mirrors how a B^epsilon-tree over
+    ``n_leaves * B`` items would look (each leaf holds ~``B`` items).
+    """
+    if B < 2:
+        raise InvalidInstanceError(f"B must be >= 2, got {B}")
+    if not (0.0 < eps <= 1.0):
+        raise InvalidInstanceError(f"eps must be in (0, 1], got {eps}")
+    fanout = max(2, math.ceil(B**eps))
+    height = 0
+    while fanout**height < n_leaves:
+        height += 1
+    return balanced_tree(fanout, height)
+
+
+def random_tree(
+    height: int,
+    min_fanout: int = 2,
+    max_fanout: int = 4,
+    seed: "int | None" = None,
+) -> TreeTopology:
+    """Random tree with uniform leaf depth and per-node random fanout.
+
+    Every internal node independently draws a fanout in
+    ``[min_fanout, max_fanout]``; all leaves sit at ``height``.
+    """
+    if height < 0:
+        raise InvalidInstanceError(f"height must be >= 0, got {height}")
+    if not (1 <= min_fanout <= max_fanout):
+        raise InvalidInstanceError(
+            f"need 1 <= min_fanout <= max_fanout, got [{min_fanout}, {max_fanout}]"
+        )
+    rng = make_rng(seed)
+    parent = [-1]
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for v in frontier:
+            fanout = int(rng.integers(min_fanout, max_fanout + 1))
+            for _ in range(fanout):
+                parent.append(v)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return TreeTopology(parent)
+
+
+def ragged_random_tree(
+    n_nodes: int,
+    max_children: int = 4,
+    seed: "int | None" = None,
+) -> TreeTopology:
+    """Random tree with *non-uniform* leaf depths (attachment model).
+
+    Node ``v`` attaches to a uniformly random earlier node that still has
+    capacity.  Used by robustness tests for code paths that must not assume
+    uniform leaf depth.
+    """
+    if n_nodes < 1:
+        raise InvalidInstanceError(f"need at least one node, got {n_nodes}")
+    rng = make_rng(seed)
+    parent = [-1]
+    child_count = [0]
+    for v in range(1, n_nodes):
+        while True:
+            p = int(rng.integers(0, v))
+            if child_count[p] < max_children:
+                break
+        parent.append(p)
+        child_count[p] += 1
+        child_count.append(0)
+    return TreeTopology(parent)

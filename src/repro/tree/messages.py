@@ -1,0 +1,63 @@
+"""Message types that flow through a write-optimized tree.
+
+The WORMS model treats a message abstractly: an id plus a target leaf.
+The B^epsilon-tree substrate additionally distinguishes message *kinds*
+(insert, tombstone delete, secure delete, deferred query) because only the
+root-to-leaf kinds (secure delete, deferred query) generate WORMS backlogs,
+while inserts and plain tombstones may be flushed lazily forever.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MessageKind(enum.Enum):
+    """Operation encoded by a message.
+
+    ``SECURE_DELETE`` and ``DEFERRED_QUERY`` are *root-to-leaf* operations
+    (Section 1, "Flushing a Root-to-Leaf Path"): they only take effect once
+    the message reaches its target leaf.  ``INSERT`` and ``DELETE``
+    (tombstone) complete logically as soon as they are buffered.
+    """
+
+    INSERT = "insert"
+    DELETE = "delete"  # tombstone: logical delete, lazily applied
+    SECURE_DELETE = "secure_delete"  # must purge the physical record at the leaf
+    DEFERRED_QUERY = "deferred_query"  # answered when it meets the record
+
+    @property
+    def is_root_to_leaf(self) -> bool:
+        """True iff the operation completes only at its target leaf."""
+        return self in (MessageKind.SECURE_DELETE, MessageKind.DEFERRED_QUERY)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A message with a target leaf in a static tree.
+
+    Attributes
+    ----------
+    msg_id:
+        Unique id in ``0..|M|-1``; WORMS instances index arrays by it.
+    target_leaf:
+        Node id of the leaf this message must reach.
+    kind:
+        The encoded operation (defaults to ``SECURE_DELETE``, the paper's
+        motivating example).
+    key:
+        Dictionary key, when the message came from a :class:`BeTree`.
+    payload:
+        Optional value (insert payloads, query callbacks, ...).
+    """
+
+    msg_id: int
+    target_leaf: int
+    kind: MessageKind = MessageKind.SECURE_DELETE
+    key: Any = None
+    payload: Any = field(default=None, compare=False)
+
+    def __repr__(self) -> str:  # compact: messages appear in bulk in dumps
+        return f"Message({self.msg_id}->{self.target_leaf}, {self.kind.value})"

@@ -1,0 +1,21 @@
+"""Shared utilities: errors, RNG helpers, priority queues, pairing heaps."""
+
+from repro.util.errors import (
+    InvalidFlushError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ReproError,
+)
+from repro.util.pairing_heap import PairingHeap
+from repro.util.pq import IndexedMaxHeap
+from repro.util.rng import make_rng
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InvalidFlushError",
+    "PairingHeap",
+    "IndexedMaxHeap",
+    "make_rng",
+]

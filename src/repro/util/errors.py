@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package errors without also
+swallowing programming mistakes (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidInstanceError(ReproError):
+    """A WORMS or scheduling instance violates a structural invariant.
+
+    Examples: a message targets a non-leaf node, a tree edge points to an
+    unknown node id, ``P`` or ``B`` is non-positive.
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A flush or task schedule violates the model constraints.
+
+    Raised by the validators in :mod:`repro.dam.validator` and
+    :mod:`repro.scheduling.cost` when a schedule uses more than ``P``
+    parallel slots, flushes a message that is not at the source node,
+    violates the space requirement, or leaves messages/tasks unfinished.
+    """
+
+
+class InvalidFlushError(InvalidScheduleError):
+    """A single flush is malformed (too many messages, bad edge, ...)."""

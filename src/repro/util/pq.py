@@ -1,0 +1,78 @@
+"""An indexed max-heap keyed by float priority with deterministic tie-breaks.
+
+The scheduling algorithms (Horn, PHTF, MPHTF) repeatedly pop the
+highest-density available task.  Python's :mod:`heapq` is a min-heap without
+a decrease-key; this wrapper provides
+
+* max-heap semantics (highest priority pops first),
+* deterministic tie-breaking by insertion order (the paper breaks ties
+  arbitrarily; determinism keeps tests and benches reproducible),
+* lazy deletion / priority updates by entry invalidation.
+
+Priorities are compared as ``(-priority, sequence)`` tuples so equal
+priorities pop FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+_REMOVED = object()
+
+
+class IndexedMaxHeap(Generic[T]):
+    """Max-priority queue over hashable items with update/remove support."""
+
+    def __init__(self) -> None:
+        self._heap: list[list] = []
+        self._entries: dict[T, list] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._entries
+
+    def push(self, item: T, priority: float) -> None:
+        """Insert ``item`` or update its priority if already present."""
+        if item in self._entries:
+            self.remove(item)
+        entry = [-priority, next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def remove(self, item: T) -> None:
+        """Mark ``item`` removed; it is skipped when reached by a pop."""
+        entry = self._entries.pop(item)
+        entry[2] = _REMOVED
+
+    def pop(self) -> tuple[T, float]:
+        """Remove and return ``(item, priority)`` with the max priority."""
+        while self._heap:
+            neg_priority, _seq, item = heapq.heappop(self._heap)
+            if item is not _REMOVED:
+                del self._entries[item]
+                return item, -neg_priority
+        raise IndexError("pop from empty IndexedMaxHeap")
+
+    def peek(self) -> tuple[T, float]:
+        """Return ``(item, priority)`` with the max priority, not removing it."""
+        while self._heap:
+            neg_priority, _seq, item = self._heap[0]
+            if item is _REMOVED:
+                heapq.heappop(self._heap)
+                continue
+            return item, -neg_priority
+        raise IndexError("peek at empty IndexedMaxHeap")
+
+    def priority(self, item: T) -> float:
+        """Return the current priority of ``item``."""
+        return -self._entries[item][0]

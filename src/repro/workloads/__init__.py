@@ -1,0 +1,17 @@
+"""Workload generators producing WORMS instances for tests and benches."""
+
+from repro.workloads.generators import (
+    adversarial_instance,
+    clustered_purge_instance,
+    single_leaf_burst_instance,
+    uniform_instance,
+    zipf_instance,
+)
+
+__all__ = [
+    "uniform_instance",
+    "zipf_instance",
+    "clustered_purge_instance",
+    "single_leaf_burst_instance",
+    "adversarial_instance",
+]

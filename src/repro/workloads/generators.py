@@ -1,0 +1,164 @@
+"""WORMS workload generators.
+
+Every generator returns a ready-to-schedule :class:`WORMSInstance` over a
+caller-supplied topology.  The distributions mirror the scenarios the
+paper's introduction motivates:
+
+* ``uniform_instance`` — a generic backlog, targets uniform over leaves;
+* ``zipf_instance`` — skewed key popularity (real key-value workloads);
+* ``clustered_purge_instance`` — the nightly secure-delete purge: most
+  deletes hit a few subtrees (yesterday's data), a trickle is scattered;
+* ``single_leaf_burst_instance`` — the best case for batching;
+* ``adversarial_instance`` — 3-partition-style leaf loads (``X + i``
+  messages per leaf) that stress packing decisions, after the
+  NP-hardness gadget of Lemma 15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.worms import WORMSInstance
+from repro.tree.messages import Message, MessageKind
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+from repro.util.rng import make_rng
+
+
+def _build(
+    topology: TreeTopology,
+    targets: np.ndarray,
+    P: int,
+    B: int,
+    kind: MessageKind,
+) -> WORMSInstance:
+    messages = [
+        Message(i, int(t), kind) for i, t in enumerate(targets)
+    ]
+    return WORMSInstance(topology, messages, P=P, B=B)
+
+
+def uniform_instance(
+    topology: TreeTopology,
+    n_messages: int,
+    P: int,
+    B: int,
+    *,
+    kind: MessageKind = MessageKind.SECURE_DELETE,
+    seed: "int | None" = None,
+) -> WORMSInstance:
+    """Targets drawn uniformly at random over all leaves."""
+    rng = make_rng(seed)
+    leaves = np.asarray(topology.leaves, dtype=np.int64)
+    targets = rng.choice(leaves, size=n_messages)
+    return _build(topology, targets, P, B, kind)
+
+
+def zipf_instance(
+    topology: TreeTopology,
+    n_messages: int,
+    P: int,
+    B: int,
+    *,
+    theta: float = 1.0,
+    kind: MessageKind = MessageKind.SECURE_DELETE,
+    seed: "int | None" = None,
+) -> WORMSInstance:
+    """Targets drawn from a Zipf(theta) distribution over leaves.
+
+    ``theta = 0`` degenerates to uniform; larger values concentrate the
+    backlog on a few hot leaves.  Leaf ranks are shuffled so hotness does
+    not correlate with leaf id.
+    """
+    if theta < 0:
+        raise InvalidInstanceError(f"theta must be >= 0, got {theta}")
+    rng = make_rng(seed)
+    leaves = np.asarray(topology.leaves, dtype=np.int64)
+    ranks = np.arange(1, len(leaves) + 1, dtype=np.float64)
+    probs = ranks**-theta
+    probs /= probs.sum()
+    shuffled = rng.permutation(leaves)
+    targets = rng.choice(shuffled, size=n_messages, p=probs)
+    return _build(topology, targets, P, B, kind)
+
+
+def clustered_purge_instance(
+    topology: TreeTopology,
+    n_messages: int,
+    P: int,
+    B: int,
+    *,
+    n_clusters: int = 2,
+    cluster_fraction: float = 0.9,
+    kind: MessageKind = MessageKind.SECURE_DELETE,
+    seed: "int | None" = None,
+) -> WORMSInstance:
+    """The nightly purge: ``cluster_fraction`` of deletes hit the leaves
+    under ``n_clusters`` random height-1 subtrees, the rest is scattered
+    uniformly."""
+    if not (0.0 <= cluster_fraction <= 1.0):
+        raise InvalidInstanceError("cluster_fraction must be in [0, 1]")
+    rng = make_rng(seed)
+    leaves = np.asarray(topology.leaves, dtype=np.int64)
+    top = list(topology.children_of(topology.root)) or [topology.root]
+    chosen = rng.choice(
+        np.asarray(top, dtype=np.int64),
+        size=min(n_clusters, len(top)),
+        replace=False,
+    )
+    cluster_leaves: list[int] = []
+    for v in chosen:
+        cluster_leaves.extend(topology.leaves_under(int(v)))
+    cluster_leaves_arr = np.asarray(sorted(set(cluster_leaves)), dtype=np.int64)
+    in_cluster = rng.random(n_messages) < cluster_fraction
+    targets = np.where(
+        in_cluster,
+        rng.choice(cluster_leaves_arr, size=n_messages),
+        rng.choice(leaves, size=n_messages),
+    )
+    return _build(topology, targets, P, B, kind)
+
+
+def single_leaf_burst_instance(
+    topology: TreeTopology,
+    n_messages: int,
+    P: int,
+    B: int,
+    *,
+    leaf: "int | None" = None,
+    kind: MessageKind = MessageKind.SECURE_DELETE,
+    seed: "int | None" = None,
+) -> WORMSInstance:
+    """Every message targets one leaf (maximal batching opportunity)."""
+    if leaf is None:
+        rng = make_rng(seed)
+        leaf = int(rng.choice(np.asarray(topology.leaves, dtype=np.int64)))
+    targets = np.full(n_messages, leaf, dtype=np.int64)
+    return _build(topology, targets, P, B, kind)
+
+
+def adversarial_instance(
+    topology: TreeTopology,
+    P: int,
+    B: int,
+    *,
+    base_load: "int | None" = None,
+    jitter: int = 3,
+    kind: MessageKind = MessageKind.SECURE_DELETE,
+    seed: "int | None" = None,
+) -> WORMSInstance:
+    """Near-equal per-leaf loads ``X + i`` in the style of the Lemma 15
+    gadget: every leaf gets ``base_load`` messages plus a small jitter, so
+    which leaves share a packed set materially changes the cost."""
+    rng = make_rng(seed)
+    leaves = list(topology.leaves)
+    if base_load is None:
+        base_load = max(1, B // (3 * max(1, len(leaves))) * len(leaves) or B // 4)
+        base_load = max(1, B // 4)
+    loads = [
+        base_load + int(rng.integers(0, jitter + 1)) for _ in leaves
+    ]
+    targets: list[int] = []
+    for leaf, load in zip(leaves, loads):
+        targets.extend([leaf] * load)
+    return _build(topology, np.asarray(targets, dtype=np.int64), P, B, kind)

@@ -1,0 +1,102 @@
+"""Tests for certified lower bounds: they must never exceed achieved costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bounds import scheduling_lower_bound, worms_lower_bound
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_valid
+from repro.policies import EagerPolicy, GreedyBatchPolicy, WormsPolicy
+from repro.scheduling import schedule_cost
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.generators import random_outtree_instance
+from repro.scheduling.instance import SchedulingInstance
+from repro.tree import Message, balanced_tree, path_tree, random_tree
+from tests.conftest import make_uniform
+
+
+def test_worms_lb_zero_for_empty():
+    inst = WORMSInstance(path_tree(2), [], P=1, B=4)
+    assert worms_lower_bound(inst) == 0
+
+
+def test_worms_lb_single_message_is_height():
+    inst = WORMSInstance(path_tree(4), [Message(0, 4)], P=3, B=10)
+    assert worms_lower_bound(inst) == 4
+
+
+def test_worms_lb_work_bound_dominates_when_PB_small():
+    # 20 messages, height 2, P=B=1: work bound sum ceil(2i/1) = 2,4,...,40.
+    topo = path_tree(2)
+    msgs = [Message(i, 2) for i in range(20)]
+    inst = WORMSInstance(topo, msgs, P=1, B=1)
+    lb = worms_lower_bound(inst)
+    assert lb == sum(2 * (i + 1) for i in range(20))
+
+
+def test_worms_lb_leaf_flush_bound():
+    # 6 scattered messages to 6 distinct leaves, huge B: each needs its own
+    # leaf flush; with P=1 completions are >= 1..6 * height-ish.
+    topo = balanced_tree(6, 1)
+    msgs = [Message(i, i + 1) for i in range(6)]
+    inst = WORMSInstance(topo, msgs, P=1, B=1000)
+    lb = worms_lower_bound(inst)
+    assert lb >= sum(range(1, 7))  # i-th completion >= i
+
+
+def test_worms_lb_below_every_policy(rng):
+    for trial in range(8):
+        topo = random_tree(height=int(rng.integers(1, 4)), seed=trial)
+        inst = make_uniform(
+            topo,
+            n_messages=int(rng.integers(1, 200)),
+            P=int(rng.integers(1, 4)),
+            B=int(rng.integers(2, 32)),
+            seed=trial,
+        )
+        lb = worms_lower_bound(inst)
+        for policy in (EagerPolicy(), GreedyBatchPolicy(), WormsPolicy()):
+            res = validate_valid(inst, policy.schedule(inst))
+            assert res.total_completion_time >= lb
+
+
+def test_worms_lb_tight_on_single_burst():
+    """All messages to one leaf: greedy batching achieves the work bound
+    within a small factor."""
+    topo = path_tree(2)
+    msgs = [Message(i, 2) for i in range(64)]
+    inst = WORMSInstance(topo, msgs, P=1, B=16)
+    lb = worms_lower_bound(inst)
+    res = validate_valid(inst, GreedyBatchPolicy().schedule(inst))
+    assert res.total_completion_time <= 3 * lb
+
+
+def test_scheduling_lb_zero_tasks():
+    # n = 0 is impossible (instance requires >= 1 task); single task:
+    inst = SchedulingInstance([-1], [5], P=4)
+    assert scheduling_lower_bound(inst) == 5.0
+
+
+def test_scheduling_lb_capacity_exact_no_precedence():
+    inst = SchedulingInstance([-1, -1, -1, -1], [4, 3, 2, 1], P=2)
+    # OPT: steps {4,3}, {2,1}: cost 4+3+2*2+1*2 = 13; capacity bound equals.
+    lb = scheduling_lower_bound(inst)
+    opt, _ = brute_force_optimal(inst)
+    assert lb == pytest.approx(opt) == 13.0
+
+
+def test_scheduling_lb_depth_exact_on_chain():
+    inst = SchedulingInstance([-1, 0, 1], [1, 1, 1], P=4)
+    lb = scheduling_lower_bound(inst)
+    opt, _ = brute_force_optimal(inst)
+    assert lb == pytest.approx(opt) == 6.0
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_scheduling_lb_below_optimal(seed):
+    inst = random_outtree_instance(9, P=2, n_roots=2, seed=seed)
+    lb = scheduling_lower_bound(inst)
+    opt, _ = brute_force_optimal(inst)
+    assert lb <= opt + 1e-9

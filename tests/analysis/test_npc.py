@@ -1,0 +1,103 @@
+"""Tests for the Lemma 15 NP-hardness gadget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.npc import (
+    build_gadget,
+    canonical_gadget_schedule,
+    gadget_has_fast_schedule,
+    solve_three_partition,
+)
+from repro.dam import validate_valid
+from repro.util.errors import InvalidInstanceError
+
+# n'=2, K=20; all values in (5, 10).
+YES_INSTANCE = [6, 7, 7, 6, 8, 6]
+# n'=2, K=20, values in (5, 10) with no partition: parity argument —
+# {9,9,9,9,7,7}: K = 50/...  construct carefully below.
+
+
+def find_no_instance():
+    """A small 3-partition NO instance respecting the strict range."""
+    # n'=2, sum = 2K.  Try K=22, values in (5.5, 11): [6,6,6,10,10,6]:
+    # sum=44, triples of 22 from {6,6,6,10,10,6}: 6+6+10=22 works -> YES.
+    # Use [8,8,8,9,9,2]? 2 out of range.  [6,7,9,10,6,6]: sum 44;
+    # 6+7+9=22 YES. Harder: [6,6,6,6,10,10]: sum 44; need 22 with three
+    # values: 6+6+10=22 YES.  [7,7,7,7,8,8]: sum 44, triples: 7+7+8=22 YES.
+    # [6,6,7,7,9,9]: 6+7+9=22 YES.  Parity trick: all values even, K odd:
+    # K=26, n'=2, sum=52, range (6.5,13): [8,8,8,8,10,10]: sum 52, K=26
+    # (even). values odd sum: [7,9,11,7,9,9]: sum 52, K=26: 7+9+9=25,
+    # 7+9+11=27, 9+9+7=25, 11+9+7... 7+11+9=27; no triple sums 26 since
+    # all odd -> odd sums. YES that works: three odds sum to odd != 26.
+    return [7, 9, 11, 7, 9, 9]
+
+
+def test_solver_yes():
+    part = solve_three_partition(YES_INSTANCE)
+    assert part is not None
+    for triple in part:
+        assert sum(YES_INSTANCE[i] for i in triple) == 20
+    flat = sorted(i for t in part for i in t)
+    assert flat == list(range(6))
+
+
+def test_solver_no():
+    no = find_no_instance()
+    assert sum(no) == 52 and all(4 * v > 26 and 2 * v < 26 for v in no)
+    assert solve_three_partition(no) is None
+
+
+def test_solver_rejects_bad_shapes():
+    assert solve_three_partition([1, 2]) is None
+    assert solve_three_partition([]) is None
+
+
+def test_gadget_structure():
+    g = build_gadget(YES_INSTANCE)
+    assert g.K == 20
+    assert g.n_groups == 2
+    assert g.X == 12 * 4 * 20
+    assert g.B == 3 * g.X + 20
+    assert g.instance.P == 1
+    assert g.instance.n_messages == sum(g.X + v for v in YES_INSTANCE)
+    # representative counts match X + i
+    for idx, v in enumerate(YES_INSTANCE):
+        assert len(g.representatives[idx]) == g.X + v
+
+
+def test_gadget_rejects_bad_inputs():
+    with pytest.raises(InvalidInstanceError):
+        build_gadget([1, 2, 3, 4])  # not divisible into triples... 4 items
+    with pytest.raises(InvalidInstanceError):
+        build_gadget([1, 1, 4])  # K=6, the value 1 is not in (K/4, K/2)
+    with pytest.raises(InvalidInstanceError):
+        build_gadget([])
+
+
+def test_canonical_schedule_valid_and_fast():
+    """Forward direction of Lemma 15: a 3-partition yields a schedule with
+    makespan 4n' and cost <= C1."""
+    g = build_gadget(YES_INSTANCE)
+    part = solve_three_partition(YES_INSTANCE)
+    sched = canonical_gadget_schedule(g, part)
+    res = validate_valid(g.instance, sched)
+    assert res.max_completion_time == 4 * g.n_groups
+    assert res.total_completion_time <= g.C1
+    assert sched.n_flushes == 4 * g.n_groups
+
+
+def test_canonical_schedule_rejects_bad_partition():
+    g = build_gadget(YES_INSTANCE)
+    # A triple summing to more than K overflows B.
+    bad = [(0, 1, 4), (2, 3, 5)]  # 6+7+8=21 > 20
+    with pytest.raises(InvalidInstanceError):
+        canonical_gadget_schedule(g, bad)
+    with pytest.raises(InvalidInstanceError):
+        canonical_gadget_schedule(g, [(0, 1), (2, 3, 4)])
+
+
+def test_decision_interface_matches_solver():
+    assert gadget_has_fast_schedule(build_gadget(YES_INSTANCE))
+    assert not gadget_has_fast_schedule(build_gadget(find_no_instance()))

@@ -1,0 +1,69 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import (
+    comparison_report,
+    completion_cdf_report,
+    sparkline,
+    utilization_report,
+)
+from repro.analysis.stats import compare_policies
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.dam.trace import record_trace
+from repro.policies import GreedyBatchPolicy, WormsPolicy
+from repro.tree import balanced_tree
+from tests.conftest import make_uniform
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_constant_zero():
+    assert sparkline([0, 0, 0]) == "   "
+
+
+def test_sparkline_shape_and_extremes():
+    s = sparkline([0, 5, 10])
+    assert len(s) == 3
+    assert s[-1] == "█"
+    assert s[0] == " "
+
+
+def test_sparkline_buckets_long_series():
+    s = sparkline(np.arange(1000), width=40)
+    assert len(s) == 40
+    assert s[-1] == "█"
+
+
+def test_cdf_report_contains_quantiles():
+    text = completion_cdf_report([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+    assert "100% done by step 10" in text
+    assert "10% done by step 1" in text
+
+
+def test_cdf_report_empty():
+    assert "none" in completion_cdf_report([])
+
+
+def test_utilization_report_lines():
+    topo = balanced_tree(3, 2)
+    inst = make_uniform(topo, 100, P=2, B=16, seed=0)
+    trace = record_trace(inst, GreedyBatchPolicy().schedule(inst))
+    text = utilization_report(trace)
+    assert "slot utilization" in text
+    assert "moves into depth 2" in text
+    assert len(text.splitlines()) == 3 + topo.height
+
+
+def test_comparison_report():
+    topo = balanced_tree(3, 2)
+    inst = make_uniform(topo, 100, P=2, B=16, seed=1)
+    stats = compare_policies(inst, [GreedyBatchPolicy(), WormsPolicy()])
+    text = comparison_report(stats, worms_lower_bound(inst))
+    assert "greedy-batch" in text
+    assert "worms" in text
+    assert "lower bound" in text

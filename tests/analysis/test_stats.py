@@ -1,0 +1,51 @@
+"""Tests for completion statistics and compare_policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import CompletionStats, compare_policies, summarize
+from repro.policies import EagerPolicy, GreedyBatchPolicy
+from repro.tree import balanced_tree
+from tests.conftest import make_uniform
+
+
+def test_summarize_basic():
+    s = summarize(np.array([1, 2, 3, 4]), n_steps=4)
+    assert s.n == 4
+    assert s.total == 10
+    assert s.mean == 2.5
+    assert s.median == 2.5
+    assert s.max == 4
+    assert s.throughput == 1.0
+
+
+def test_summarize_empty():
+    s = summarize(np.array([]), n_steps=0)
+    assert s.n == 0
+    assert s.total == 0
+    assert s.throughput == 0.0
+
+
+def test_percentiles_monotone():
+    s = summarize(np.arange(1, 101), n_steps=100)
+    assert s.median <= s.p95 <= s.p99 <= s.max
+
+
+def test_row_keys():
+    s = summarize(np.array([1, 2]), n_steps=2)
+    row = s.row()
+    assert set(row) == {
+        "n", "total", "mean", "median", "p95", "p99", "max", "steps",
+        "throughput",
+    }
+
+
+def test_compare_policies_runs_and_validates():
+    topo = balanced_tree(3, 2)
+    inst = make_uniform(topo, 120, P=2, B=16, seed=0)
+    out = compare_policies(inst, [EagerPolicy(), GreedyBatchPolicy()])
+    assert set(out) == {"eager", "greedy-batch"}
+    assert all(isinstance(v, CompletionStats) for v in out.values())
+    assert out["greedy-batch"].mean < out["eager"].mean

@@ -1,0 +1,95 @@
+"""Shared fixtures: small instances used across the suite.
+
+``fig2_instance`` encodes the paper's Figure 2 example verbatim (B = 60);
+several tests and the F2/F3 benches check our constructions against the
+figure's packed nodes and packed sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.worms import WORMSInstance
+from repro.tree import Message, tree_from_children
+from repro.tree.topology import TreeTopology
+
+
+#: Figure 2 leaf loads: node id -> number of messages targeting it.
+FIG2_LEAF_LOADS = {
+    17: 40,
+    18: 3,
+    19: 5,
+    20: 6,
+    21: 6,
+    22: 3,
+    23: 9,
+    24: 9,
+    25: 4,
+    26: 5,
+    27: 5,
+    28: 3,
+    29: 1,
+    30: 6,
+    31: 8,
+    32: 3,
+    33: 3,
+}
+
+#: Figure 2 packed nodes as drawn (bold): the 40-message leaf, the nodes
+#: labelled 11, 36, 14, the right child of the root, and the root.
+FIG2_PACKED_NODES = {0, 2, 4, 8, 15, 17}
+
+
+def fig2_topology() -> TreeTopology:
+    """The Figure 2 tree: all 17 leaves at height 4."""
+    children = [
+        [1, 2],  # 0: root
+        [3, 4],  # 1
+        [5, 6],  # 2: right packed node
+        [7, 8],  # 3
+        [9, 10, 11, 12],  # 4: the node labelled 36
+        [13, 14],  # 5
+        [15, 16],  # 6
+        [17, 18],  # 7
+        [19, 20],  # 8: the node labelled 11
+        [21, 22],  # 9
+        [23],  # 10
+        [24],  # 11
+        [25, 26],  # 12
+        [27, 28],  # 13
+        [29],  # 14
+        [30, 31],  # 15: the node labelled 14
+        [32, 33],  # 16
+        [], [], [], [], [], [], [], [], [], [], [], [], [], [], [], [], [],
+    ]
+    return tree_from_children(children)
+
+
+def fig2_worms_instance(P: int = 1) -> WORMSInstance:
+    """The full Figure 2 WORMS instance (B = 60)."""
+    messages = []
+    for leaf in sorted(FIG2_LEAF_LOADS):
+        for _ in range(FIG2_LEAF_LOADS[leaf]):
+            messages.append(Message(len(messages), leaf))
+    return WORMSInstance(fig2_topology(), messages, P=P, B=60)
+
+
+@pytest.fixture
+def fig2_instance() -> WORMSInstance:
+    return fig2_worms_instance()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_uniform(topo, n_messages, P, B, seed=0) -> WORMSInstance:
+    """Tiny local uniform-instance helper (tests avoid importing benches)."""
+    gen = np.random.default_rng(seed)
+    leaves = np.asarray(topo.leaves)
+    msgs = [
+        Message(i, int(gen.choice(leaves))) for i in range(n_messages)
+    ]
+    return WORMSInstance(topo, msgs, P=P, B=B)

@@ -1,0 +1,164 @@
+"""Tests for the oblivious packed-set construction, incl. Figure 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packed import PACKED_DENOM, build_packed_sets
+from repro.core.worms import WORMSInstance
+from repro.tree import Message, balanced_tree, path_tree, random_tree, star_tree
+from repro.util.errors import InvalidInstanceError
+from tests.conftest import FIG2_LEAF_LOADS, FIG2_PACKED_NODES, fig2_worms_instance
+
+
+def test_fig2_packed_nodes_match_paper():
+    """The packed nodes of the Figure 2 instance are exactly the bolded
+    nodes in the paper's figure."""
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    assert set(packed.packed_nodes) == FIG2_PACKED_NODES
+    packed.check_invariants()
+
+
+def test_fig2_packed_contents_sizes():
+    """Packed-contents sizes on Figure 2.  The figure labels the root 3,
+    the 40-leaf 40, and nodes 11/36/14 accordingly; the right child of the
+    root computes to 15 by the paper's own Definition (the figure's label
+    23 appears to count the claimed 14-subtree too — recorded as finding
+    R3 in EXPERIMENTS.md)."""
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    sizes = {}
+    for v in packed.packed_nodes:
+        sizes[v] = sum(
+            1 for m in range(inst.n_messages) if packed.packed_parent_of[m] == v
+        )
+    assert sizes[0] == 3  # root
+    assert sizes[17] == 40  # the 40-message leaf
+    assert sizes[8] == 11
+    assert sizes[4] == 36
+    assert sizes[15] == 14
+    assert sizes[2] == 15  # figure says 23; definition gives 15
+
+
+def test_fig2_packed_sets_structure():
+    """Child groupings on Figure 2: the 36-node splits its four children
+    into two sets of 18 (orange/yellow); 11-, 14-, and right-child nodes
+    form one set each; the 40-leaf splits into four chunks of 10."""
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    by_node: dict[int, list] = {}
+    for s in packed.sets:
+        by_node.setdefault(s.parent_node, []).append(s)
+    assert sorted(s.size for s in by_node[4]) == [18, 18]
+    groups4 = sorted(tuple(s.child_group) for s in by_node[4])
+    assert groups4 == [(9, 10), (11, 12)]
+    assert [s.size for s in by_node[8]] == [11]
+    assert [s.size for s in by_node[15]] == [14]
+    assert [s.size for s in by_node[2]] == [15]
+    assert sorted(s.size for s in by_node[17]) == [10, 10, 10, 10]
+    assert [s.size for s in by_node[0]] == [3]
+
+
+def test_every_message_in_exactly_one_set():
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    seen = np.zeros(inst.n_messages, dtype=int)
+    for s in packed.sets:
+        for m in s.messages:
+            seen[m] += 1
+    assert (seen == 1).all()
+
+
+def test_packed_parent_is_lowest_packed_ancestor():
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    topo = inst.topology
+    packed_nodes = set(packed.packed_nodes)
+    for m, msg in enumerate(inst.messages):
+        node = msg.target_leaf
+        while node not in packed_nodes:
+            node = topo.parent_of(node)
+        assert packed.packed_parent_of[m] == node
+
+
+def test_single_leaf_everything_packs_there():
+    topo = path_tree(3)
+    msgs = [Message(i, 3) for i in range(50)]
+    inst = WORMSInstance(topo, msgs, P=1, B=12)
+    packed = build_packed_sets(inst)
+    packed.check_invariants()
+    assert all(s.parent_node == 3 for s in packed.sets)
+    # chunks of ceil(12/6)=2
+    assert all(s.size == 2 for s in packed.sets)
+
+
+def test_small_scattered_messages_pack_at_root():
+    topo = star_tree(10)
+    msgs = [Message(i, i + 1) for i in range(10)]
+    inst = WORMSInstance(topo, msgs, P=1, B=100)  # threshold 17 > any leaf
+    packed = build_packed_sets(inst)
+    assert packed.packed_nodes == (0,)
+    assert all(s.parent_node == 0 for s in packed.sets)
+    assert sum(s.size for s in packed.sets) == 10
+
+
+def test_root_set_may_undershoot():
+    topo = star_tree(3)
+    msgs = [Message(0, 1)]
+    inst = WORMSInstance(topo, msgs, P=1, B=60)
+    packed = build_packed_sets(inst)
+    assert len(packed.sets) == 1
+    assert packed.sets[0].size == 1  # < B/6, allowed only at the root
+    packed.check_invariants()
+
+
+def test_no_messages():
+    topo = star_tree(2)
+    inst = WORMSInstance(topo, [], P=1, B=10)
+    packed = build_packed_sets(inst)
+    assert packed.sets == ()
+    packed.check_invariants()
+
+
+def test_denom_ablation_changes_threshold():
+    topo = star_tree(4)
+    msgs = [Message(i, 1 + (i % 4)) for i in range(20)]  # 5 per leaf
+    inst = WORMSInstance(topo, msgs, P=1, B=24)
+    # denom 6: threshold 4 -> each leaf (5 msgs) is packed.
+    p6 = build_packed_sets(inst, denom=6)
+    assert set(p6.packed_nodes) == {0, 1, 2, 3, 4}
+    # denom 2: threshold 12 -> only the root is packed.
+    p2 = build_packed_sets(inst, denom=2)
+    assert set(p2.packed_nodes) == {0}
+    with pytest.raises(InvalidInstanceError):
+        build_packed_sets(inst, denom=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(2, 200),
+    st.integers(1, 3),
+    st.integers(1, 250),
+)
+def test_invariants_on_random_instances(seed, B, height, n_msgs):
+    """Property: the construction always satisfies check_invariants."""
+    rng = np.random.default_rng(seed)
+    topo = random_tree(height=height, min_fanout=2, max_fanout=4, seed=seed)
+    leaves = np.asarray(topo.leaves)
+    msgs = [Message(i, int(rng.choice(leaves))) for i in range(n_msgs)]
+    inst = WORMSInstance(topo, msgs, P=1, B=B)
+    packed = build_packed_sets(inst)
+    packed.check_invariants()
+    # Internal-parent sets: the child group covers the messages' routes.
+    for s in packed.sets:
+        if s.child_group:
+            for m in s.messages:
+                child = topo.child_towards(
+                    s.parent_node, inst.messages[m].target_leaf
+                )
+                assert child in s.child_group

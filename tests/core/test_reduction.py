@@ -1,0 +1,135 @@
+"""Tests for the WORMS -> scheduling reduction (Section 3.2, Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packed import build_packed_sets
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.worms import WORMSInstance
+from repro.tree import Message, balanced_tree, path_tree, star_tree
+from tests.conftest import fig2_worms_instance
+
+
+def test_fig3_chain_lengths():
+    """Every packed set gets a chain of h(v) zero-weight tasks."""
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    red = reduce_to_scheduling(inst, packed)
+    topo = inst.topology
+    # Count chain tasks per set: tasks whose dest lies on the root-v path.
+    for pset in packed.sets:
+        v = pset.parent_node
+        hv = topo.height_of(v)
+        chain_tasks = [
+            i
+            for i, e in enumerate(red.task_edges)
+            if e.set_index == pset.index and set(e.messages) == set(pset.messages)
+            and topo.is_descendant(v, e.dest)
+        ]
+        assert len(chain_tasks) >= hv  # the hv chain edges all move all of C
+
+
+def test_fig3_leaf_task_weights():
+    """Leaf-delivering tasks carry the message counts; everything else is
+    weight 0 (Figure 3's labels)."""
+    inst = fig2_worms_instance()
+    packed = build_packed_sets(inst)
+    red = reduce_to_scheduling(inst, packed)
+    topo = inst.topology
+    sched = red.scheduling
+    total_delivered = 0.0
+    for j in range(sched.n_tasks):
+        edge = red.task_edges[j]
+        w = float(sched.weights[j])
+        if w > 0:
+            assert topo.is_leaf(edge.dest)
+            assert w == len(edge.messages)
+            total_delivered += w
+        else:
+            # weight-0 tasks never deliver into a target leaf
+            if topo.is_leaf(edge.dest):
+                # only possible if those messages target a different leaf
+                assert all(
+                    inst.messages[m].target_leaf != edge.dest
+                    for m in edge.messages
+                )
+    assert total_delivered == inst.n_messages
+
+
+def test_fig3_zero_weight_subtrees_pruned():
+    """Tasks are only created for edges actually crossed by messages."""
+    inst = fig2_worms_instance()
+    red = reduce_to_scheduling(inst)
+    for edge in red.task_edges:
+        assert edge.messages, "task moves no messages"
+
+
+def test_precedence_follows_tree_edges():
+    inst = fig2_worms_instance()
+    red = reduce_to_scheduling(inst)
+    topo = inst.topology
+    for j in range(red.n_tasks):
+        p = int(red.scheduling.parent[j])
+        e = red.task_edges[j]
+        assert topo.parent_of(e.dest) == e.src
+        if p >= 0:
+            pe = red.task_edges[p]
+            assert pe.dest == e.src  # predecessor delivered into our source
+            assert pe.set_index == e.set_index
+            assert set(e.messages) <= set(pe.messages)
+        else:
+            assert e.src == topo.root
+
+
+def test_messages_conserved_along_paths():
+    """Each message appears in exactly one task per edge of its path."""
+    inst = fig2_worms_instance()
+    red = reduce_to_scheduling(inst)
+    topo = inst.topology
+    count = np.zeros(inst.n_messages, dtype=int)
+    for e in red.task_edges:
+        for m in e.messages:
+            count[m] += 1
+    for m, msg in enumerate(inst.messages):
+        assert count[m] == topo.height_of(msg.target_leaf)
+
+
+def test_machines_match_P():
+    inst = fig2_worms_instance(P=3)
+    red = reduce_to_scheduling(inst)
+    assert red.scheduling.P == 3
+
+
+def test_single_node_tree_reduces_to_nothing():
+    topo = path_tree(0)
+    inst = WORMSInstance(topo, [Message(0, 0)], P=1, B=6)
+    red = reduce_to_scheduling(inst)
+    assert red.n_tasks == 0
+
+
+def test_star_tree_reduction():
+    topo = star_tree(4)
+    msgs = [Message(i, 1 + i % 4) for i in range(8)]
+    inst = WORMSInstance(topo, msgs, P=2, B=12)
+    red = reduce_to_scheduling(inst)
+    # Leaves hold 2 messages each; threshold ceil(12/6)=2 -> leaves packed
+    # with a single 2-message set each: chain of length 1, weight 2.
+    assert red.n_tasks == 4
+    assert sorted(red.scheduling.weights.tolist()) == [2.0, 2.0, 2.0, 2.0]
+
+
+def test_rejects_custom_start_nodes():
+    topo = path_tree(2)
+    inst = WORMSInstance(topo, [Message(0, 2)], P=1, B=4, start_nodes=[1])
+    with pytest.raises(ValueError):
+        reduce_to_scheduling(inst)
+
+
+def test_task_count_linear_in_work():
+    """|tasks| is bounded by total message-hops / set sizes (sanity that
+    the reduction does not blow up)."""
+    inst = fig2_worms_instance()
+    red = reduce_to_scheduling(inst)
+    assert red.n_tasks <= inst.total_work()

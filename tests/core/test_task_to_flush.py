@@ -1,0 +1,69 @@
+"""Tests for Lemma 8: task schedules -> overfilling flush schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_overfilling
+from repro.scheduling import (
+    bfs_order_schedule,
+    horn_schedule,
+    mphtf_schedule,
+    phtf_schedule,
+    schedule_cost,
+)
+from repro.tree import Message, random_tree
+from tests.conftest import fig2_worms_instance, make_uniform
+
+
+@pytest.mark.parametrize(
+    "scheduler", [mphtf_schedule, phtf_schedule, horn_schedule, bfs_order_schedule]
+)
+def test_cost_equality_lemma8(scheduler):
+    """c(S') == cost(sigma) for any feasible task schedule (Lemma 8)."""
+    inst = fig2_worms_instance(P=2)
+    red = reduce_to_scheduling(inst)
+    sigma = scheduler(red.scheduling)
+    cost = schedule_cost(red.scheduling, sigma)
+    flush = task_schedule_to_flush_schedule(red, sigma)
+    res = validate_overfilling(inst, flush)
+    assert res.total_completion_time == int(cost)
+
+
+def test_random_instances_overfilling(rng):
+    for trial in range(10):
+        topo = random_tree(height=3, seed=trial)
+        inst = make_uniform(
+            topo,
+            n_messages=int(rng.integers(1, 150)),
+            P=int(rng.integers(1, 4)),
+            B=int(rng.integers(4, 30)),
+            seed=trial,
+        )
+        red = reduce_to_scheduling(inst)
+        sigma = mphtf_schedule(red.scheduling)
+        flush = task_schedule_to_flush_schedule(red, sigma)
+        res = validate_overfilling(inst, flush)
+        assert res.is_overfilling
+
+
+def test_flush_sizes_at_most_half_B():
+    """Packed sets are <= B/2, so Lemma 8 flushes always fit in B/2."""
+    inst = fig2_worms_instance()
+    red = reduce_to_scheduling(inst)
+    sigma = mphtf_schedule(red.scheduling)
+    flush = task_schedule_to_flush_schedule(red, sigma)
+    for _t, f in flush.iter_timed():
+        assert 2 * f.size <= inst.B
+
+
+def test_parallelism_respected():
+    inst = fig2_worms_instance(P=4)
+    red = reduce_to_scheduling(inst)
+    sigma = phtf_schedule(red.scheduling)
+    flush = task_schedule_to_flush_schedule(red, sigma)
+    assert flush.max_parallelism() <= 4

@@ -1,0 +1,102 @@
+"""Tests for the weighted-WORMS extension.
+
+The reduction target ``P|outtree,p_j=1|Sum wC`` is weighted already, so
+per-message weights flow through the whole pipeline; these tests pin the
+wiring: reduction weights, weighted lower bounds, and the behavioural
+effect (heavy messages complete earlier under the WORMS scheduler).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.analysis.stats import weighted_total_completion
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_valid
+from repro.policies import EagerPolicy, WormsPolicy
+from repro.tree import Message, balanced_tree, path_tree, star_tree
+from repro.util.errors import InvalidInstanceError
+
+
+def test_weights_validation():
+    topo = path_tree(1)
+    msgs = [Message(0, 1)]
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=1, B=4, weights=[-1.0])
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=1, B=4, weights=[1.0, 2.0])
+
+
+def test_default_weights_are_unit():
+    topo = path_tree(1)
+    inst = WORMSInstance(topo, [Message(0, 1)], P=1, B=4)
+    assert inst.message_weights.tolist() == [1.0]
+    assert inst.weight_of([0]) == 1.0
+
+
+def test_reduction_carries_weights():
+    topo = star_tree(2)
+    msgs = [Message(0, 1), Message(1, 2)]
+    inst = WORMSInstance(topo, msgs, P=1, B=12, weights=[5.0, 2.0])
+    red = reduce_to_scheduling(inst)
+    sched = red.scheduling
+    assert sched.total_weight == 7.0
+    # Each leaf-delivery task carries its messages' weight sum.
+    for j in range(sched.n_tasks):
+        if sched.weights[j] > 0:
+            assert sched.weights[j] == inst.weight_of(red.task_edges[j].messages)
+
+
+def test_weighted_lower_bound_reduces_to_unweighted():
+    topo = balanced_tree(2, 2)
+    msgs = [Message(i, topo.leaves[i % 4]) for i in range(12)]
+    unit = WORMSInstance(topo, msgs, P=2, B=4)
+    explicit = WORMSInstance(topo, msgs, P=2, B=4, weights=[1.0] * 12)
+    assert worms_lower_bound(unit) == worms_lower_bound(explicit)
+
+
+def test_weighted_lower_bound_valid(rng):
+    """LB never exceeds the weighted cost of actual schedules."""
+    topo = balanced_tree(3, 2)
+    for trial in range(6):
+        n = int(rng.integers(5, 120))
+        msgs = [
+            Message(i, int(rng.choice(topo.leaves))) for i in range(n)
+        ]
+        weights = rng.integers(1, 10, size=n).astype(float)
+        inst = WORMSInstance(topo, msgs, P=2, B=8, weights=weights)
+        lb = worms_lower_bound(inst)
+        for policy in (EagerPolicy(), WormsPolicy()):
+            res = validate_valid(inst, policy.schedule(inst))
+            assert weighted_total_completion(inst, res.completion_times) >= lb - 1e-9
+
+
+def test_heavy_messages_finish_earlier_under_worms():
+    """One heavy (w=100) message vs many unit messages: the weighted
+    scheduler prioritizes the heavy leaf's set."""
+    topo = balanced_tree(4, 2)
+    leaves = topo.leaves
+    msgs = [Message(i, leaves[i % 8]) for i in range(64)]
+    heavy_id = 64
+    msgs.append(Message(heavy_id, leaves[-1]))
+    weights = [1.0] * 64 + [100.0]
+    unweighted = WORMSInstance(topo, msgs, P=1, B=16)
+    weighted = WORMSInstance(topo, msgs, P=1, B=16, weights=weights)
+    res_u = validate_valid(unweighted, WormsPolicy().schedule(unweighted))
+    res_w = validate_valid(weighted, WormsPolicy().schedule(weighted))
+    assert res_w.completion_times[heavy_id] < res_u.completion_times[heavy_id]
+    # and the weighted objective improves
+    assert weighted_total_completion(
+        weighted, res_w.completion_times
+    ) < weighted_total_completion(weighted, res_u.completion_times)
+
+
+def test_zero_weight_messages_still_complete():
+    topo = star_tree(3)
+    msgs = [Message(i, 1 + i % 3) for i in range(6)]
+    inst = WORMSInstance(topo, msgs, P=1, B=6, weights=[0.0] * 6)
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    assert (res.completion_times > 0).all()

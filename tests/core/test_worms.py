@@ -1,0 +1,88 @@
+"""Tests for the WORMS instance type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.worms import WORMSInstance
+from repro.tree import Message, balanced_tree, path_tree
+from repro.util.errors import InvalidInstanceError
+
+
+def test_basic_properties():
+    topo = balanced_tree(2, 2)
+    msgs = [Message(0, 3), Message(1, 6), Message(2, 3)]
+    inst = WORMSInstance(topo, msgs, P=2, B=8)
+    assert inst.n_messages == 3
+    assert inst.n == 3 + 7
+    assert inst.height == 2
+    assert inst.targets.tolist() == [3, 6, 3]
+    assert inst.messages_per_leaf[3] == 2
+    assert inst.messages_per_leaf[6] == 1
+    assert inst.total_work() == 6
+
+
+def test_messages_in_subtree():
+    topo = balanced_tree(2, 2)  # children of root: 1 (leaves 3,4), 2 (5,6)
+    msgs = [Message(0, 3), Message(1, 4), Message(2, 6)]
+    inst = WORMSInstance(topo, msgs, P=1, B=4)
+    assert inst.messages_in_subtree[0] == 3
+    assert inst.messages_in_subtree[1] == 2
+    assert inst.messages_in_subtree[2] == 1
+    assert inst.messages_in_subtree[3] == 1
+
+
+def test_rejects_bad_parameters():
+    topo = path_tree(1)
+    msgs = [Message(0, 1)]
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=0, B=4)
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=1, B=0)
+
+
+def test_rejects_non_dense_ids():
+    topo = path_tree(1)
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, [Message(5, 1)], P=1, B=4)
+
+
+def test_rejects_non_leaf_target():
+    topo = path_tree(2)
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, [Message(0, 1)], P=1, B=4)
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, [Message(0, 99)], P=1, B=4)
+
+
+def test_start_nodes_must_be_on_path():
+    topo = balanced_tree(2, 2)
+    msgs = [Message(0, 3)]
+    WORMSInstance(topo, msgs, P=1, B=4, start_nodes=[1])  # on path: ok
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=1, B=4, start_nodes=[2])  # off path
+    with pytest.raises(InvalidInstanceError):
+        WORMSInstance(topo, msgs, P=1, B=4, start_nodes=[1, 1])  # wrong len
+
+
+def test_start_of_defaults_to_root():
+    topo = path_tree(2)
+    inst = WORMSInstance(topo, [Message(0, 2)], P=1, B=4)
+    assert inst.start_of(0) == 0
+    inst2 = WORMSInstance(topo, [Message(0, 2)], P=1, B=4, start_nodes=[1])
+    assert inst2.start_of(0) == 1
+    assert inst2.total_work() == 1
+
+
+def test_messages_by_leaf():
+    topo = balanced_tree(2, 1)
+    msgs = [Message(0, 1), Message(1, 2), Message(2, 1)]
+    inst = WORMSInstance(topo, msgs, P=1, B=4)
+    assert inst.messages_by_leaf() == {1: [0, 2], 2: [1]}
+
+
+def test_empty_message_set():
+    topo = path_tree(1)
+    inst = WORMSInstance(topo, [], P=1, B=4)
+    assert inst.n_messages == 0
+    assert inst.total_work() == 0

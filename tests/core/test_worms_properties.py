@@ -1,0 +1,76 @@
+"""Property tests on WORMSInstance derived data."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.worms import WORMSInstance
+from repro.tree import Message, random_tree
+from repro.tree.topology import TreeTopology
+
+
+def build_instance(seed: int, n_msgs: int, height: int) -> WORMSInstance:
+    topo = random_tree(height=height, seed=seed)
+    rng = np.random.default_rng(seed)
+    leaves = np.asarray(topo.leaves)
+    msgs = [Message(i, int(rng.choice(leaves))) for i in range(n_msgs)]
+    return WORMSInstance(topo, msgs, P=1 + seed % 4, B=4 + seed % 30)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_msgs=st.integers(0, 200),
+    height=st.integers(1, 4),
+)
+def test_subtree_counts_consistent(seed, n_msgs, height):
+    inst = build_instance(seed, n_msgs, height)
+    topo = inst.topology
+    # root subtree holds everything
+    assert inst.messages_in_subtree[topo.root] == n_msgs
+    # parent counts are sums of children (internal nodes hold no targets)
+    for v in range(topo.n_nodes):
+        kids = topo.children_of(v)
+        if kids:
+            assert inst.messages_in_subtree[v] == sum(
+                inst.messages_in_subtree[c] for c in kids
+            )
+        else:
+            assert inst.messages_in_subtree[v] == inst.messages_per_leaf[v]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_msgs=st.integers(0, 200),
+    height=st.integers(1, 4),
+)
+def test_total_work_matches_heights(seed, n_msgs, height):
+    inst = build_instance(seed, n_msgs, height)
+    expected = sum(
+        inst.topology.height_of(m.target_leaf) for m in inst.messages
+    )
+    assert inst.total_work() == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_msgs=st.integers(1, 100))
+def test_messages_by_leaf_partitions_ids(seed, n_msgs):
+    inst = build_instance(seed, n_msgs, 2)
+    by_leaf = inst.messages_by_leaf()
+    ids = sorted(i for ids in by_leaf.values() for i in ids)
+    assert ids == list(range(n_msgs))
+    for leaf, members in by_leaf.items():
+        assert all(inst.messages[m].target_leaf == leaf for m in members)
+        assert len(members) == inst.messages_per_leaf[leaf]
+
+
+def test_targets_array_is_read_only():
+    inst = build_instance(1, 5, 2)
+    try:
+        inst.targets[0] = 3
+        raise AssertionError("targets should be read-only")
+    except ValueError:
+        pass

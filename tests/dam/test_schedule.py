@@ -1,0 +1,71 @@
+"""Tests for Flush / FlushSchedule containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dam.schedule import Flush, FlushSchedule
+
+
+def test_flush_normalizes_message_order():
+    f = Flush(src=0, dest=1, messages=(3, 1, 2))
+    assert f.messages == (1, 2, 3)
+    assert f.size == 3
+
+
+def test_flush_is_hashable_and_comparable():
+    a = Flush(0, 1, (2, 1))
+    b = Flush(0, 1, (1, 2))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_add_grows_steps():
+    s = FlushSchedule()
+    s.add(3, Flush(0, 1, (0,)))
+    assert s.n_steps == 3
+    assert s.flushes_at(1) == []
+    assert s.flushes_at(3) == [Flush(0, 1, (0,))]
+    assert s.flushes_at(99) == []
+
+
+def test_add_rejects_zero_step():
+    s = FlushSchedule()
+    with pytest.raises(ValueError):
+        s.add(0, Flush(0, 1, (0,)))
+
+
+def test_counts():
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0, 1)))
+    s.add(1, Flush(0, 2, (2,)))
+    s.add(2, Flush(1, 3, (0,)))
+    assert s.n_flushes == 3
+    assert s.n_message_moves == 4
+    assert s.max_parallelism() == 2
+
+
+def test_iter_timed_order():
+    s = FlushSchedule()
+    s.add(2, Flush(0, 1, (1,)))
+    s.add(1, Flush(0, 1, (0,)))
+    assert [(t, f.messages) for t, f in s.iter_timed()] == [
+        (1, (0,)),
+        (2, (1,)),
+    ]
+
+
+def test_trim():
+    s = FlushSchedule()
+    s.add(5, Flush(0, 1, (0,)))
+    s.steps.append([])
+    s.steps.append([])
+    assert s.trim().n_steps == 5
+
+
+def test_from_timed_roundtrip():
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0,)))
+    s.add(4, Flush(1, 2, (0,)))
+    s2 = FlushSchedule.from_timed(s.iter_timed())
+    assert s2.steps == s.steps

@@ -1,0 +1,198 @@
+"""Tests for the DAM-model simulator: semantics and violation detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.worms import WORMSInstance
+from repro.dam import simulate
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.dam.simulator import (
+    KIND_BAD_EDGE,
+    KIND_EMPTY_FLUSH,
+    KIND_FLUSH_TOO_BIG,
+    KIND_INCOMPLETE,
+    KIND_MESSAGE_IN_TWO_FLUSHES,
+    KIND_MESSAGE_NOT_AT_SRC,
+    KIND_SPACE,
+    KIND_TOO_MANY_FLUSHES,
+)
+from repro.tree import Message, path_tree, star_tree, tree_from_children
+
+
+def chain_instance(height=2, n_msgs=1, P=1, B=4):
+    topo = path_tree(height)
+    leaf = topo.leaves[0]
+    msgs = [Message(i, leaf) for i in range(n_msgs)]
+    return WORMSInstance(topo, msgs, P=P, B=B)
+
+
+def test_simple_completion_and_times():
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0,)))
+    s.add(2, Flush(1, 2, (0,)))
+    res = simulate(inst, s)
+    assert res.is_valid
+    assert res.completion_times.tolist() == [2]
+    assert res.total_completion_time == 2
+    assert res.mean_completion_time == 2.0
+    assert res.max_completion_time == 2
+
+
+def test_incomplete_detected():
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0,)))
+    res = simulate(inst, s)
+    assert not res.is_overfilling
+    assert any(v.kind == KIND_INCOMPLETE for v in res.violations)
+
+
+def test_message_not_at_source():
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(1, 2, (0,)))  # message is still at the root
+    res = simulate(inst, s)
+    assert any(v.kind == KIND_MESSAGE_NOT_AT_SRC for v in res.violations)
+
+
+def test_flush_must_wait_a_step():
+    """A message flushed at step t is at the child only from t+1."""
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0,)))
+    s.add(1, Flush(1, 2, (0,)))  # same step: too early AND double-move
+    res = simulate(inst, s)
+    kinds = {v.kind for v in res.violations}
+    assert KIND_MESSAGE_IN_TWO_FLUSHES in kinds or KIND_MESSAGE_NOT_AT_SRC in kinds
+
+
+def test_too_many_flushes():
+    topo = star_tree(3)
+    msgs = [Message(i, i + 1) for i in range(3)]
+    inst = WORMSInstance(topo, msgs, P=2, B=4)
+    s = FlushSchedule()
+    for i in range(3):
+        s.add(1, Flush(0, i + 1, (i,)))
+    res = simulate(inst, s)
+    assert any(v.kind == KIND_TOO_MANY_FLUSHES for v in res.violations)
+
+
+def test_flush_exceeds_B():
+    inst = chain_instance(height=1, n_msgs=5, B=4)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, tuple(range(5))))
+    res = simulate(inst, s)
+    assert any(v.kind == KIND_FLUSH_TOO_BIG for v in res.violations)
+
+
+def test_bad_edge():
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 2, (0,)))  # skips a level
+    res = simulate(inst, s)
+    assert any(v.kind == KIND_BAD_EDGE for v in res.violations)
+
+
+def test_empty_flush_flagged():
+    inst = chain_instance(height=2)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, ()))
+    res = simulate(inst, s)
+    assert any(v.kind == KIND_EMPTY_FLUSH for v in res.violations)
+
+
+def test_space_requirement_overfilling_but_not_valid():
+    """B+1 messages parked in an internal node across steps -> overfilling
+    only (the paper's Figure 1 distinction)."""
+    B = 3
+    inst = chain_instance(height=2, n_msgs=B + 1, P=2, B=B)
+    s = FlushSchedule()
+    # Move B+1 messages into node 1 over two steps, then let them sit one
+    # step before draining: node 1 retains B+1 > B between steps 3 and 4.
+    s.add(1, Flush(0, 1, (0, 1, 2)))
+    s.add(2, Flush(0, 1, (3,)))
+    s.add(4, Flush(1, 2, (0, 1, 2)))
+    s.add(5, Flush(1, 2, (3,)))
+    res = simulate(inst, s)
+    assert res.is_overfilling
+    assert not res.is_valid
+    assert any(v.kind == KIND_SPACE and v.node == 1 for v in res.space_violations)
+
+
+def test_cascade_is_valid_fig1():
+    """Figure 1: a cascade temporarily overfills a node but stays valid
+    because the surplus moves on in the very next step."""
+    B = 4
+    topo = path_tree(2)
+    # Messages 0..3 already parked at node 1 (a full buffer); the "red"
+    # messages 4, 5 cascade through from the root.
+    msgs = [Message(i, 2) for i in range(6)]
+    inst = WORMSInstance(
+        topo, msgs, P=1, B=B, start_nodes=[1, 1, 1, 1, 0, 0]
+    )
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (4, 5)))  # node 1 transiently holds 6 > B
+    s.add(2, Flush(1, 2, (0, 1, 2, 3)))  # ...but drains B immediately
+    s.add(3, Flush(1, 2, (4, 5)))
+    res = simulate(inst, s, track_occupancy=True)
+    assert res.is_valid
+    assert res.max_occupancy[1] == 6  # the overflow really happened
+    # Without the immediate drain the same cascade is merely overfilling.
+    s_slow = FlushSchedule()
+    s_slow.add(1, Flush(0, 1, (4, 5)))
+    s_slow.add(3, Flush(1, 2, (0, 1, 2, 3)))
+    s_slow.add(4, Flush(1, 2, (4, 5)))
+    res_slow = simulate(inst, s_slow)
+    assert res_slow.is_overfilling
+    assert not res_slow.is_valid
+
+
+def test_messages_starting_at_target_complete_at_zero():
+    topo = path_tree(1)
+    msgs = [Message(0, 1)]
+    inst = WORMSInstance(topo, msgs, P=1, B=2, start_nodes=[1])
+    res = simulate(inst, FlushSchedule())
+    assert res.is_valid
+    assert res.completion_times.tolist() == [0]
+
+
+def test_custom_start_nodes():
+    topo = path_tree(3)
+    msgs = [Message(0, 3)]
+    inst = WORMSInstance(topo, msgs, P=1, B=2, start_nodes=[1])
+    s = FlushSchedule()
+    s.add(1, Flush(1, 2, (0,)))
+    s.add(2, Flush(2, 3, (0,)))
+    res = simulate(inst, s)
+    assert res.is_valid
+    assert res.completion_times.tolist() == [2]
+
+
+def test_root_and_leaves_unbounded():
+    """Root may park arbitrarily many messages without space violations."""
+    B = 2
+    topo = tree_from_children([[1], [2], []])
+    msgs = [Message(i, 2) for i in range(10)]
+    inst = WORMSInstance(topo, msgs, P=1, B=B)
+    s = FlushSchedule()
+    t = 0
+    for batch_start in range(0, 10, B):
+        batch = tuple(range(batch_start, batch_start + B))
+        t += 1
+        s.add(t, Flush(0, 1, batch))
+        t += 1
+        s.add(t, Flush(1, 2, batch))
+    res = simulate(inst, s)
+    assert res.is_valid
+
+
+def test_track_occupancy():
+    inst = chain_instance(height=2, n_msgs=3, B=4)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0, 1, 2)))
+    s.add(3, Flush(1, 2, (0, 1, 2)))
+    res = simulate(inst, s, track_occupancy=True)
+    assert res.max_occupancy.get(1, 0) == 3

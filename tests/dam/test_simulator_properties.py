@@ -1,0 +1,105 @@
+"""Metamorphic and property tests for the DAM simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.worms import WORMSInstance
+from repro.dam import simulate
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.policies import GreedyBatchPolicy, WormsPolicy
+from repro.tree import Message, balanced_tree, random_tree
+from tests.conftest import make_uniform
+
+
+def scheduled(seed: int):
+    topo = random_tree(height=2 + seed % 2, seed=seed)
+    inst = make_uniform(topo, 60 + seed * 7, P=2, B=12, seed=seed)
+    sched = GreedyBatchPolicy().schedule(inst)
+    return inst, sched
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_permuting_flushes_within_a_step_is_neutral(seed):
+    """Flushes inside one time step are simultaneous: any order within the
+    step gives identical completion times and validity."""
+    inst, sched = scheduled(seed)
+    base = simulate(inst, sched)
+    rng = np.random.default_rng(seed)
+    shuffled_steps = []
+    for step in sched.steps:
+        order = rng.permutation(len(step))
+        shuffled_steps.append([step[i] for i in order])
+    res = simulate(inst, FlushSchedule(steps=shuffled_steps))
+    assert res.is_valid == base.is_valid
+    assert (res.completion_times == base.completion_times).all()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_splitting_a_flush_is_cost_neutral_if_capacity_allows(seed):
+    """Splitting one flush into two (same step, same edge) changes nothing
+    when P allows it: message sets are what matters."""
+    inst, sched = scheduled(seed)
+    new_steps = []
+    for step in sched.steps:
+        new_step = list(step)
+        if new_step and new_step[0].size >= 2 and len(new_step) < inst.P:
+            f = new_step.pop(0)
+            mid = f.size // 2
+            new_step.append(Flush(f.src, f.dest, f.messages[:mid]))
+            new_step.append(Flush(f.src, f.dest, f.messages[mid:]))
+        new_steps.append(new_step)
+    res = simulate(inst, FlushSchedule(steps=new_steps))
+    base = simulate(inst, sched)
+    assert (res.completion_times == base.completion_times).all()
+    assert res.is_valid == base.is_valid
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_inserting_idle_steps_only_delays(seed):
+    """Adding an empty step at the front shifts every completion by one."""
+    inst, sched = scheduled(seed)
+    base = simulate(inst, sched)
+    delayed = FlushSchedule(steps=[[]] + sched.steps)
+    res = simulate(inst, delayed)
+    assert res.is_valid == base.is_valid
+    assert (res.completion_times == base.completion_times + 1).all()
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_dropping_last_flush_loses_messages(seed):
+    """Truncating the schedule strands exactly the truncated messages."""
+    inst, sched = scheduled(seed)
+    truncated = FlushSchedule(steps=[list(s) for s in sched.steps])
+    # remove the final step entirely
+    last = truncated.steps.pop()
+    res = simulate(inst, truncated)
+    lost = {m for f in last for m in f.messages}
+    incomplete = {
+        m for m in range(inst.n_messages) if res.completion_times[m] == 0
+    }
+    # In a valid schedule every message in the final step's flushes is
+    # completing there (it has no later flushes), so truncation strands
+    # exactly those messages and nothing else.
+    assert incomplete == lost
+    assert not res.is_overfilling
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_policy_schedules_always_replayable(seed):
+    """End-to-end property: policy output is always valid under replay."""
+    rng = np.random.default_rng(seed)
+    topo = balanced_tree(int(rng.integers(2, 4)), int(rng.integers(1, 4)))
+    inst = make_uniform(
+        topo,
+        int(rng.integers(1, 150)),
+        P=int(rng.integers(1, 4)),
+        B=int(rng.integers(4, 32)),
+        seed=seed,
+    )
+    res = simulate(inst, WormsPolicy().schedule(inst))
+    assert res.is_valid

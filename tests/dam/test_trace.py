@@ -1,0 +1,69 @@
+"""Tests for IO-trace recording."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.dam.trace import record_trace
+from repro.policies import GreedyBatchPolicy
+from repro.tree import Message, balanced_tree, path_tree
+from tests.conftest import make_uniform
+
+
+def test_trace_simple_chain():
+    topo = path_tree(2)
+    inst = WORMSInstance(topo, [Message(0, 2)], P=2, B=4)
+    s = FlushSchedule()
+    s.add(1, Flush(0, 1, (0,)))
+    s.add(2, Flush(1, 2, (0,)))
+    trace = record_trace(inst, s)
+    assert trace.n_steps == 2
+    assert trace.flushes_per_step.tolist() == [1, 1]
+    assert trace.moves_per_step.tolist() == [1, 1]
+    assert trace.moves_by_level.tolist() == [[1, 0], [0, 1]]
+    assert trace.completions_per_step.tolist() == [0, 1]
+    assert trace.cumulative_completions().tolist() == [0, 1]
+    assert trace.slot_utilization.tolist() == [0.5, 0.5]
+    assert trace.payload_utilization.tolist() == [0.125, 0.125]
+
+
+def test_trace_conservation_properties():
+    """Total moves equal total work; completions equal message count."""
+    topo = balanced_tree(3, 3)
+    inst = make_uniform(topo, 200, P=3, B=16, seed=1)
+    sched = GreedyBatchPolicy().schedule(inst)
+    trace = record_trace(inst, sched)
+    assert int(trace.moves_per_step.sum()) == inst.total_work()
+    assert int(trace.completions_per_step.sum()) == inst.n_messages
+    assert int(trace.moves_by_level.sum()) == inst.total_work()
+    # per-level conservation: every message crosses each level once
+    per_level = trace.moves_by_level.sum(axis=0)
+    assert (per_level == inst.n_messages).all()
+
+
+def test_trace_utilization_bounds():
+    topo = balanced_tree(3, 2)
+    inst = make_uniform(topo, 150, P=2, B=8, seed=2)
+    trace = record_trace(inst, GreedyBatchPolicy().schedule(inst))
+    assert (trace.slot_utilization <= 1.0 + 1e-9).all()
+    assert (trace.payload_utilization <= 1.0 + 1e-9).all()
+    assert trace.slot_utilization.max() > 0
+
+
+def test_summary_lines():
+    topo = balanced_tree(2, 2)
+    inst = make_uniform(topo, 40, P=2, B=8, seed=3)
+    trace = record_trace(inst, GreedyBatchPolicy().schedule(inst))
+    lines = trace.summary_lines()
+    assert any("slot utilization" in line for line in lines)
+    assert any("depth 2" in line for line in lines)
+
+
+def test_trace_empty_schedule():
+    topo = path_tree(1)
+    inst = WORMSInstance(topo, [], P=1, B=4)
+    trace = record_trace(inst, FlushSchedule())
+    assert trace.n_steps == 0
+    assert trace.cumulative_completions().size == 0

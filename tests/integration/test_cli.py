@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_compare_runs(capsys):
+    rc = main(["compare", "--messages", "100", "--P", "2", "--B", "16",
+               "--leaves", "32", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worms" in out
+    assert "lower bound" in out
+
+
+def test_compare_with_fanout_and_skew(capsys):
+    rc = main(["compare", "--messages", "80", "--fanout", "3",
+               "--height", "2", "--skew", "1.0"])
+    assert rc == 0
+    assert "eager" in capsys.readouterr().out
+
+
+def test_solve_runs(capsys):
+    rc = main(["solve", "--messages", "120", "--P", "2", "--B", "16",
+               "--leaves", "32"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "packed sets" in out
+    assert "valid schedule cost" in out
+    assert "slot utilization" in out
+
+
+def test_gadget_yes(capsys):
+    rc = main(["gadget", "6", "7", "7", "6", "8", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "YES" in out
+    assert "canonical schedule" in out
+
+
+def test_gadget_no(capsys):
+    rc = main(["gadget", "7", "9", "11", "7", "9", "9"])
+    assert rc == 1
+    assert "NO" in capsys.readouterr().out
+
+
+def test_gadget_invalid_input(capsys):
+    rc = main(["gadget", "1", "2"])
+    assert rc == 2
+    assert "invalid" in capsys.readouterr().err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

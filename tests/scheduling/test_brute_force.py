@@ -1,0 +1,64 @@
+"""Tests for the exact DP solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.cost import schedule_cost, validate_task_schedule
+from repro.scheduling.generators import random_outtree_instance
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidInstanceError
+
+
+def test_empty_edge_cases():
+    inst = SchedulingInstance([-1], [5], P=1)
+    opt, sched = brute_force_optimal(inst)
+    assert opt == 5
+    assert sched.steps == [[0]]
+
+
+def test_independent_tasks_wspt():
+    # No precedence, P=1: optimal = schedule by decreasing weight.
+    inst = SchedulingInstance([-1, -1, -1], [1, 10, 5], P=1)
+    opt, sched = brute_force_optimal(inst)
+    assert opt == 10 * 1 + 5 * 2 + 1 * 3
+    assert [s[0] for s in sched.steps] == [1, 2, 0]
+
+
+def test_parallel_machines():
+    inst = SchedulingInstance([-1, -1], [5, 5], P=2)
+    opt, _ = brute_force_optimal(inst)
+    assert opt == 10  # both finish at step 1
+
+
+def test_chain_forced_order():
+    inst = SchedulingInstance([-1, 0, 1], [0, 0, 9], P=3)
+    opt, sched = brute_force_optimal(inst)
+    assert opt == 9 * 3  # chain takes 3 steps regardless of P
+    validate_task_schedule(inst, sched)
+
+
+def test_returned_schedule_matches_cost():
+    for seed in range(10):
+        inst = random_outtree_instance(8, P=2, seed=seed)
+        opt, sched = brute_force_optimal(inst)
+        assert schedule_cost(inst, sched) == pytest.approx(opt)
+
+
+def test_size_guard():
+    inst = random_outtree_instance(25, P=2, seed=0)
+    with pytest.raises(InvalidInstanceError):
+        brute_force_optimal(inst)
+
+
+def test_monotone_in_P():
+    """More machines never hurt the optimum."""
+    for seed in range(5):
+        inst1 = random_outtree_instance(8, P=1, seed=seed)
+        inst2 = SchedulingInstance(inst1.parent, inst1.weights, 2)
+        inst3 = SchedulingInstance(inst1.parent, inst1.weights, 3)
+        o1, _ = brute_force_optimal(inst1)
+        o2, _ = brute_force_optimal(inst2)
+        o3, _ = brute_force_optimal(inst3)
+        assert o1 >= o2 >= o3

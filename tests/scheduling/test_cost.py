@@ -1,0 +1,127 @@
+"""Tests for task-schedule cost evaluation and validation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scheduling.cost import (
+    TaskSchedule,
+    fractional_cost,
+    schedule_cost,
+    validate_task_schedule,
+)
+from repro.scheduling.horn import compute_horn
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidScheduleError
+
+
+def simple_instance():
+    return SchedulingInstance([-1, 0, 0], [2, 3, 5], P=2)
+
+
+def test_schedule_cost_basic():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 0)
+    s.add(2, 1)
+    s.add(2, 2)
+    assert schedule_cost(inst, s) == 2 * 1 + 3 * 2 + 5 * 2
+
+
+def test_add_rejects_zero_step():
+    s = TaskSchedule()
+    with pytest.raises(ValueError):
+        s.add(0, 1)
+
+
+def test_validate_rejects_over_capacity():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 0)
+    s.add(2, 1)
+    s.add(2, 2)
+    s.steps[1].append(0)  # 3 tasks in step 2 with P=2, and 0 twice
+    with pytest.raises(InvalidScheduleError):
+        validate_task_schedule(inst, s)
+
+
+def test_validate_rejects_duplicate():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 0)
+    s.add(2, 0)
+    s.add(3, 1)
+    s.add(4, 2)
+    with pytest.raises(InvalidScheduleError, match="twice"):
+        validate_task_schedule(inst, s)
+
+
+def test_validate_rejects_missing():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 0)
+    with pytest.raises(InvalidScheduleError, match="never scheduled"):
+        validate_task_schedule(inst, s)
+
+
+def test_validate_rejects_precedence_violation():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 1)  # child before parent 0
+    s.add(1, 0)
+    s.add(2, 2)
+    with pytest.raises(InvalidScheduleError, match="strictly follow"):
+        validate_task_schedule(inst, s)
+
+
+def test_validate_rejects_unknown_task():
+    inst = simple_instance()
+    s = TaskSchedule()
+    s.add(1, 7)
+    with pytest.raises(InvalidScheduleError, match="unknown"):
+        validate_task_schedule(inst, s)
+
+
+def test_completion_times():
+    s = TaskSchedule()
+    s.add(2, 1)
+    s.add(1, 0)
+    c = s.completion_times(3)
+    assert c.tolist() == [1, 2, 0]
+
+
+def test_trim_and_iter():
+    s = TaskSchedule()
+    s.add(1, 0)
+    s.steps.append([])
+    assert s.trim().n_steps == 1
+    assert list(s.iter_tasks()) == [0]
+
+
+def test_fractional_cost_equals_cost_for_uniform_tree():
+    """With a single Horn tree, cost^f weights every task by the tree's
+    density; for a chain fully absorbed into one tree the two costs agree
+    exactly when every task has the tree's average weight."""
+    inst = SchedulingInstance([-1, 0, 1], [4, 4, 4], P=1)
+    # Equal weights: strictly-denser never triggers, three singleton trees,
+    # so cost^f == cost.
+    horn = compute_horn(inst)
+    s = TaskSchedule()
+    for t, j in enumerate([0, 1, 2], start=1):
+        s.add(t, j)
+    assert fractional_cost(inst, s, horn) == Fraction(int(schedule_cost(inst, s)))
+
+
+def test_fractional_cost_below_cost_lemma13():
+    """Lemma 13: cost^f(sigma) <= cost(sigma) for every schedule."""
+    from repro.scheduling.generators import random_outtree_instance
+    from repro.scheduling.baselines import random_order_schedule
+
+    for seed in range(10):
+        inst = random_outtree_instance(20, P=2, seed=seed)
+        horn = compute_horn(inst)
+        sched = random_order_schedule(inst, seed=seed)
+        fc = fractional_cost(inst, sched, horn)
+        assert float(fc) <= schedule_cost(inst, sched) + 1e-9

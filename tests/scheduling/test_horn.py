@@ -1,0 +1,178 @@
+"""Tests for Horn densities, Horn's trees, and Horn's algorithm.
+
+The key correctness anchors:
+
+* task densities match a brute-force maximum over *all* subtrees on small
+  random instances;
+* Horn's trees partition the tasks and satisfy Observation 11 (no subtree
+  sharing a Horn tree root is denser than the Horn tree);
+* Horn's algorithm is optimal for ``P = 1`` against the exact DP.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import chain, combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.cost import schedule_cost, validate_task_schedule
+from repro.scheduling.generators import random_outtree_instance
+from repro.scheduling.horn import compute_horn, horn_schedule
+from repro.scheduling.instance import SchedulingInstance
+
+
+def brute_force_best_density(inst: SchedulingInstance, root: int) -> Fraction:
+    """Max density over all contiguous subtrees rooted at ``root``."""
+    children = inst.children_lists()
+    # Enumerate subtrees: recursively choose, for each node in the current
+    # frontier, any subset of its children.  Exponential; n must be tiny.
+    best = [Fraction(-1)]
+
+    def rec(frontier: list[int], members: list[int]) -> None:
+        w = sum(int(inst.weights[j]) for j in members)
+        d = Fraction(w, len(members))
+        if d > best[0]:
+            best[0] = d
+        expandable = [c for j in frontier for c in children[j]]
+        if not expandable:
+            return
+        # Choose any nonempty subset of expandable nodes to add.
+        for r in range(1, len(expandable) + 1):
+            for subset in combinations(expandable, r):
+                rec(list(subset), members + list(subset))
+
+    rec([root], [root])
+    return best[0]
+
+
+def test_single_task():
+    inst = SchedulingInstance([-1], [5], P=1)
+    horn = compute_horn(inst)
+    assert horn.task_density[0] == Fraction(5)
+    assert horn.f_size[0] == 1
+    assert horn.horn_root.tolist() == [0]
+    assert horn.n_trees == 1
+
+
+def test_chain_densities():
+    # 0 <- 1 <- 2 with weights 1, 1, 10: F_0 should absorb everything.
+    inst = SchedulingInstance([-1, 0, 1], [1, 1, 10], P=1)
+    horn = compute_horn(inst)
+    assert horn.task_density[2] == Fraction(10)
+    assert horn.task_density[1] == Fraction(11, 2)
+    assert horn.task_density[0] == Fraction(12, 3)
+    assert horn.horn_root.tolist() == [0, 0, 0]
+    assert horn.n_trees == 1
+
+
+def test_light_tail_not_absorbed():
+    # 0(10) <- 1(1): F_0 = {0} alone (absorbing 1 lowers density).
+    inst = SchedulingInstance([-1, 0], [10, 1], P=1)
+    horn = compute_horn(inst)
+    assert horn.task_density[0] == Fraction(10)
+    assert horn.f_size[0] == 1
+    assert horn.horn_root.tolist() == [0, 1]
+    assert horn.n_trees == 2
+    assert horn.tree_density(1) == Fraction(1)
+
+
+def test_equal_density_not_absorbed():
+    # Strict inequality: a child of equal density stays its own tree.
+    inst = SchedulingInstance([-1, 0], [3, 3], P=1)
+    horn = compute_horn(inst)
+    assert horn.f_size[0] == 1
+    assert horn.n_trees == 2
+
+
+def test_zero_weights():
+    inst = SchedulingInstance([-1, 0, 1], [0, 0, 0], P=1)
+    horn = compute_horn(inst)
+    assert horn.task_density[0] == Fraction(0)
+    assert horn.n_trees == 3  # nothing is strictly denser than anything
+
+
+def test_tree_members_partition():
+    inst = random_outtree_instance(40, P=2, n_roots=4, seed=3)
+    horn = compute_horn(inst)
+    members = horn.tree_members()
+    all_tasks = sorted(j for tasks in members.values() for j in tasks)
+    assert all_tasks == list(range(40))
+    for root, tasks in members.items():
+        assert root in tasks
+
+
+def test_horn_trees_are_contiguous():
+    """Every Horn tree is a contiguous subtree: a member's parent is in the
+    same tree unless the member is the tree's root."""
+    for seed in range(10):
+        inst = random_outtree_instance(30, P=1, n_roots=3, seed=seed)
+        horn = compute_horn(inst)
+        for j in range(30):
+            r = int(horn.horn_root[j])
+            if j != r:
+                p = int(inst.parent[j])
+                assert p != -1
+                assert int(horn.horn_root[p]) == r
+
+
+def test_observation_11_densities_dominate():
+    """F_j's density is the max over all subtrees rooted at j."""
+    for seed in range(8):
+        inst = random_outtree_instance(9, P=1, n_roots=2, seed=seed)
+        horn = compute_horn(inst)
+        for j in range(inst.n_tasks):
+            assert horn.task_density[j] == brute_force_best_density(inst, j)
+
+
+def test_absorbed_subtrees_at_least_as_dense():
+    """Every Horn tree's density <= density of each member's own F-tree."""
+    inst = random_outtree_instance(60, P=1, seed=11)
+    horn = compute_horn(inst)
+    for j in range(60):
+        r = int(horn.horn_root[j])
+        assert horn.task_density[j] >= horn.tree_density(r)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_horn_optimal_p1(seed):
+    inst = random_outtree_instance(
+        8, P=1, n_roots=2, seed=seed, zero_weight_fraction=0.25
+    )
+    horn = compute_horn(inst)
+    sched = horn_schedule(inst, horn)
+    cost = schedule_cost(inst, sched)
+    opt, _ = brute_force_optimal(inst)
+    assert cost == pytest.approx(opt)
+
+
+def test_horn_schedule_feasible_large():
+    inst = random_outtree_instance(3000, P=1, seed=0)
+    sched = horn_schedule(inst)
+    validate_task_schedule(inst, sched)
+    assert sched.n_steps == 3000  # one task per step on one machine
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 10),
+    st.integers(0, 2**31 - 1),
+)
+def test_horn_beats_or_ties_arbitrary_orders(n, seed):
+    """Property: Horn's P=1 schedule costs no more than random feasible
+    topological orders of the same instance."""
+    inst = random_outtree_instance(n, P=1, seed=seed)
+    horn_cost = schedule_cost(inst, horn_schedule(inst))
+    rng = np.random.default_rng(seed)
+    children = inst.children_lists()
+    for _ in range(5):
+        # Random feasible order via random list scheduling.
+        from repro.scheduling.baselines import list_schedule
+
+        prios = rng.random(n)
+        sched = list_schedule(inst, lambda j: float(prios[j]))
+        assert horn_cost <= schedule_cost(inst, sched) + 1e-9

@@ -1,0 +1,87 @@
+"""Cross-check of the pairing-heap Horn densities at scale.
+
+The brute-force subtree enumeration in ``test_horn.py`` only reaches
+n ~ 9.  This file implements an independent exact reference —
+Dinkelbach's algorithm for fractional programming — to certify the
+densities on instances with hundreds of tasks:
+
+maximizing ``w(T')/s(T')`` over subtrees rooted at ``j`` equals finding
+the largest ``lambda`` with ``max_{T'} (w(T') - lambda * s(T')) = 0``;
+for fixed ``lambda`` that inner maximum is a one-pass tree DP (include a
+child's subtree iff its DP value is positive).  Iterating
+``lambda <- w/s`` of the current argmax converges in finitely many exact
+(Fraction) steps.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scheduling.generators import random_outtree_instance
+from repro.scheduling.horn import compute_horn
+from repro.scheduling.instance import SchedulingInstance
+
+
+def reference_density(inst: SchedulingInstance, root: int) -> Fraction:
+    """Exact max subtree density at ``root`` via Dinkelbach iteration."""
+    children = inst.children_lists()
+    # Restrict the topological order to root's subtree.
+    subtree = []
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        subtree.append(u)
+        stack.extend(children[u])
+
+    lam = inst.weight_fraction(root)  # density of {root} to start
+    for _ in range(10_000):
+        g: dict[int, Fraction] = {}
+        w_acc: dict[int, Fraction] = {}
+        s_acc: dict[int, int] = {}
+        for u in reversed(subtree):
+            gu = inst.weight_fraction(u) - lam
+            wu = inst.weight_fraction(u)
+            su = 1
+            for c in children[u]:
+                if g[c] > 0:
+                    gu += g[c]
+                    wu += w_acc[c]
+                    su += s_acc[c]
+            g[u] = gu
+            w_acc[u] = wu
+            s_acc[u] = su
+        if g[root] <= 0:
+            return lam
+        lam = w_acc[root] / s_acc[root]
+    raise AssertionError("Dinkelbach did not converge")  # pragma: no cover
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_densities_match_dinkelbach_reference(seed):
+    inst = random_outtree_instance(
+        200, P=1, n_roots=3, seed=seed, zero_weight_fraction=0.3
+    )
+    horn = compute_horn(inst)
+    for j in range(0, inst.n_tasks, 7):  # sample every 7th task
+        assert horn.task_density[j] == reference_density(inst, j), j
+
+
+def test_densities_match_on_chains():
+    inst = SchedulingInstance(
+        [-1, 0, 1, 2, 3], [1, 2, 3, 4, 100], P=1
+    )
+    horn = compute_horn(inst)
+    for j in range(5):
+        assert horn.task_density[j] == reference_density(inst, j)
+
+
+def test_densities_match_with_all_zero_weights():
+    inst = random_outtree_instance(
+        50, P=1, seed=1, zero_weight_fraction=1.0, max_weight=1
+    )
+    # zero_weight_fraction=1.0 zeroes whatever the base draw was.
+    horn = compute_horn(inst)
+    for j in range(0, 50, 5):
+        assert horn.task_density[j] == reference_density(inst, j)

@@ -1,0 +1,80 @@
+"""Tests for SchedulingInstance validation and accessors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.scheduling.instance import SchedulingInstance
+from repro.util.errors import InvalidInstanceError
+
+
+def test_simple_forest():
+    inst = SchedulingInstance([-1, 0, 0, -1], [1, 2, 3, 4], P=2)
+    assert inst.n_tasks == 4
+    assert len(inst) == 4
+    assert inst.roots() == [0, 3]
+    assert inst.children_lists() == [[1, 2], [], [], []]
+    assert inst.total_weight == 10.0
+
+
+def test_rejects_bad_P():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([-1], [1], P=0)
+
+
+def test_rejects_negative_weight():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([-1], [-1], P=1)
+
+
+def test_rejects_weight_length_mismatch():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([-1, 0], [1], P=1)
+
+
+def test_rejects_cycle():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([1, 0], [1, 1], P=1)
+
+
+def test_rejects_self_loop():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([0], [1], P=1)
+
+
+def test_rejects_out_of_range_parent():
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([-1, 7], [1, 1], P=1)
+    with pytest.raises(InvalidInstanceError):
+        SchedulingInstance([-1, -2], [1, 1], P=1)
+
+
+def test_topological_order_parents_first():
+    inst = SchedulingInstance([-1, 0, 1, 1, 0], [1] * 5, P=1)
+    order = inst.topological_order()
+    pos = {j: i for i, j in enumerate(order)}
+    for j in range(5):
+        p = int(inst.parent[j])
+        if p >= 0:
+            assert pos[p] < pos[j]
+    assert sorted(order) == list(range(5))
+
+
+def test_weight_fraction_exact_for_ints():
+    inst = SchedulingInstance([-1], [7], P=1)
+    assert inst.weight_fraction(0) == Fraction(7)
+
+
+def test_depth():
+    inst = SchedulingInstance([-1, 0, 1, 2], [1] * 4, P=1)
+    assert [inst.depth(j) for j in range(4)] == [0, 1, 2, 3]
+
+
+def test_arrays_read_only():
+    inst = SchedulingInstance([-1, 0], [1, 1], P=1)
+    with pytest.raises(ValueError):
+        inst.parent[0] = 1
+    with pytest.raises(ValueError):
+        inst.weights[0] = 5

@@ -1,0 +1,147 @@
+"""Tests for PHTF and MPHTF, including the paper-findings regressions.
+
+MPHTF's empirical quality is asserted at the paper's 4x bound on small
+instances against the exact DP (the literal proof chain has a gap — see
+``test_lemma12_counterexample`` — but the bound holds on every instance we
+have searched).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.analysis.lower_bounds import scheduling_lower_bound
+from repro.scheduling.brute_force import brute_force_optimal
+from repro.scheduling.cost import (
+    fractional_cost,
+    schedule_cost,
+    validate_task_schedule,
+)
+from repro.scheduling.generators import (
+    random_chain_instance,
+    random_outtree_instance,
+)
+from repro.scheduling.horn import compute_horn
+from repro.scheduling.instance import SchedulingInstance
+from repro.scheduling.mphtf import MPHTFDiagnostics, mphtf_schedule
+from repro.scheduling.phtf import phtf_schedule
+
+
+def test_phtf_fills_machines():
+    inst = SchedulingInstance([-1, -1, -1, -1], [1, 2, 3, 4], P=2)
+    sched = phtf_schedule(inst)
+    assert sched.n_steps == 2
+    assert sched.steps[0] == [3, 2]  # densest first
+
+
+def test_phtf_respects_precedence():
+    for seed in range(10):
+        inst = random_outtree_instance(50, P=3, seed=seed)
+        validate_task_schedule(inst, phtf_schedule(inst))
+
+
+def test_phtf_equals_horn_for_p1():
+    from repro.scheduling.horn import horn_schedule
+
+    inst = random_outtree_instance(40, P=1, seed=5)
+    horn = compute_horn(inst)
+    assert phtf_schedule(inst, horn).steps == horn_schedule(inst, horn).steps
+
+
+def test_mphtf_feasible():
+    for seed in range(10):
+        for P in (1, 2, 4):
+            inst = random_outtree_instance(
+                60, P=P, seed=seed, zero_weight_fraction=0.3
+            )
+            validate_task_schedule(inst, mphtf_schedule(inst))
+
+
+@pytest.mark.parametrize("seed", range(30))
+@pytest.mark.parametrize("P", [1, 2, 3])
+def test_mphtf_within_4x_of_optimal(seed, P):
+    inst = random_outtree_instance(
+        9, P=P, n_roots=3, seed=seed, zero_weight_fraction=0.3
+    )
+    mc = schedule_cost(inst, mphtf_schedule(inst))
+    opt, _ = brute_force_optimal(inst)
+    assert mc <= 4 * opt + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mphtf_above_certified_lower_bound(seed):
+    inst = random_outtree_instance(40, P=2, seed=seed)
+    mc = schedule_cost(inst, mphtf_schedule(inst))
+    lb = scheduling_lower_bound(inst)
+    assert mc >= lb - 1e-9
+
+
+def test_mphtf_chain_instances():
+    inst = random_chain_instance(5, 4, P=2, seed=0)
+    sched = mphtf_schedule(inst)
+    validate_task_schedule(inst, sched)
+    opt, _ = brute_force_optimal(inst) if inst.n_tasks <= 18 else (None, None)
+    # 20 tasks: skip exact check, feasibility is enough here.
+
+
+def test_mphtf_single_task():
+    inst = SchedulingInstance([-1], [3], P=2)
+    sched = mphtf_schedule(inst)
+    assert schedule_cost(inst, sched) == 3
+
+
+def test_mphtf_diagnostics_counts():
+    inst = random_outtree_instance(30, P=2, seed=1)
+    diag = MPHTFDiagnostics()
+    mphtf_schedule(inst, diagnostics=diag)
+    assert diag.wasted_slots >= 0
+    assert diag.drain_steps >= 0
+
+
+def test_lemma12_counterexample():
+    """Reproduction finding R1: PHTF is *not* cost^f-optimal as Lemma 12
+    states.  On this 9-task instance (seed 45 of our generator) a busier
+    schedule achieves strictly smaller cost^f than PHTF.  This regression
+    test pins the finding; see EXPERIMENTS.md."""
+    inst = random_outtree_instance(
+        9, P=2, n_roots=3, seed=45, zero_weight_fraction=0.3
+    )
+    horn = compute_horn(inst)
+    phtf_fc = fractional_cost(inst, phtf_schedule(inst, horn), horn)
+
+    # Brute-force the minimum cost^f by re-weighting tasks with their
+    # Horn-tree density (cost^f is a plain Sum wC in those weights).
+    wf = np.array(
+        [
+            float(horn.tree_density(int(horn.horn_root[j])))
+            for j in range(inst.n_tasks)
+        ]
+    )
+    inst_f = SchedulingInstance(inst.parent, wf, inst.P)
+    opt_f, _ = brute_force_optimal(inst_f)
+    assert float(phtf_fc) > opt_f + 1e-9, (
+        "Lemma 12 counterexample vanished - did PHTF change?"
+    )
+    # Concrete numbers from the finding (kept exact to detect drift).
+    assert phtf_fc == Fraction(200)
+    assert opt_f == pytest.approx(169.0)
+
+
+def test_phtf_costf_optimal_for_p1():
+    """For P = 1 PHTF *is* Horn's algorithm and cost^f-optimality holds
+    (no idle machines, the paper's exchange argument goes through)."""
+    for seed in range(10):
+        inst = random_outtree_instance(8, P=1, n_roots=2, seed=seed)
+        horn = compute_horn(inst)
+        fc = fractional_cost(inst, phtf_schedule(inst, horn), horn)
+        wf = np.array(
+            [
+                float(horn.tree_density(int(horn.horn_root[j])))
+                for j in range(inst.n_tasks)
+            ]
+        )
+        inst_f = SchedulingInstance(inst.parent, wf, 1)
+        opt_f, _ = brute_force_optimal(inst_f)
+        assert float(fc) <= opt_f + 1e-9

@@ -1,0 +1,198 @@
+"""Tests for the B^epsilon-tree dictionary substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policies import GreedyBatchPolicy, WormsPolicy
+from repro.tree.betree import BeTree
+from repro.util.errors import InvalidInstanceError
+
+
+def test_constructor_validation():
+    with pytest.raises(InvalidInstanceError):
+        BeTree(B=2)
+    with pytest.raises(InvalidInstanceError):
+        BeTree(B=16, eps=0.0)
+    with pytest.raises(InvalidInstanceError):
+        BeTree(B=16, eps=1.5)
+
+
+def test_insert_query_roundtrip():
+    t = BeTree(B=8, eps=0.5)
+    for k in range(100):
+        t.insert(k, k * 10)
+    for k in range(100):
+        assert t.query(k) == k * 10
+    assert t.query(1000) is None
+    assert len(t) == 100
+    t.check_invariants()
+
+
+def test_overwrite():
+    t = BeTree(B=8)
+    t.insert(1, "a")
+    t.insert(1, "b")
+    assert t.query(1) == "b"
+    assert len(t) == 1
+
+
+def test_tombstone_delete():
+    t = BeTree(B=8)
+    for k in range(50):
+        t.insert(k, k)
+    t.delete(10)
+    assert t.query(10) is None
+    assert 10 not in t
+    assert 11 in t
+
+
+def test_delete_then_reinsert():
+    t = BeTree(B=8)
+    t.insert(5, "x")
+    t.delete(5)
+    t.insert(5, "y")
+    assert t.query(5) == "y"
+
+
+def test_tree_grows_in_height():
+    t = BeTree(B=4, eps=0.5)
+    assert t.height == 0
+    for k in range(200):
+        t.insert(k, k)
+    assert t.height >= 2
+    t.check_invariants()
+    for k in range(200):
+        assert t.query(k) == k
+
+
+def test_io_accounting_monotone():
+    t = BeTree(B=8)
+    assert t.io.total == 0
+    t.insert(1, 1)
+    writes_after_insert = t.io.writes
+    assert writes_after_insert >= 1
+    t.query(1)
+    assert t.io.reads >= 1
+    t.io.reset()
+    assert t.io.total == 0
+
+
+def test_write_optimization_inserts_cheaper_than_queries():
+    """The WOD asymmetry: amortized insert IO << per-query IO."""
+    t = BeTree(B=32, eps=0.5)
+    rng = np.random.default_rng(0)
+    keys = rng.permutation(4000)
+    for k in keys:
+        t.insert(int(k), int(k))
+    insert_ios = t.io.total / len(keys)
+    t.io.reset()
+    for k in keys[:200]:
+        t.query(int(k))
+    query_ios = t.io.total / 200
+    assert insert_ios < query_ios
+
+
+def test_secure_delete_is_logical_immediately_physical_after_purge():
+    t = BeTree(B=8, eps=0.5)
+    for k in range(60):
+        t.insert(k, f"v{k}")
+    t.secure_delete(7)
+    assert t.query(7) is None  # logically gone at once
+    assert t.backlog_size == 1
+    assert t.purged_keys == []  # not yet physically purged
+    instance, maps = t.backlog_instance(P=2)
+    schedule = GreedyBatchPolicy().schedule(instance)
+    completion = t.apply_flush_plan(schedule, maps)
+    assert t.backlog_size == 0
+    assert t.purged_keys == [7]
+    assert set(completion) == {0}
+
+
+def test_deferred_query_resolves_via_purge():
+    t = BeTree(B=8, eps=0.5)
+    for k in range(60):
+        t.insert(k, f"v{k}")
+    q1 = t.deferred_query(3)
+    q2 = t.deferred_query(999)  # absent key
+    with pytest.raises(KeyError):
+        t.query_result(q1)
+    instance, maps = t.backlog_instance(P=1)
+    schedule = WormsPolicy().schedule(instance)
+    t.apply_flush_plan(schedule, maps)
+    assert t.query_result(q1) == "v3"
+    assert t.query_result(q2) is None
+
+
+def test_backlog_instance_targets_correct_leaves():
+    t = BeTree(B=8, eps=0.5)
+    for k in range(120):
+        t.insert(k, k)
+    for k in (5, 50, 110):
+        t.secure_delete(k)
+    instance, maps = t.backlog_instance(P=1)
+    assert instance.n_messages == 3
+    topo = instance.topology
+    for msg in instance.messages:
+        assert topo.is_leaf(msg.target_leaf)
+        leaf = maps.id_to_node[msg.target_leaf]
+        assert msg.key in leaf.records
+
+
+def test_backlog_batch_purge_end_to_end():
+    """The paper's nightly purge scenario on a real tree."""
+    t = BeTree(B=16, eps=0.5)
+    n = 500
+    for k in range(n):
+        t.insert(k, k)
+    doomed = list(range(0, n, 7))
+    for k in doomed:
+        t.secure_delete(k)
+    instance, maps = t.backlog_instance(P=4)
+    schedule = WormsPolicy().schedule(instance)
+    completion = t.apply_flush_plan(schedule, maps)
+    assert sorted(t.purged_keys) == doomed
+    assert len(completion) == len(doomed)
+    assert len(t) == n - len(doomed)
+    for k in doomed:
+        assert t.query(k) is None
+    t.check_invariants()
+
+
+def test_unfinished_plan_rejected():
+    from repro.dam.schedule import FlushSchedule
+
+    t = BeTree(B=8)
+    for k in range(60):
+        t.insert(k, k)
+    t.secure_delete(1)
+    instance, maps = t.backlog_instance()
+    with pytest.raises(InvalidInstanceError):
+        t.apply_flush_plan(FlushSchedule(), maps)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 80)),
+        max_size=300,
+    )
+)
+def test_matches_dict_reference(ops):
+    """Property: BeTree behaves like a dict under inserts and deletes."""
+    t = BeTree(B=8, eps=0.5)
+    reference: dict[int, int] = {}
+    for op, key in ops:
+        if op == "ins":
+            t.insert(key, key * 2)
+            reference[key] = key * 2
+        else:
+            t.delete(key)
+            reference.pop(key, None)
+    for key in range(81):
+        assert t.query(key) == reference.get(key)
+    assert len(t) == len(reference)
+    t.check_invariants()

@@ -1,0 +1,49 @@
+"""Tests for range secure deletes on the BeTree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import WormsPolicy
+from repro.tree.betree import BeTree
+
+
+def test_range_expands_to_present_keys():
+    t = BeTree(B=8, eps=0.5)
+    for k in range(0, 100, 2):  # evens only
+        t.insert(k, k)
+    msgs = t.secure_delete_range(10, 20)
+    assert sorted(m.key for m in msgs) == [10, 12, 14, 16, 18]
+    assert t.backlog_size == 5
+
+
+def test_range_sees_buffered_inserts():
+    t = BeTree(B=64)  # large B: everything stays buffered at the root
+    t.insert(5, "x")
+    t.insert(7, "y")
+    t.delete(7)
+    msgs = t.secure_delete_range(0, 10)
+    assert [m.key for m in msgs] == [5]  # 7 is tombstoned, not present
+
+
+def test_range_purge_end_to_end():
+    t = BeTree(B=16, eps=0.5)
+    for k in range(400):
+        t.insert(k, f"v{k}")
+    t.secure_delete_range(100, 200)
+    instance, maps = t.backlog_instance(P=2)
+    assert instance.n_messages == 100
+    schedule = WormsPolicy().schedule(instance)
+    t.apply_flush_plan(schedule, maps)
+    assert sorted(t.purged_keys) == list(range(100, 200))
+    for k in range(400):
+        expected = None if 100 <= k < 200 else f"v{k}"
+        assert t.query(k) == expected
+    t.check_invariants()
+
+
+def test_empty_range():
+    t = BeTree(B=8)
+    t.insert(1, 1)
+    assert t.secure_delete_range(50, 60) == []
+    assert t.backlog_size == 0

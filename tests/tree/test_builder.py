@@ -1,0 +1,96 @@
+"""Tests for topology builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree.builder import (
+    balanced_tree,
+    beps_shape_tree,
+    path_tree,
+    ragged_random_tree,
+    random_tree,
+    star_tree,
+    tree_from_children,
+)
+from repro.util.errors import InvalidInstanceError
+
+
+def test_tree_from_children_roundtrip():
+    t = tree_from_children([[1, 2], [3], [], []])
+    assert t.parent_of(1) == 0
+    assert t.parent_of(3) == 1
+    assert t.leaves == (2, 3)
+
+
+def test_tree_from_children_rejects_double_parent():
+    with pytest.raises(InvalidInstanceError):
+        tree_from_children([[1, 2], [2], [], []])
+
+
+def test_tree_from_children_rejects_bad_id():
+    with pytest.raises(InvalidInstanceError):
+        tree_from_children([[5]])
+
+
+def test_balanced_rejects_bad_args():
+    with pytest.raises(InvalidInstanceError):
+        balanced_tree(0, 2)
+    with pytest.raises(InvalidInstanceError):
+        balanced_tree(2, -1)
+
+
+def test_path_and_star_edges():
+    assert path_tree(0).n_nodes == 1
+    assert star_tree(1).n_nodes == 2
+    with pytest.raises(InvalidInstanceError):
+        path_tree(-1)
+    with pytest.raises(InvalidInstanceError):
+        star_tree(0)
+
+
+def test_beps_shape_has_enough_leaves():
+    t = beps_shape_tree(B=64, eps=0.5, n_leaves=100)
+    assert len(t.leaves) >= 100
+    # fanout = ceil(64^0.5) = 8
+    assert len(t.children_of(0)) == 8
+    assert t.all_leaves_at_height()
+
+
+def test_beps_shape_rejects_bad_eps():
+    with pytest.raises(InvalidInstanceError):
+        beps_shape_tree(B=64, eps=0.0, n_leaves=4)
+    with pytest.raises(InvalidInstanceError):
+        beps_shape_tree(B=1, eps=0.5, n_leaves=4)
+
+
+def test_random_tree_uniform_leaf_depth():
+    t = random_tree(height=4, min_fanout=2, max_fanout=3, seed=0)
+    assert t.all_leaves_at_height(4)
+
+
+def test_random_tree_deterministic_by_seed():
+    a = random_tree(height=3, seed=9)
+    b = random_tree(height=3, seed=9)
+    assert (a.parents == b.parents).all()
+
+
+def test_random_tree_rejects_bad_fanout():
+    with pytest.raises(InvalidInstanceError):
+        random_tree(2, min_fanout=3, max_fanout=2)
+    with pytest.raises(InvalidInstanceError):
+        random_tree(2, min_fanout=0, max_fanout=2)
+
+
+def test_ragged_tree_properties():
+    t = ragged_random_tree(50, max_children=3, seed=1)
+    assert t.n_nodes == 50
+    for v in range(50):
+        assert len(t.children_of(v)) <= 3
+    with pytest.raises(InvalidInstanceError):
+        ragged_random_tree(0)
+
+
+def test_random_tree_height_zero():
+    t = random_tree(0, seed=0)
+    assert t.n_nodes == 1

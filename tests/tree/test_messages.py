@@ -1,0 +1,40 @@
+"""Tests for message kinds and the Message dataclass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree.messages import Message, MessageKind
+
+
+def test_root_to_leaf_classification():
+    assert MessageKind.SECURE_DELETE.is_root_to_leaf
+    assert MessageKind.DEFERRED_QUERY.is_root_to_leaf
+    assert not MessageKind.INSERT.is_root_to_leaf
+    assert not MessageKind.DELETE.is_root_to_leaf
+
+
+def test_message_defaults():
+    m = Message(3, 7)
+    assert m.msg_id == 3
+    assert m.target_leaf == 7
+    assert m.kind is MessageKind.SECURE_DELETE
+    assert m.key is None
+    assert m.payload is None
+
+
+def test_message_frozen():
+    m = Message(0, 1)
+    with pytest.raises(AttributeError):
+        m.target_leaf = 5  # type: ignore[misc]
+
+
+def test_payload_not_compared():
+    a = Message(0, 1, MessageKind.INSERT, key="k", payload="x")
+    b = Message(0, 1, MessageKind.INSERT, key="k", payload="y")
+    assert a == b  # payload excluded from equality
+
+
+def test_repr_compact():
+    m = Message(5, 9, MessageKind.DEFERRED_QUERY)
+    assert repr(m) == "Message(5->9, deferred_query)"

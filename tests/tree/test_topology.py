@@ -1,0 +1,142 @@
+"""Tests for the static tree topology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tree.builder import balanced_tree, path_tree, star_tree
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+
+
+def test_single_node():
+    t = TreeTopology([-1])
+    assert t.n_nodes == 1
+    assert t.height == 0
+    assert t.leaves == (0,)
+    assert t.is_leaf(0)
+    assert t.path_from_root(0) == [0]
+    assert t.edges_from_root(0) == []
+
+
+def test_rejects_empty():
+    with pytest.raises(InvalidInstanceError):
+        TreeTopology([])
+
+
+def test_rejects_non_root_zero():
+    with pytest.raises(InvalidInstanceError):
+        TreeTopology([1, -1])
+
+
+def test_rejects_out_of_range_parent():
+    with pytest.raises(InvalidInstanceError):
+        TreeTopology([-1, 5])
+
+
+def test_rejects_cycle():
+    # 1 -> 2 -> 1 is unreachable from the root.
+    with pytest.raises(InvalidInstanceError):
+        TreeTopology([-1, 2, 1])
+
+
+def test_basic_star():
+    t = star_tree(4)
+    assert t.n_nodes == 5
+    assert t.height == 1
+    assert t.leaves == (1, 2, 3, 4)
+    assert t.children_of(0) == (1, 2, 3, 4)
+    assert all(t.parent_of(v) == 0 for v in (1, 2, 3, 4))
+    assert t.parent_of(0) == -1
+
+
+def test_heights_balanced():
+    t = balanced_tree(2, 3)
+    assert t.height == 3
+    assert t.n_nodes == 15
+    assert len(t.leaves) == 8
+    assert t.all_leaves_at_height()
+    assert t.all_leaves_at_height(3)
+    assert not t.all_leaves_at_height(2)
+    for leaf in t.leaves:
+        assert t.height_of(leaf) == 3
+
+
+def test_path_from_root_and_edges():
+    t = path_tree(3)  # 0-1-2-3
+    assert t.path_from_root(3) == [0, 1, 2, 3]
+    assert t.edges_from_root(3) == [(0, 1), (1, 2), (2, 3)]
+    assert t.leaves == (3,)
+
+
+def test_descendant_relation():
+    t = balanced_tree(2, 2)  # root 0, children 1,2; leaves 3,4,5,6
+    assert t.is_descendant(3, 1)
+    assert t.is_descendant(3, 0)
+    assert t.is_descendant(1, 1)  # self-descendant per the paper
+    assert not t.is_descendant(3, 2)
+    assert not t.is_descendant(0, 1)
+
+
+def test_child_towards():
+    t = balanced_tree(2, 2)
+    assert t.child_towards(0, 3) == 1
+    assert t.child_towards(0, 6) == 2
+    assert t.child_towards(1, 4) == 4
+    with pytest.raises(InvalidInstanceError):
+        t.child_towards(1, 6)  # 6 is not under node 1
+
+
+def test_subtree_sizes():
+    t = balanced_tree(2, 2)
+    assert t.subtree_size(0) == 7
+    assert t.subtree_size(1) == 3
+    assert t.subtree_size(3) == 1
+
+
+def test_iter_subtree_and_leaves_under():
+    t = balanced_tree(2, 2)
+    assert set(t.iter_subtree(1)) == {1, 3, 4}
+    assert t.leaves_under(1) == [3, 4]
+    assert sorted(t.leaves_under(0)) == [3, 4, 5, 6]
+
+
+def test_bfs_order_parents_first():
+    t = balanced_tree(3, 3)
+    seen = set()
+    for v in t.bfs_order:
+        p = t.parent_of(int(v))
+        assert p == -1 or p in seen
+        seen.add(int(v))
+
+
+def test_parent_array_read_only():
+    t = balanced_tree(2, 1)
+    with pytest.raises(ValueError):
+        t.parents[0] = 5
+    with pytest.raises(ValueError):
+        t.heights[0] = 5
+
+
+@given(st.integers(2, 4), st.integers(0, 4))
+def test_balanced_tree_node_count(fanout, height):
+    t = balanced_tree(fanout, height)
+    expected = sum(fanout**k for k in range(height + 1))
+    assert t.n_nodes == expected
+    assert len(t.leaves) == fanout**height
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=40))
+def test_random_parent_arrays(raw):
+    """Any attach-to-earlier parent array is a valid tree."""
+    parent = [-1] + [raw[i] % (i + 1) for i in range(len(raw))]
+    t = TreeTopology(parent)
+    assert t.n_nodes == len(parent)
+    # Height consistency: child height = parent height + 1.
+    for v in range(1, t.n_nodes):
+        assert t.height_of(v) == t.height_of(t.parent_of(v)) + 1
+    # Subtree sizes sum correctly at the root.
+    assert t.subtree_size(0) == t.n_nodes

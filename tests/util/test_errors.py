@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import (
+    InvalidFlushError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(InvalidInstanceError, ReproError)
+    assert issubclass(InvalidScheduleError, ReproError)
+    assert issubclass(InvalidFlushError, InvalidScheduleError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise InvalidFlushError("bad flush")
+
+
+def test_package_apis_raise_package_errors():
+    """A few representative entry points raise within the hierarchy."""
+    from repro.core.worms import WORMSInstance
+    from repro.tree import Message, path_tree
+
+    with pytest.raises(ReproError):
+        WORMSInstance(path_tree(1), [Message(0, 1)], P=0, B=4)
+    from repro.scheduling.instance import SchedulingInstance
+
+    with pytest.raises(ReproError):
+        SchedulingInstance([0], [1], P=1)

@@ -1,0 +1,87 @@
+"""Unit tests for the indexed max-heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.pq import IndexedMaxHeap
+
+
+def test_empty():
+    pq = IndexedMaxHeap()
+    assert len(pq) == 0
+    assert not pq
+    with pytest.raises(IndexError):
+        pq.pop()
+    with pytest.raises(IndexError):
+        pq.peek()
+
+
+def test_push_pop_max_first():
+    pq = IndexedMaxHeap()
+    pq.push("a", 1.0)
+    pq.push("b", 3.0)
+    pq.push("c", 2.0)
+    assert pq.pop() == ("b", 3.0)
+    assert pq.pop() == ("c", 2.0)
+    assert pq.pop() == ("a", 1.0)
+
+
+def test_fifo_tie_break():
+    pq = IndexedMaxHeap()
+    pq.push("first", 5.0)
+    pq.push("second", 5.0)
+    assert pq.pop()[0] == "first"
+    assert pq.pop()[0] == "second"
+
+
+def test_update_priority():
+    pq = IndexedMaxHeap()
+    pq.push("a", 1.0)
+    pq.push("b", 2.0)
+    pq.push("a", 10.0)  # update
+    assert len(pq) == 2
+    assert pq.pop() == ("a", 10.0)
+
+
+def test_remove():
+    pq = IndexedMaxHeap()
+    pq.push("a", 1.0)
+    pq.push("b", 2.0)
+    pq.remove("b")
+    assert "b" not in pq
+    assert "a" in pq
+    assert pq.pop()[0] == "a"
+    with pytest.raises(KeyError):
+        pq.remove("zzz")
+
+
+def test_peek_does_not_remove():
+    pq = IndexedMaxHeap()
+    pq.push("a", 1.0)
+    assert pq.peek() == ("a", 1.0)
+    assert len(pq) == 1
+
+
+def test_priority_lookup():
+    pq = IndexedMaxHeap()
+    pq.push("a", 7.5)
+    assert pq.priority("a") == 7.5
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.floats(-100, 100)), max_size=100))
+def test_pops_in_priority_order(entries):
+    pq = IndexedMaxHeap()
+    latest = {}
+    for item, prio in entries:
+        pq.push(item, prio)
+        latest[item] = prio
+    out = []
+    while pq:
+        item, prio = pq.pop()
+        assert latest[item] == prio
+        out.append(prio)
+    assert out == sorted(out, reverse=True)
+    assert len(out) == len(latest)

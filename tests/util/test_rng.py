@@ -1,0 +1,46 @@
+"""Tests for RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).integers(0, 1000, size=10)
+    b = make_rng(42).integers(0, 1000, size=10)
+    assert (a == b).all()
+
+
+def test_make_rng_passthrough():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_streams_are_independent_of_count():
+    # The i-th child only depends on the parent stream position, so two
+    # children from the same parent state match prefix-wise.
+    children = spawn(make_rng(1), 3)
+    again = spawn(make_rng(1), 3)
+    for c1, c2 in zip(children, again):
+        assert (c1.integers(0, 100, 5) == c2.integers(0, 100, 5)).all()
+
+
+def test_spawn_children_differ():
+    a, b = spawn(make_rng(0), 2)
+    assert (a.integers(0, 10**6, 20) != b.integers(0, 10**6, 20)).any()
+
+
+def test_spawn_negative_raises():
+    with pytest.raises(ValueError):
+        spawn(make_rng(0), -1)
+
+
+def test_spawn_zero():
+    assert spawn(make_rng(0), 0) == []

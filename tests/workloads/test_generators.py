@@ -1,0 +1,103 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tree import balanced_tree
+from repro.util.errors import InvalidInstanceError
+from repro.workloads import (
+    adversarial_instance,
+    clustered_purge_instance,
+    single_leaf_burst_instance,
+    uniform_instance,
+    zipf_instance,
+)
+
+
+@pytest.fixture
+def topo():
+    return balanced_tree(3, 3)  # 27 leaves
+
+
+def test_uniform_covers_leaves(topo):
+    inst = uniform_instance(topo, 2000, P=2, B=16, seed=0)
+    assert inst.n_messages == 2000
+    targeted = set(int(m.target_leaf) for m in inst.messages)
+    assert len(targeted) == len(topo.leaves)  # 2000 >> 27 leaves
+
+
+def test_uniform_deterministic(topo):
+    a = uniform_instance(topo, 100, P=1, B=8, seed=5)
+    b = uniform_instance(topo, 100, P=1, B=8, seed=5)
+    assert (a.targets == b.targets).all()
+
+
+def test_zipf_theta_zero_is_uniform_like(topo):
+    inst = zipf_instance(topo, 5000, P=1, B=8, theta=0.0, seed=1)
+    counts = inst.messages_per_leaf[list(topo.leaves)]
+    assert counts.max() < 4 * counts.mean()
+
+
+def test_zipf_large_theta_concentrates(topo):
+    inst = zipf_instance(topo, 5000, P=1, B=8, theta=2.0, seed=1)
+    counts = np.sort(inst.messages_per_leaf[list(topo.leaves)])[::-1]
+    assert counts[0] > 0.4 * 5000  # the hottest leaf dominates
+
+
+def test_zipf_rejects_negative_theta(topo):
+    with pytest.raises(InvalidInstanceError):
+        zipf_instance(topo, 10, P=1, B=8, theta=-1.0)
+
+
+def test_clustered_targets_mostly_in_clusters(topo):
+    inst = clustered_purge_instance(
+        topo, 3000, P=2, B=16, n_clusters=1, cluster_fraction=0.9, seed=2
+    )
+    # One top-level subtree holds 9 of 27 leaves; >= ~85% of traffic there.
+    top_children = topo.children_of(topo.root)
+    best = max(
+        sum(
+            inst.messages_per_leaf[leaf]
+            for leaf in topo.leaves_under(c)
+        )
+        for c in top_children
+    )
+    assert best >= 0.85 * 3000
+
+
+def test_clustered_fraction_validation(topo):
+    with pytest.raises(InvalidInstanceError):
+        clustered_purge_instance(topo, 10, P=1, B=8, cluster_fraction=1.5)
+
+
+def test_single_leaf_burst(topo):
+    inst = single_leaf_burst_instance(topo, 500, P=1, B=8, leaf=topo.leaves[3])
+    assert (inst.targets == topo.leaves[3]).all()
+    auto = single_leaf_burst_instance(topo, 10, P=1, B=8, seed=0)
+    assert len(set(auto.targets.tolist())) == 1
+
+
+def test_adversarial_near_equal_loads(topo):
+    inst = adversarial_instance(topo, P=1, B=60, base_load=10, jitter=3, seed=3)
+    counts = inst.messages_per_leaf[list(topo.leaves)]
+    assert counts.min() >= 10
+    assert counts.max() <= 13
+
+
+def test_all_generators_produce_valid_instances(topo):
+    """Cross-check: every generated instance passes WORMSInstance checks
+    and is schedulable by a policy."""
+    from repro.dam import validate_valid
+    from repro.policies import GreedyBatchPolicy
+
+    for inst in (
+        uniform_instance(topo, 50, P=2, B=8, seed=0),
+        zipf_instance(topo, 50, P=2, B=8, theta=1.0, seed=0),
+        clustered_purge_instance(topo, 50, P=2, B=8, seed=0),
+        single_leaf_burst_instance(topo, 50, P=2, B=8, seed=0),
+        adversarial_instance(topo, P=2, B=8, base_load=2, seed=0),
+    ):
+        sched = GreedyBatchPolicy().schedule(inst)
+        assert validate_valid(inst, sched).is_valid
