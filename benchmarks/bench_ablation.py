@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-import heapq
-
 import numpy as np
 
 from benchmarks.common import emit_table

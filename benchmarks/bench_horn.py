@@ -11,8 +11,6 @@ from __future__ import annotations
 import math
 import time
 
-import numpy as np
-
 from benchmarks.common import emit_table
 from repro.scheduling import (
     brute_force_optimal,

@@ -8,8 +8,6 @@ batching, every policy near-optimal) as a calibration row.
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.common import emit_table
 from repro.analysis.lower_bounds import worms_lower_bound
 from repro.analysis.stats import compare_policies

@@ -35,11 +35,13 @@ from repro.core import (
     solve_worms,
 )
 from repro.dam import Flush, FlushSchedule, simulate, validate_valid
+from repro.faults import FaultInjector, FaultPlan
 from repro.policies import (
     EagerPolicy,
     GreedyBatchPolicy,
     LazyThresholdPolicy,
     PaperPipelinePolicy,
+    ResilientExecutor,
     WormsPolicy,
     online_density_schedule,
 )
@@ -80,6 +82,10 @@ __all__ = [
     "FlushSchedule",
     "simulate",
     "validate_valid",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "ResilientExecutor",
     # scheduling
     "SchedulingInstance",
     "compute_horn",

@@ -1,18 +1,21 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows without writing code:
+Four subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
   every stage's cost plus the trace summary;
 * ``gadget``  — build the Lemma 15 NP-hardness gadget for a 3-partition
-  input and decide it.
+  input and decide it;
+* ``faults``  — execute every policy under seeded fault injection and
+  report mean/p99 completion-time inflation per fault rate.
 
 Examples::
 
     python -m repro compare --messages 2000 --P 4 --B 64 --skew 1.0
     python -m repro solve --messages 500 --height 3 --fanout 4
     python -m repro gadget 6 7 7 6 8 6
+    python -m repro faults --seed 0 --rates 0.05,0.1,0.2
 """
 
 from __future__ import annotations
@@ -27,6 +30,10 @@ from repro.analysis.npc import (
     solve_three_partition,
 )
 from repro.analysis.report import completion_cdf_report, utilization_report
+from repro.analysis.resilience import (
+    format_resilience_report,
+    resilience_sweep,
+)
 from repro.analysis.stats import compare_policies
 from repro.core import solve_worms
 from repro.dam import validate_valid
@@ -38,6 +45,7 @@ from repro.policies import (
     WormsPolicy,
 )
 from repro.tree import balanced_tree, beps_shape_tree
+from repro.util.errors import ExecutionStalledError
 from repro.workloads import uniform_instance, zipf_instance
 
 
@@ -105,6 +113,37 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the `faults` subcommand (resilience-under-faults report)."""
+    inst = _make_instance(args)
+    print(f"instance: {inst!r}")
+    try:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    except ValueError:
+        print(f"invalid --rates {args.rates!r}: expected comma-separated "
+              "floats", file=sys.stderr)
+        return 2
+    if not rates or any(not (0.0 <= r <= 1.0) for r in rates):
+        print("--rates values must be in [0, 1]", file=sys.stderr)
+        return 2
+    try:
+        cells = resilience_sweep(
+            inst,
+            fault_rates=rates,
+            seed=args.seed,
+            retry_budget=args.retry_budget,
+        )
+    except ExecutionStalledError as exc:
+        print(
+            "fault environment too hostile for recovery "
+            f"(try lower --rates or a higher --retry-budget):\n{exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_resilience_report(cells))
+    return 0
+
+
 def cmd_gadget(args: argparse.Namespace) -> int:
     """Run the `gadget` subcommand (Lemma 15 decision + schedule)."""
     try:
@@ -159,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="run the full paper pipeline")
     add_instance_args(p_solve)
     p_solve.set_defaults(func=cmd_solve)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection resilience report"
+    )
+    add_instance_args(p_faults)
+    p_faults.add_argument(
+        "--rates", type=str, default="0.05,0.1,0.2",
+        help="comma-separated fault rates to sweep",
+    )
+    p_faults.add_argument(
+        "--retry-budget", type=int, default=5,
+        help="flush attempts before the executor re-plans",
+    )
+    p_faults.set_defaults(func=cmd_faults)
 
     p_gadget = sub.add_parser("gadget", help="Lemma 15 NP-hardness gadget")
     p_gadget.add_argument("integers", type=int, nargs="+")

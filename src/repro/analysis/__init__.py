@@ -10,12 +10,22 @@ from repro.analysis.npc import (
     canonical_gadget_schedule,
     solve_three_partition,
 )
+from repro.analysis.resilience import (
+    ResilienceCell,
+    default_resilience_policies,
+    format_resilience_report,
+    resilience_sweep,
+)
 from repro.analysis.stats import CompletionStats, compare_policies, summarize
 
 __all__ = [
     "CompletionStats",
     "summarize",
     "compare_policies",
+    "ResilienceCell",
+    "resilience_sweep",
+    "format_resilience_report",
+    "default_resilience_policies",
     "worms_lower_bound",
     "scheduling_lower_bound",
     "ThreePartitionGadget",

@@ -37,14 +37,12 @@ how often that happens and what it costs.
 from __future__ import annotations
 
 import heapq
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.packed import PackedDecomposition
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.simulator import simulate
-from repro.util.errors import InvalidScheduleError
 
 #: Paper constants (Section 3.1).  Exposed for the ablation bench.
 LAG_MULT = 27  # L releases a packed set's first lower flush after 27*tau

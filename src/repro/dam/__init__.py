@@ -16,10 +16,18 @@ messages each (Section 2.1 of the paper).
 from repro.dam.machine import DAMSpec
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.simulator import SimulationResult, simulate
+from repro.dam.trace import (
+    CheckpointRecord,
+    ScheduleTrace,
+    checkpoint_at,
+    record_trace,
+    resume_simulation,
+)
 from repro.dam.validator import (
     ScheduleViolation,
     check_schedule,
     validate_overfilling,
+    validate_recovery,
     validate_valid,
 )
 
@@ -32,5 +40,11 @@ __all__ = [
     "check_schedule",
     "validate_valid",
     "validate_overfilling",
+    "validate_recovery",
     "ScheduleViolation",
+    "ScheduleTrace",
+    "CheckpointRecord",
+    "record_trace",
+    "checkpoint_at",
+    "resume_simulation",
 ]

@@ -13,20 +13,42 @@ The simulator is the single source of truth for schedule semantics:
   **valid** (additionally, every internal non-root node retains at most
   ``B`` messages across consecutive steps — the space requirement).
 
-The main loop is plain Python over dict/set state: schedules touch each
-message O(h) times total, so the work is proportional to schedule size and
-profiling shows no numpy-friendly hot spot (guides: make it work simply
-and legibly first, optimize bottlenecks only when measured).
+The main loop is plain Python over list/dict/set state: schedules touch
+each message O(h) times total, so the work is proportional to schedule
+size and profiling shows no numpy-friendly hot spot (guides: make it work
+simply and legibly first, optimize bottlenecks only when measured).
+numpy appears only at the result boundary (``completion_times`` is an
+array because the analysis layer consumes it that way).
+
+Passing a :class:`~repro.faults.FaultInjector` replays the schedule
+*open-loop* under faults: a failed or stalled flush silently no-ops for
+its step, a partial flush delivers a subset, and flushes beyond the
+degraded capacity are dropped.  Injected faults are recorded as
+``fault_events`` (they are not violations — the schedule did nothing
+wrong), but their downstream consequences surface naturally as
+``message_not_at_source`` / ``messages_unfinished`` violations: exactly
+the cascade a fixed schedule suffers on a faulty machine.  Closed-loop
+recovery lives in :class:`repro.policies.resilient.ResilientExecutor`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import FlushSchedule
+from repro.faults.injector import (
+    FaultEvent,
+    OUTCOME_FAILED,
+    OUTCOME_PARTIAL,
+)
+from repro.faults.plan import DROPPED_FLUSH
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
 
 #: Violation kinds reported by :func:`simulate`.
 KIND_TOO_MANY_FLUSHES = "too_many_flushes_in_step"
@@ -66,6 +88,8 @@ class SimulationResult:
     violations: list[Violation] = field(default_factory=list)
     space_violations: list[Violation] = field(default_factory=list)
     max_occupancy: dict[int, int] = field(default_factory=dict)
+    #: faults injected during the replay (empty without an injector).
+    fault_events: list = field(default_factory=list)
 
     @property
     def total_completion_time(self) -> int:
@@ -102,6 +126,7 @@ def simulate(
     schedule: FlushSchedule,
     *,
     track_occupancy: bool = False,
+    faults: "FaultInjector | None" = None,
 ) -> SimulationResult:
     """Replay ``schedule`` on ``instance`` and collect all violations.
 
@@ -109,22 +134,26 @@ def simulate(
     continues on a best-effort basis (flushes moving absent messages move
     only the present ones), so callers get a complete diagnosis in one
     pass.  Use :func:`repro.dam.validator.validate_valid` to raise instead.
+
+    With ``faults``, the replay is open-loop fault injection: see the
+    module docstring for the exact semantics of each fault kind.
     """
     topo = instance.topology
     n_msgs = instance.n_messages
     parents = topo.parents
+    targets = instance.targets
+    if faults is not None:
+        faults.reset_events()  # log exactly this replay's faults
 
-    location = np.empty(n_msgs, dtype=np.int64)
-    for i in range(n_msgs):
-        location[i] = instance.start_of(i)
-    completion = np.zeros(n_msgs, dtype=np.int64)
+    location = [instance.start_of(i) for i in range(n_msgs)]
+    completion = [0] * n_msgs
     # Messages already at their target (possible with custom start nodes)
     # complete at time 0 by convention.
-    at_target = location == instance.targets
+    at_target = [location[i] == int(targets[i]) for i in range(n_msgs)]
     occupants: dict[int, set[int]] = {}
     for i in range(n_msgs):
         if not at_target[i]:
-            occupants.setdefault(int(location[i]), set()).add(i)
+            occupants.setdefault(location[i], set()).add(i)
 
     violations: list[Violation] = []
     space_violations: list[Violation] = []
@@ -145,6 +174,7 @@ def simulate(
         for v, occ in occupants.items():
             max_occupancy[v] = len(occ)
 
+    fault_events: list = []
     for t, flushes in enumerate(schedule.steps, start=1):
         if len(flushes) > instance.P:
             violations.append(
@@ -154,12 +184,47 @@ def simulate(
                     detail=f"{len(flushes)} flushes > P={instance.P}",
                 )
             )
+        capacity = (
+            faults.effective_p(t, instance.P) if faults is not None
+            else instance.P
+        )
+        executed = 0
         moved_this_step: set[int] = set()
         arrivals: dict[int, set[int]] = {}
         for flush in flushes:
             if flush.size == 0:
                 violations.append(Violation(KIND_EMPTY_FLUSH, t, node=flush.src))
                 continue
+            delivered_filter: "set[int] | None" = None
+            if faults is not None:
+                # Fault checks come first: a faulted flush no-ops without
+                # any violation (the schedule did nothing wrong), and its
+                # consequences surface downstream instead.
+                if executed >= capacity:
+                    fault_events.append(
+                        FaultEvent(
+                            DROPPED_FLUSH,
+                            t,
+                            node=flush.src,
+                            detail=(
+                                f"flush {flush.src}->{flush.dest} dropped: "
+                                f"degraded capacity {capacity} < P"
+                            ),
+                        )
+                    )
+                    continue
+                if faults.is_stalled(t, flush.src) or faults.is_stalled(
+                    t, flush.dest
+                ):
+                    continue
+                status, delivered = faults.flush_outcome(
+                    t, flush.src, flush.dest, flush.messages
+                )
+                executed += 1
+                if status == OUTCOME_FAILED:
+                    continue
+                if status == OUTCOME_PARTIAL:
+                    delivered_filter = set(delivered)
             if flush.size > instance.B:
                 violations.append(
                     Violation(
@@ -194,19 +259,21 @@ def simulate(
                         )
                     )
                     continue
-                if int(location[m]) != flush.src or completion[m] > 0:
+                if location[m] != flush.src or completion[m] > 0:
                     violations.append(
                         Violation(
                             KIND_MESSAGE_NOT_AT_SRC,
                             t,
                             node=flush.src,
                             detail=(
-                                f"message {m} is at {int(location[m])}, "
+                                f"message {m} is at {location[m]}, "
                                 f"not {flush.src}"
                             ),
                         )
                     )
                     continue
+                if delivered_filter is not None and m not in delivered_filter:
+                    continue  # redelivery needed: the partial flush lost m
                 movable.append(m)
                 moved_this_step.add(m)
             if not movable:
@@ -217,7 +284,7 @@ def simulate(
                 src_set.discard(m)
             arriving = arrivals.setdefault(flush.dest, set())
             for m in movable:
-                if flush.dest == int(instance.targets[m]):
+                if flush.dest == int(targets[m]):
                     completion[m] = t
                 else:
                     arriving.add(m)
@@ -252,7 +319,9 @@ def simulate(
             if track_occupancy and len(occ) > max_occupancy.get(v, 0):
                 max_occupancy[v] = len(occ)
 
-    unfinished = int((completion == 0).sum() - at_target.sum())
+    unfinished = sum(
+        1 for i in range(n_msgs) if completion[i] == 0 and not at_target[i]
+    )
     if unfinished > 0:
         violations.append(
             Violation(
@@ -261,11 +330,15 @@ def simulate(
                 detail=f"{unfinished} message(s) never reached their leaf",
             )
         )
+    if faults is not None:
+        fault_events.extend(faults.events)
+        fault_events.sort(key=lambda e: e.step)
 
     return SimulationResult(
-        completion_times=completion,
+        completion_times=np.asarray(completion, dtype=np.int64),
         n_steps=schedule.n_steps,
         violations=violations,
         space_violations=space_violations,
         max_occupancy=max_occupancy,
+        fault_events=fault_events,
     )

@@ -1,0 +1,44 @@
+"""Fault injection for the DAM machine: plans, injectors, events.
+
+The paper's guarantees assume a fault-free DAM machine — every scheduled
+flush succeeds and every IO completes in its step.  This package models
+the transient failures real write-optimized stores see and is consumed
+by two layers:
+
+* :func:`repro.dam.simulator.simulate` accepts an injector for
+  *open-loop* replay (what happens to a fixed schedule under faults —
+  it breaks, and the violation report shows how);
+* :class:`repro.policies.resilient.ResilientExecutor` consults an
+  injector *closed-loop* while executing, retrying and re-planning so
+  the realized schedule stays valid (see ``docs/MODEL.md``).
+"""
+
+from repro.faults.injector import (
+    FaultEvent,
+    FaultInjector,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_PARTIAL,
+)
+from repro.faults.plan import (
+    DEGRADED_P,
+    FAILED_FLUSH,
+    FAULT_KINDS,
+    FaultPlan,
+    NODE_STALL,
+    PARTIAL_FLUSH,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "FAULT_KINDS",
+    "FAILED_FLUSH",
+    "PARTIAL_FLUSH",
+    "NODE_STALL",
+    "DEGRADED_P",
+    "OUTCOME_OK",
+    "OUTCOME_FAILED",
+    "OUTCOME_PARTIAL",
+]

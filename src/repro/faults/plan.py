@@ -1,0 +1,132 @@
+"""Fault plans: which DAM faults fire, how often, for how long.
+
+A :class:`FaultPlan` is a declarative description of the fault
+environment a replay or execution runs under.  Four fault kinds model
+the transient failures write-optimized stores actually see (cf. Luo &
+Carey on LSM performance hiccups):
+
+* **failed flush** — a scheduled flush silently no-ops for the step
+  (lost write; the IO slot is consumed, nothing moves);
+* **partial flush** — a flush applies to only a subset of its messages
+  and the remainder must be redelivered (torn batch / short write);
+* **node stall** — all IOs touching a node are blocked for
+  ``stall_duration`` consecutive steps (compaction pause, slow disk);
+* **degraded parallelism** — the machine's ``P`` drops to
+  ``degraded_p_floor`` for ``degraded_p_duration`` steps (device queue
+  saturation, background work stealing bandwidth).
+
+Plans are pure data; all randomness lives in
+:class:`repro.faults.injector.FaultInjector`, which derives every fault
+decision deterministically from ``(seed, kind, step, coordinates)`` so
+that replays are reproducible and independent of query order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import InvalidInstanceError
+
+#: Fault kinds (also used as :class:`FaultEvent` tags).
+FAILED_FLUSH = "failed_flush"
+PARTIAL_FLUSH = "partial_flush"
+NODE_STALL = "node_stall"
+DEGRADED_P = "degraded_parallelism"
+DROPPED_FLUSH = "dropped_over_capacity"
+
+FAULT_KINDS = (FAILED_FLUSH, PARTIAL_FLUSH, NODE_STALL, DEGRADED_P)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Rates and durations for each fault kind (all rates per opportunity).
+
+    Attributes
+    ----------
+    failed_flush_rate:
+        Probability that an attempted flush silently no-ops.
+    partial_flush_rate:
+        Probability that an attempted flush of >= 2 messages delivers
+        only a proper subset (single-message flushes cannot be partial;
+        they fail outright or succeed).
+    stall_rate:
+        Per-node, per-step probability that a stall *starts* at that
+        node; while stalled, every flush into or out of the node is
+        blocked.
+    stall_duration:
+        Length of each stall window in steps.
+    degraded_p_rate:
+        Per-step probability that a degraded-parallelism window starts.
+    degraded_p_duration:
+        Length of each degraded window in steps.
+    degraded_p_floor:
+        The value ``P`` drops to inside a degraded window (>= 1 so the
+        machine always makes progress).
+    """
+
+    failed_flush_rate: float = 0.0
+    partial_flush_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_duration: int = 2
+    degraded_p_rate: float = 0.0
+    degraded_p_duration: int = 3
+    degraded_p_floor: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("failed_flush_rate", "partial_flush_rate",
+                     "stall_rate", "degraded_p_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise InvalidInstanceError(f"{name} must be in [0, 1], got {rate}")
+        if self.failed_flush_rate + self.partial_flush_rate > 1.0:
+            raise InvalidInstanceError(
+                "failed_flush_rate + partial_flush_rate must be <= 1, got "
+                f"{self.failed_flush_rate} + {self.partial_flush_rate}"
+            )
+        if self.stall_duration < 1:
+            raise InvalidInstanceError(
+                f"stall_duration must be >= 1, got {self.stall_duration}"
+            )
+        if self.degraded_p_duration < 1:
+            raise InvalidInstanceError(
+                f"degraded_p_duration must be >= 1, got {self.degraded_p_duration}"
+            )
+        if self.degraded_p_floor < 1:
+            raise InvalidInstanceError(
+                f"degraded_p_floor must be >= 1, got {self.degraded_p_floor}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff no fault can ever fire under this plan."""
+        return (
+            self.failed_flush_rate == 0.0
+            and self.partial_flush_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.degraded_p_rate == 0.0
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan (every injector query is a no-op)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, rate: float, *, stall_duration: int = 2,
+                degraded_p_duration: int = 3) -> "FaultPlan":
+        """One-knob plan used by sweeps: scale every kind from ``rate``.
+
+        Flush-level faults get the full rate (split between outright
+        failures and partial deliveries); node stalls and degraded
+        windows, whose blast radius is much larger, get a quarter of it.
+        """
+        if not (0.0 <= rate <= 1.0):
+            raise InvalidInstanceError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            failed_flush_rate=rate / 2,
+            partial_flush_rate=rate / 2,
+            stall_rate=rate / 4,
+            stall_duration=stall_duration,
+            degraded_p_rate=rate / 4,
+            degraded_p_duration=degraded_p_duration,
+        )

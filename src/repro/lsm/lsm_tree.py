@@ -23,7 +23,7 @@ far), the LSM analogue of the DAM time step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.lsm.sstable import Entry, EntryKind, SSTable

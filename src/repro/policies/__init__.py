@@ -24,7 +24,16 @@ from repro.policies.eager import EagerPolicy
 from repro.policies.executor import GatedExecutor, execute_flush_list
 from repro.policies.greedy_batch import GreedyBatchPolicy
 from repro.policies.lazy_threshold import LazyThresholdPolicy
-from repro.policies.online import OnlineArrival, online_density_schedule
+from repro.policies.online import (
+    OnlineArrival,
+    OnlineDensityPolicy,
+    online_density_schedule,
+)
+from repro.policies.resilient import (
+    ResilienceStats,
+    ResilientExecutor,
+    worms_replan,
+)
 from repro.policies.worms_policy import PaperPipelinePolicy, PhtfWormsPolicy, WormsPolicy
 
 __all__ = [
@@ -37,6 +46,10 @@ __all__ = [
     "PaperPipelinePolicy",
     "GatedExecutor",
     "execute_flush_list",
+    "ResilientExecutor",
+    "ResilienceStats",
+    "worms_replan",
     "OnlineArrival",
+    "OnlineDensityPolicy",
     "online_density_schedule",
 ]

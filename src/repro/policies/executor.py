@@ -22,10 +22,52 @@ from __future__ import annotations
 
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
-from repro.util.errors import InvalidScheduleError
+from repro.util.errors import ExecutionStalledError
 
 #: Safety valve: abort rather than loop forever on a malformed flush list.
 MAX_IDLE_STEPS = 4
+
+#: How many parked messages / pending flushes to list in an error message.
+_DIAG_LIMIT = 5
+
+
+def stalled_error(
+    header: str,
+    *,
+    step: int,
+    instance: WORMSInstance,
+    location: "list[int]",
+    pending_flushes: "list[Flush]",
+) -> ExecutionStalledError:
+    """Build a diagnosable :class:`ExecutionStalledError`.
+
+    Lists the first few parked (undelivered) messages with their current
+    nodes and the highest-priority flush that could not run, so a
+    malformed flush list can be debugged from the message alone.
+    """
+    targets = instance.targets
+    parked = tuple(
+        (m, location[m])
+        for m in range(instance.n_messages)
+        if location[m] != int(targets[m])
+    )
+    blocking = pending_flushes[0] if pending_flushes else None
+    lines = [f"{header} at step {step}: {len(pending_flushes)} flush(es) "
+             f"pending, {len(parked)} message(s) parked"]
+    for m, v in parked[:_DIAG_LIMIT]:
+        lines.append(f"  message {m} parked at node {v} "
+                     f"(target {int(targets[m])})")
+    if len(parked) > _DIAG_LIMIT:
+        lines.append(f"  ... and {len(parked) - _DIAG_LIMIT} more")
+    if blocking is not None:
+        lines.append(f"  blocked on inadmissible/unready flush {blocking!r}")
+    return ExecutionStalledError(
+        "\n".join(lines),
+        step=step,
+        parked_messages=parked,
+        blocking_flush=blocking,
+        pending_flushes=tuple(pending_flushes),
+    )
 
 
 def execute_flush_list(
@@ -101,9 +143,13 @@ class GatedExecutor:
             if not ran:
                 idle += 1
                 if idle > MAX_IDLE_STEPS:
-                    raise InvalidScheduleError(
-                        f"gated executor deadlocked with {len(pending)} "
-                        "flushes pending (flush list is not laminar?)"
+                    raise stalled_error(
+                        "gated executor deadlocked (flush list is not "
+                        "laminar?)",
+                        step=t,
+                        instance=inst,
+                        location=location,
+                        pending_flushes=[flushes[i] for i in pending],
                     )
                 # Nothing ran: roll the step counter back (an idle step
                 # would inflate costs) and retry; the idle counter above

@@ -14,8 +14,6 @@ implementations bound buffer occupancy.
 
 from __future__ import annotations
 
-import heapq
-
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.policies.base import Policy

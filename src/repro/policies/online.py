@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
+from repro.policies.base import Policy
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,3 +120,17 @@ def online_density_schedule(
         for m, v in arrivals_now:
             park(m, v)
     return schedule.trim()
+
+
+class OnlineDensityPolicy(Policy):
+    """The density heuristic as a :class:`Policy` (everything at step 1).
+
+    Lets comparison harnesses (``compare_policies``, the resilience
+    sweep) include the online scheduler alongside the offline policies.
+    """
+
+    name = "online"
+
+    def schedule(self, instance: WORMSInstance) -> FlushSchedule:
+        """All messages released at step 1 (the offline special case)."""
+        return online_density_schedule(instance)

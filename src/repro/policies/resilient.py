@@ -1,0 +1,379 @@
+"""Fault-tolerant execution of priority-ordered flush lists.
+
+:class:`ResilientExecutor` extends the admission-gated executor with the
+recovery semantics a production flusher needs when IOs can fail
+(see :mod:`repro.faults`):
+
+* **bounded retry with exponential backoff** — a flush that fails (or
+  partially applies) stays in the priority order but becomes eligible
+  again only after ``2^(attempts-1)`` steps, so a flaky edge does not
+  monopolize IO slots;
+* **re-admission** — the undelivered remainder of a partial flush
+  replaces the original flush at the *same* priority position, so
+  redelivery keeps the intended order;
+* **re-planning** — when some flush exhausts its retry budget, or the
+  executor deadlocks outright (non-laminar input), the surviving
+  in-flight messages are re-planned from their current locations: the
+  WORMS pipeline (reduction -> MPHTF -> Lemma 8 order) when everything
+  still sits at the root, the density-guided online scheduler (which
+  natively handles mid-tree starts) otherwise.  The new flush list
+  replaces the pending tail and execution continues;
+* **graceful failure** — if re-planning is also exhausted the executor
+  raises :class:`~repro.util.errors.ExecutionStalledError` carrying the
+  parked-message state instead of looping forever.
+
+Zero-overhead fault path: with ``injector=None`` (or an all-zero
+:class:`~repro.faults.FaultPlan`) the selection logic below makes
+exactly the same decisions as :class:`GatedExecutor.run`, so the
+realized schedule is byte-identical — resilience costs nothing until a
+fault actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.faults.injector import (
+    FaultInjector,
+    OUTCOME_FAILED,
+    OUTCOME_PARTIAL,
+)
+from repro.policies.executor import GatedExecutor, MAX_IDLE_STEPS, stalled_error
+from repro.tree.messages import Message
+from repro.util.errors import ExecutionStalledError, ReproError
+
+
+@dataclass
+class _PendingFlush:
+    """A flush awaiting execution, with its retry bookkeeping."""
+
+    flush: Flush
+    attempts: int = 0
+    eligible_at: int = 0  # earliest step this flush may be attempted again
+
+
+@dataclass
+class ResilienceStats:
+    """Counters describing what recovery machinery actually did."""
+
+    failed_attempts: int = 0
+    partial_deliveries: int = 0
+    stalled_skips: int = 0
+    replans: int = 0
+    wait_steps: int = 0
+    fault_events: list = field(default_factory=list)
+
+
+def worms_replan(
+    instance: WORMSInstance, remaining: "list[int]", location: "list[int]"
+) -> "list[Flush]":
+    """Default re-planning hook: a fresh priority order for ``remaining``.
+
+    Builds a sub-instance whose messages start at their *current*
+    locations.  If everything is still at the root the paper's pipeline
+    applies verbatim (reduction -> MPHTF -> the Lemma 8 flush order);
+    with mid-tree survivors the reduction does not apply (it requires
+    root starts), so the density-guided online scheduler — which is
+    valid by construction from arbitrary start nodes — provides the
+    order instead.  Returned flushes use original message ids.
+    """
+    # Imported here: policies.worms_policy imports the executor module,
+    # so a module-level import would be circular.
+    from repro.core.reduction import reduce_to_scheduling
+    from repro.core.task_to_flush import task_schedule_to_flush_schedule
+    from repro.policies.online import online_density_schedule
+    from repro.scheduling.mphtf import mphtf_schedule
+
+    if not remaining:
+        return []
+    topo = instance.topology
+    targets = instance.targets
+    sub_messages = [
+        Message(i, int(targets[m])) for i, m in enumerate(remaining)
+    ]
+    root = topo.root
+    all_at_root = all(location[m] == root for m in remaining)
+    sub = WORMSInstance(
+        topo,
+        sub_messages,
+        P=instance.P,
+        B=instance.B,
+        start_nodes=None if all_at_root else [location[m] for m in remaining],
+        allow_internal_targets=instance.allow_internal_targets,
+    )
+    if all_at_root:
+        reduced = reduce_to_scheduling(sub)
+        sigma = mphtf_schedule(reduced.scheduling)
+        planned = task_schedule_to_flush_schedule(reduced, sigma)
+    else:
+        planned = online_density_schedule(sub)
+    return [
+        Flush(f.src, f.dest, tuple(remaining[i] for i in f.messages))
+        for _t, f in planned.iter_timed()
+    ]
+
+
+class ResilientExecutor(GatedExecutor):
+    """Gated executor + retry/backoff/re-planning under fault injection.
+
+    Parameters
+    ----------
+    instance:
+        The WORMS instance being executed.
+    injector:
+        Fault source consulted every step; ``None`` (or a zero plan)
+        means fault-free execution identical to :class:`GatedExecutor`.
+    retry_budget:
+        Attempts allowed per flush before re-planning kicks in.
+    max_replans:
+        Re-planning rounds allowed before giving up with
+        :class:`ExecutionStalledError`.
+    replanner:
+        Hook ``(instance, remaining_msg_ids, location) -> list[Flush]``;
+        defaults to :func:`worms_replan`.
+    max_steps:
+        Hard ceiling on simulated steps (a diagnosable backstop against
+        pathological fault plans); defaults to a generous multiple of
+        the instance's total work.
+    """
+
+    def __init__(
+        self,
+        instance: WORMSInstance,
+        injector: "FaultInjector | None" = None,
+        *,
+        retry_budget: int = 5,
+        max_replans: int = 2,
+        replanner=None,
+        max_steps: "int | None" = None,
+    ) -> None:
+        super().__init__(instance)
+        if injector is not None and injector.plan.is_zero:
+            injector = None  # zero plan == no injector: skip all fault queries
+        self.injector = injector
+        self.retry_budget = max(1, int(retry_budget))
+        self.max_replans = max(0, int(max_replans))
+        self.replanner = replanner if replanner is not None else worms_replan
+        if max_steps is None:
+            work = max(1, instance.total_work())
+            max_steps = 1000 + 50 * work
+        self.max_steps = max_steps
+        self.stats = ResilienceStats()
+
+    # ------------------------------------------------------------------
+    def run(self, flushes: "list[Flush]") -> FlushSchedule:
+        """Execute ``flushes`` under faults; returns the realized schedule.
+
+        The realized schedule records only the flushes that *succeeded*
+        (a partial delivery appears as the delivered subset), so it is
+        always a valid schedule of the fault-free model and can be
+        checked with :func:`repro.dam.validator.validate_valid`.
+        """
+        inst = self.instance
+        injector = self.injector
+        targets = inst.targets
+        location = [inst.start_of(m) for m in range(inst.n_messages)]
+        occupancy = [0] * inst.topology.n_nodes
+        for m in range(inst.n_messages):
+            v = location[m]
+            if v != self._root and not self._is_leaf[v] and v != int(targets[m]):
+                occupancy[v] += 1
+
+        pending = [_PendingFlush(f) for f in flushes]
+        schedule = FlushSchedule()
+        t = 0
+        idle = 0
+        replans = 0
+        while pending:
+            t += 1
+            if t > self.max_steps:
+                raise self._stalled(
+                    f"resilient executor exceeded max_steps={self.max_steps}",
+                    t, location, pending,
+                )
+            capacity = inst.P if injector is None else injector.effective_p(
+                t, inst.P
+            )
+            ran: list[_PendingFlush] = []
+            attempted = 0
+            waiting = False
+            budget_exhausted = False
+            moved: set[int] = set()
+            departed: dict[int, int] = {}
+            arrived: dict[int, int] = {}
+            # Same one-pass priority scan as GatedExecutor.run; the extra
+            # guards (eligibility, stalls, outcomes) all no-op when
+            # injector is None, keeping the fault-free path identical.
+            for pf in pending:
+                if attempted >= capacity:
+                    break
+                if pf.eligible_at > t:
+                    waiting = True
+                    continue
+                flush = pf.flush
+                if injector is not None and (
+                    injector.is_stalled(t, flush.src)
+                    or injector.is_stalled(t, flush.dest)
+                ):
+                    self.stats.stalled_skips += 1
+                    waiting = True
+                    continue
+                if any(
+                    location[m] != flush.src or m in moved
+                    for m in flush.messages
+                ):
+                    continue
+                dest = flush.dest
+                parking = sum(
+                    1 for m in flush.messages if int(targets[m]) != dest
+                )
+                if not self._is_leaf[dest]:
+                    projected = (
+                        occupancy[dest]
+                        - departed.get(dest, 0)
+                        + arrived.get(dest, 0)
+                        + parking
+                    )
+                    if projected > inst.B:
+                        continue
+                # Selected: the IO is attempted and the slot is consumed
+                # whatever the outcome.
+                attempted += 1
+                if injector is None:
+                    delivered: tuple[int, ...] = flush.messages
+                    status = None
+                else:
+                    status, delivered = injector.flush_outcome(
+                        t, flush.src, flush.dest, flush.messages
+                    )
+                    if status == OUTCOME_FAILED:
+                        self.stats.failed_attempts += 1
+                        pf.attempts += 1
+                        pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
+                        if pf.attempts >= self.retry_budget:
+                            budget_exhausted = True
+                        continue
+                    if status == OUTCOME_PARTIAL:
+                        self.stats.partial_deliveries += 1
+                        remainder = tuple(
+                            m for m in flush.messages if m not in set(delivered)
+                        )
+                        # Redeliver the remainder at the same priority slot.
+                        pf.flush = Flush(flush.src, flush.dest, remainder)
+                        pf.attempts += 1
+                        pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
+                        if pf.attempts >= self.retry_budget:
+                            budget_exhausted = True
+                actual = (
+                    flush
+                    if len(delivered) == flush.size
+                    else Flush(flush.src, flush.dest, delivered)
+                )
+                if len(delivered) == flush.size:
+                    ran.append(pf)
+                schedule.add(t, actual)
+                moved.update(delivered)
+                src = flush.src
+                delivered_parking = sum(
+                    1 for m in delivered if int(targets[m]) != dest
+                )
+                if src != self._root and not self._is_leaf[src]:
+                    departed[src] = departed.get(src, 0) + len(delivered)
+                if not self._is_leaf[dest]:
+                    arrived[dest] = arrived.get(dest, 0) + delivered_parking
+                for m in delivered:
+                    location[m] = dest
+
+            if attempted == 0:
+                if waiting:
+                    # Blocked on faults (stall window / backoff): time
+                    # genuinely passes; the realized schedule gets an
+                    # idle step.  Bounded because windows and backoffs
+                    # are finite (max_steps backstops pathologies).
+                    self.stats.wait_steps += 1
+                    idle = 0
+                    continue
+                idle += 1
+                if idle > MAX_IDLE_STEPS:
+                    t -= 1
+                    pending = self._replan_or_raise(
+                        t, location, pending, replans,
+                        reason="deadlocked (flush list is not laminar?)",
+                    )
+                    replans += 1
+                    idle = 0
+                    continue
+                t -= 1
+                continue
+            idle = 0
+            for v, d in departed.items():
+                occupancy[v] -= d
+            for v, a in arrived.items():
+                occupancy[v] += a
+            ran_set = {id(pf) for pf in ran}
+            pending = [pf for pf in pending if id(pf) not in ran_set]
+            if budget_exhausted and pending:
+                pending = self._replan_or_raise(
+                    t, location, pending, replans,
+                    reason="retry budget exhausted",
+                )
+                replans += 1
+        if injector is not None:
+            self.stats.fault_events = list(injector.events)
+        return schedule.trim()
+
+    # ------------------------------------------------------------------
+    def _replan_or_raise(
+        self,
+        t: int,
+        location: "list[int]",
+        pending: "list[_PendingFlush]",
+        replans: int,
+        *,
+        reason: str,
+    ) -> "list[_PendingFlush]":
+        """Re-plan the surviving messages, or raise if out of options."""
+        if replans >= self.max_replans:
+            raise self._stalled(
+                f"resilient executor stalled ({reason}; "
+                f"{replans} replan(s) already used)",
+                t, location, pending,
+            )
+        targets = self.instance.targets
+        remaining = [
+            m
+            for m in range(self.instance.n_messages)
+            if location[m] != int(targets[m])
+        ]
+        try:
+            new_flushes = self.replanner(self.instance, remaining, location)
+        except ReproError as exc:
+            raise self._stalled(
+                f"resilient executor stalled ({reason}; replan failed: {exc})",
+                t, location, pending,
+            ) from exc
+        if not new_flushes and remaining:
+            raise self._stalled(
+                f"resilient executor stalled ({reason}; replanner returned "
+                "no flushes for surviving messages)",
+                t, location, pending,
+            )
+        self.stats.replans += 1
+        return [_PendingFlush(f) for f in new_flushes]
+
+    def _stalled(
+        self,
+        header: str,
+        t: int,
+        location: "list[int]",
+        pending: "list[_PendingFlush]",
+    ) -> ExecutionStalledError:
+        return stalled_error(
+            header,
+            step=t,
+            instance=self.instance,
+            location=location,
+            pending_flushes=[pf.flush for pf in pending],
+        )

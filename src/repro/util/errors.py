@@ -32,3 +32,43 @@ class InvalidScheduleError(ReproError):
 
 class InvalidFlushError(InvalidScheduleError):
     """A single flush is malformed (too many messages, bad edge, ...)."""
+
+
+class ExecutionStalledError(InvalidScheduleError):
+    """An executor made no progress and exhausted its recovery options.
+
+    Raised by :class:`repro.policies.executor.GatedExecutor` when a
+    flush list deadlocks (e.g. it is not laminar) and by
+    :class:`repro.policies.resilient.ResilientExecutor` when retries and
+    re-planning are exhausted.  Carries the stalled state so the failure
+    is diagnosable:
+
+    Attributes
+    ----------
+    step:
+        1-based step at which progress stopped (-1 if unknown).
+    parked_messages:
+        ``(msg_id, node)`` pairs for every undelivered message and its
+        current location.
+    blocking_flush:
+        The highest-priority pending flush that could not run (None if
+        nothing was pending).
+    pending_flushes:
+        All flushes still pending when execution stalled, in priority
+        order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step: int = -1,
+        parked_messages: "tuple[tuple[int, int], ...]" = (),
+        blocking_flush: object = None,
+        pending_flushes: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.step = step
+        self.parked_messages = tuple(parked_messages)
+        self.blocking_flush = blocking_flush
+        self.pending_flushes = tuple(pending_flushes)

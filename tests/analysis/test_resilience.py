@@ -1,0 +1,66 @@
+"""Tests for the resilience sweep and its report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resilience import (
+    default_resilience_policies,
+    format_resilience_report,
+    resilience_sweep,
+)
+from repro.policies import WormsPolicy
+from repro.tree import balanced_tree
+from tests.conftest import make_uniform
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    inst = make_uniform(balanced_tree(3, 3), n_messages=120, P=2, B=12,
+                        seed=2)
+    cells = resilience_sweep(
+        inst, [WormsPolicy()], fault_rates=(0.0, 0.15), seed=0
+    )
+    return cells
+
+
+def test_sweep_shape(sweep):
+    assert [(c.policy, c.fault_rate) for c in sweep] == [
+        ("worms", 0.0), ("worms", 0.15),
+    ]
+
+
+def test_zero_rate_row_has_no_inflation(sweep):
+    base = sweep[0]
+    assert base.mean_inflation == pytest.approx(1.0)
+    assert base.p99_inflation == pytest.approx(1.0)
+    assert base.stats.failed_attempts == 0
+    assert base.stats.replans == 0
+
+
+def test_faults_inflate_not_deflate(sweep):
+    faulty = sweep[1]
+    assert faulty.mean_inflation >= 1.0
+    assert faulty.n_steps >= sweep[0].n_steps
+
+
+def test_default_policy_roster():
+    names = [p.name for p in default_resilience_policies()]
+    assert names == [
+        "eager", "lazy-threshold", "greedy-batch", "worms", "online",
+    ]
+
+
+def test_report_formatting(sweep):
+    report = format_resilience_report(sweep)
+    lines = report.splitlines()
+    assert lines[0].startswith("==")
+    assert "policy" in lines[1] and "p99-x" in lines[1]
+    # One row per cell plus header, rule, and the trailing note.
+    assert len(lines) == len(sweep) + 4
+    assert "inflation" in lines[-1]
+
+
+def test_report_empty_cells():
+    report = format_resilience_report([])
+    assert "policy" in report

@@ -1,0 +1,136 @@
+"""Tests for the deterministic fault injector.
+
+The properties the rest of the stack leans on: decisions are pure
+functions of (seed, kind, step, coordinates) — stable across repeated
+and reordered queries — zero plans never fire, and window faults cover
+exactly their configured duration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_PARTIAL,
+)
+
+MSGS = (3, 7, 11, 15)
+
+
+def test_zero_plan_never_fires():
+    inj = FaultInjector(FaultPlan.none(), seed=0)
+    for t in range(1, 50):
+        assert inj.effective_p(t, 4) == 4
+        assert not inj.is_stalled(t, t % 5)
+        assert inj.flush_outcome(t, 0, 1, MSGS) == (OUTCOME_OK, MSGS)
+    assert inj.events == []
+
+
+def test_decisions_deterministic_across_queries():
+    """Asking twice (or in a different order) gives identical answers."""
+    a = FaultInjector(FaultPlan.uniform(0.3), seed=7)
+    b = FaultInjector(FaultPlan.uniform(0.3), seed=7)
+    queries = [(t, src) for t in range(1, 30) for src in (0, 1, 2)]
+    forward = [a.flush_outcome(t, src, src + 1, MSGS) for t, src in queries]
+    backward = [
+        b.flush_outcome(t, src, src + 1, MSGS)
+        for t, src in reversed(queries)
+    ]
+    assert forward == list(reversed(backward))
+    # Repeat queries on the same injector: still identical.
+    again = [a.flush_outcome(t, src, src + 1, MSGS) for t, src in queries]
+    assert again == forward
+
+
+def test_different_seeds_differ():
+    plan = FaultPlan.uniform(0.3)
+    outcomes = {
+        seed: [
+            FaultInjector(plan, seed=seed).flush_outcome(t, 0, 1, MSGS)[0]
+            for t in range(1, 40)
+        ]
+        for seed in (0, 1)
+    }
+    assert outcomes[0] != outcomes[1]
+
+
+def test_retry_rerolls_at_later_step():
+    """A failed flush must not be doomed forever: later steps re-roll."""
+    inj = FaultInjector(FaultPlan(failed_flush_rate=0.5), seed=2)
+    statuses = {
+        inj.flush_outcome(t, 0, 1, MSGS)[0] for t in range(1, 60)
+    }
+    assert statuses == {OUTCOME_OK, OUTCOME_FAILED}
+
+
+def test_partial_delivers_proper_nonempty_subset():
+    inj = FaultInjector(FaultPlan(partial_flush_rate=1.0), seed=0)
+    for t in range(1, 20):
+        status, delivered = inj.flush_outcome(t, 0, 1, MSGS)
+        assert status == OUTCOME_PARTIAL
+        assert 0 < len(delivered) < len(MSGS)
+        assert set(delivered) < set(MSGS)
+        assert list(delivered) == sorted(delivered)
+
+
+def test_single_message_flush_never_partial():
+    inj = FaultInjector(FaultPlan(partial_flush_rate=1.0), seed=0)
+    for t in range(1, 20):
+        assert inj.flush_outcome(t, 0, 1, (5,)) == (OUTCOME_OK, (5,))
+
+
+def test_stall_window_spans_duration():
+    """A stall starting at t0 blocks the node for exactly the window."""
+    duration = 3
+    plan = FaultPlan(stall_rate=0.1, stall_duration=duration)
+    inj = FaultInjector(plan, seed=4)
+    node = 2
+    stalled = [t for t in range(1, 300) if inj.is_stalled(t, node)]
+    assert stalled, "with rate 0.1 over 300 steps some stall should fire"
+    # Every stalled step belongs to a window whose start also stalls,
+    # and each window start covers the following duration steps.
+    starts = [
+        t for t in stalled
+        if inj._rng("node_stall", t, node).random() < plan.stall_rate
+    ]
+    covered = {t0 + d for t0 in starts for d in range(duration)}
+    assert set(stalled) <= covered
+
+
+def test_degraded_p_floor_and_window():
+    plan = FaultPlan(degraded_p_rate=0.1, degraded_p_duration=2,
+                     degraded_p_floor=1)
+    inj = FaultInjector(plan, seed=9)
+    values = [inj.effective_p(t, 4) for t in range(1, 300)]
+    assert set(values) == {1, 4}
+    # P never drops below the floor and never exceeds the machine's P.
+    assert min(values) == plan.degraded_p_floor
+    inj2 = FaultInjector(FaultPlan(degraded_p_rate=1.0, degraded_p_floor=8),
+                         seed=0)
+    assert inj2.effective_p(1, 4) == 4  # floor is capped at the real P
+
+
+def test_event_log_dedups_and_resets():
+    inj = FaultInjector(FaultPlan(failed_flush_rate=1.0), seed=0)
+    inj.flush_outcome(1, 0, 1, MSGS)
+    inj.flush_outcome(1, 0, 1, MSGS)  # same event: logged once
+    assert len(inj.events) == 1
+    assert inj.events[0].kind == "failed_flush"
+    assert inj.events[0].step == 1
+    inj.reset_events()
+    assert inj.events == []
+    inj.flush_outcome(1, 0, 1, MSGS)
+    assert len(inj.events) == 1  # dedup set cleared too
+
+
+def test_flush_coordinates_are_independent():
+    """Same step, different edges: independent draws (not all equal)."""
+    inj = FaultInjector(FaultPlan(failed_flush_rate=0.5), seed=3)
+    statuses = {
+        inj.flush_outcome(5, src, src + 1, MSGS)[0] for src in range(20)
+    }
+    assert statuses == {OUTCOME_OK, OUTCOME_FAILED}

@@ -1,0 +1,66 @@
+"""Tests for FaultPlan validation and constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan
+from repro.util.errors import InvalidInstanceError
+
+
+def test_none_plan_is_zero():
+    plan = FaultPlan.none()
+    assert plan.is_zero
+    assert plan.failed_flush_rate == 0.0
+
+
+def test_default_plan_is_zero():
+    assert FaultPlan().is_zero
+
+
+def test_uniform_plan_splits_rate():
+    plan = FaultPlan.uniform(0.2)
+    assert not plan.is_zero
+    assert plan.failed_flush_rate == pytest.approx(0.1)
+    assert plan.partial_flush_rate == pytest.approx(0.1)
+    assert plan.stall_rate == pytest.approx(0.05)
+    assert plan.degraded_p_rate == pytest.approx(0.05)
+
+
+def test_uniform_zero_rate_is_zero_plan():
+    assert FaultPlan.uniform(0.0).is_zero
+
+
+@pytest.mark.parametrize("field", [
+    "failed_flush_rate", "partial_flush_rate", "stall_rate",
+    "degraded_p_rate",
+])
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_rates_must_be_probabilities(field, bad):
+    with pytest.raises(InvalidInstanceError, match=field):
+        FaultPlan(**{field: bad})
+
+
+def test_failed_plus_partial_bounded():
+    with pytest.raises(InvalidInstanceError, match="must be <= 1"):
+        FaultPlan(failed_flush_rate=0.7, partial_flush_rate=0.7)
+
+
+@pytest.mark.parametrize("field,bad", [
+    ("stall_duration", 0),
+    ("degraded_p_duration", 0),
+    ("degraded_p_floor", 0),
+])
+def test_durations_and_floor_positive(field, bad):
+    with pytest.raises(InvalidInstanceError, match=field):
+        FaultPlan(**{field: bad})
+
+
+def test_uniform_rejects_bad_rate():
+    with pytest.raises(InvalidInstanceError):
+        FaultPlan.uniform(1.1)
+
+
+def test_fault_kinds_enumeration():
+    assert len(FAULT_KINDS) == 4
+    assert len(set(FAULT_KINDS)) == 4

@@ -1,0 +1,93 @@
+"""Open-loop fault injection through the DAM simulator.
+
+The simulator replays a *fixed* schedule; a faulted flush no-ops
+without its own violation and the damage surfaces downstream
+(not-at-source, unfinished).  That contrast with the closed-loop
+resilient executor is the point of the harness.
+"""
+
+from __future__ import annotations
+
+from repro.dam.simulator import (
+    KIND_INCOMPLETE,
+    KIND_MESSAGE_NOT_AT_SRC,
+    simulate,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import DROPPED_FLUSH
+from repro.policies import WormsPolicy
+from repro.tree import balanced_tree
+from tests.conftest import make_uniform
+
+
+def make_run(seed=3):
+    inst = make_uniform(balanced_tree(3, 3), n_messages=160, P=2, B=12,
+                        seed=seed)
+    return inst, WormsPolicy().schedule(inst)
+
+
+def test_zero_plan_replay_identical():
+    inst, sched = make_run()
+    clean = simulate(inst, sched)
+    faulted = simulate(
+        inst, sched, faults=FaultInjector(FaultPlan.none(), seed=0)
+    )
+    assert (faulted.completion_times == clean.completion_times).all()
+    assert faulted.fault_events == []
+    assert not faulted.violations and not faulted.space_violations
+
+
+def test_faulted_replay_cascades_downstream():
+    inst, sched = make_run()
+    faulted = simulate(
+        inst, sched, faults=FaultInjector(FaultPlan.uniform(0.2), seed=1)
+    )
+    assert faulted.fault_events
+    kinds = {v.kind for v in faulted.violations}
+    # The faulted flush itself is not a violation; its consequences are.
+    assert kinds <= {KIND_MESSAGE_NOT_AT_SRC, KIND_INCOMPLETE}
+    assert KIND_INCOMPLETE in kinds
+    assert (faulted.completion_times == 0).any()
+
+
+def test_faulted_replay_deterministic():
+    inst, sched = make_run()
+    runs = [
+        simulate(
+            inst, sched, faults=FaultInjector(FaultPlan.uniform(0.2), seed=1)
+        )
+        for _ in range(2)
+    ]
+    assert (
+        runs[0].completion_times == runs[1].completion_times
+    ).all()
+    assert len(runs[0].fault_events) == len(runs[1].fault_events)
+
+
+def test_shared_injector_resets_between_replays():
+    inst, sched = make_run()
+    injector = FaultInjector(FaultPlan.uniform(0.2), seed=1)
+    first = simulate(inst, sched, faults=injector)
+    second = simulate(inst, sched, faults=injector)
+    assert len(first.fault_events) == len(second.fault_events)
+
+
+def test_degraded_capacity_drops_over_capacity_flushes():
+    inst, sched = make_run()
+    injector = FaultInjector(
+        FaultPlan(degraded_p_rate=0.5, degraded_p_floor=1), seed=2
+    )
+    faulted = simulate(inst, sched, faults=injector)
+    dropped = [e for e in faulted.fault_events if e.kind == DROPPED_FLUSH]
+    assert dropped, "with P=2 halved often, some flush must be dropped"
+    for e in dropped:
+        assert "degraded capacity" in e.detail
+
+
+def test_fault_events_sorted_by_step():
+    inst, sched = make_run()
+    faulted = simulate(
+        inst, sched, faults=FaultInjector(FaultPlan.uniform(0.3), seed=5)
+    )
+    steps = [e.step for e in faulted.fault_events]
+    assert steps == sorted(steps)

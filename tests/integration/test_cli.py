@@ -56,3 +56,26 @@ def test_gadget_invalid_input(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_faults_runs(capsys):
+    rc = main(["faults", "--messages", "120", "--P", "2", "--B", "16",
+               "--leaves", "32", "--seed", "0", "--rates", "0.1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "resilience under faults" in out
+    for name in ("eager", "lazy-threshold", "greedy-batch", "worms",
+                 "online"):
+        assert name in out
+    assert "p99-x" in out
+
+
+def test_faults_rejects_bad_rates(capsys):
+    rc = main(["faults", "--messages", "50", "--leaves", "16",
+               "--rates", "0.1,banana"])
+    assert rc == 2
+    assert "invalid --rates" in capsys.readouterr().err
+    rc = main(["faults", "--messages", "50", "--leaves", "16",
+               "--rates", "1.5"])
+    assert rc == 2
+    assert "must be in [0, 1]" in capsys.readouterr().err

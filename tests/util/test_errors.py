@@ -34,3 +34,21 @@ def test_package_apis_raise_package_errors():
 
     with pytest.raises(ReproError):
         SchedulingInstance([0], [1], P=1)
+
+
+def test_execution_stalled_in_hierarchy():
+    from repro.util.errors import ExecutionStalledError
+
+    assert issubclass(ExecutionStalledError, InvalidScheduleError)
+    err = ExecutionStalledError(
+        "stalled", step=4, parked_messages=((3, 1), (5, 2)),
+        blocking_flush="f", pending_flushes=("f", "g"),
+    )
+    assert err.step == 4
+    assert err.parked_messages == ((3, 1), (5, 2))
+    assert err.blocking_flush == "f"
+    assert err.pending_flushes == ("f", "g")
+    # Defaults: diagnosable even when raised with no state.
+    bare = ExecutionStalledError("stalled")
+    assert bare.step == -1 and bare.parked_messages == ()
+    assert bare.blocking_flush is None
