@@ -34,8 +34,15 @@ from repro.core import (
     reduce_to_scheduling,
     solve_worms,
 )
-from repro.dam import Flush, FlushSchedule, simulate, validate_valid
-from repro.faults import FaultInjector, FaultPlan
+from repro.dam import (
+    Flush,
+    FlushSchedule,
+    JournalWriter,
+    RecoveryManager,
+    simulate,
+    validate_valid,
+)
+from repro.faults import BurstInjector, BurstPlan, FaultInjector, FaultPlan
 from repro.policies import (
     EagerPolicy,
     GreedyBatchPolicy,
@@ -82,9 +89,13 @@ __all__ = [
     "FlushSchedule",
     "simulate",
     "validate_valid",
+    "JournalWriter",
+    "RecoveryManager",
     # faults
     "FaultPlan",
     "FaultInjector",
+    "BurstPlan",
+    "BurstInjector",
     "ResilientExecutor",
     # scheduling
     "SchedulingInstance",

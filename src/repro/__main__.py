@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing code:
+Six subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
@@ -8,14 +8,21 @@ Four subcommands cover the common workflows without writing code:
 * ``gadget``  — build the Lemma 15 NP-hardness gadget for a 3-partition
   input and decide it;
 * ``faults``  — execute every policy under seeded fault injection and
-  report mean/p99 completion-time inflation per fault rate.
+  report mean/p99 completion-time inflation per fault rate
+  (``--burst`` switches to correlated Markov-modulated bursts);
+* ``run``     — execute the WORMS policy once, streaming a
+  crash-consistent journal to disk (kill it mid-run, then...);
+* ``recover`` — ...scan that journal, repair its torn tail, and resume
+  the interrupted run to byte-identical completion times.
 
 Examples::
 
     python -m repro compare --messages 2000 --P 4 --B 64 --skew 1.0
     python -m repro solve --messages 500 --height 3 --fanout 4
     python -m repro gadget 6 7 7 6 8 6
-    python -m repro faults --seed 0 --rates 0.05,0.1,0.2
+    python -m repro faults --seed 0 --rates 0.05,0.1,0.2 --burst
+    python -m repro run --messages 5000 --journal /tmp/worms.journal
+    python -m repro recover /tmp/worms.journal
 """
 
 from __future__ import annotations
@@ -37,30 +44,42 @@ from repro.analysis.resilience import (
 from repro.analysis.stats import compare_policies
 from repro.core import solve_worms
 from repro.dam import validate_valid
+from repro.dam.journal import JournalWriter, RecoveryManager
 from repro.dam.trace import record_trace
+from repro.faults import BurstInjector, BurstPlan, FaultInjector, FaultPlan
 from repro.policies import (
     EagerPolicy,
     GreedyBatchPolicy,
     LazyThresholdPolicy,
+    ResilientExecutor,
     WormsPolicy,
 )
+from repro.policies.executor import DEFAULT_CHECKPOINT_EVERY
 from repro.tree import balanced_tree, beps_shape_tree
-from repro.util.errors import ExecutionStalledError
+from repro.util.errors import ExecutionStalledError, JournalCorruptionError
 from repro.workloads import uniform_instance, zipf_instance
 
 
-def _make_instance(args: argparse.Namespace):
-    if args.fanout:
-        topo = balanced_tree(args.fanout, args.height)
+def _build_instance(
+    *, messages: int, P: int, B: int, leaves: int, fanout: int,
+    height: int, skew: float, seed: int,
+):
+    if fanout:
+        topo = balanced_tree(fanout, height)
     else:
-        topo = beps_shape_tree(args.B, 0.5, args.leaves)
-    if args.skew > 0:
+        topo = beps_shape_tree(B, 0.5, leaves)
+    if skew > 0:
         return zipf_instance(
-            topo, args.messages, P=args.P, B=args.B, theta=args.skew,
-            seed=args.seed,
+            topo, messages, P=P, B=B, theta=skew, seed=seed
         )
-    return uniform_instance(
-        topo, args.messages, P=args.P, B=args.B, seed=args.seed
+    return uniform_instance(topo, messages, P=P, B=B, seed=seed)
+
+
+def _make_instance(args: argparse.Namespace):
+    return _build_instance(
+        messages=args.messages, P=args.P, B=args.B, leaves=args.leaves,
+        fanout=args.fanout, height=args.height, skew=args.skew,
+        seed=args.seed,
     )
 
 
@@ -126,21 +145,152 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if not rates or any(not (0.0 <= r <= 1.0) for r in rates):
         print("--rates values must be in [0, 1]", file=sys.stderr)
         return 2
+    title = "resilience under correlated bursts" if args.burst \
+        else "resilience under faults"
+    cells = resilience_sweep(
+        inst,
+        fault_rates=rates,
+        seed=args.seed,
+        retry_budget=args.retry_budget,
+        burst=args.burst,
+        fault_aware=args.fault_aware,
+    )
+    print(format_resilience_report(cells, title=title))
+    return 0
+
+
+def _make_injector(
+    *, rate: float, burst: bool, fault_seed: int, topology
+) -> "FaultInjector | None":
+    """The deterministic fault source a (run, recover) pair shares."""
+    if burst:
+        return BurstInjector(
+            FaultPlan.none(), BurstPlan.from_rate(rate), topology,
+            seed=fault_seed,
+        )
+    if rate > 0:
+        return FaultInjector(FaultPlan.uniform(rate), seed=fault_seed)
+    return None
+
+
+def _executor_for(inst, meta: dict, journal=None) -> ResilientExecutor:
+    """Build the executor a journal's ``meta`` config describes.
+
+    Execution is deterministic in this config, which is what lets
+    ``recover`` re-derive the reference schedule of an interrupted run
+    by simply re-running it (journal-free).
+    """
+    injector = _make_injector(
+        rate=meta["rate"], burst=meta["burst"],
+        fault_seed=meta["fault_seed"], topology=inst.topology,
+    )
+    return ResilientExecutor(
+        inst,
+        injector,
+        retry_budget=meta["retry_budget"],
+        fault_aware=meta["fault_aware"],
+        journal=journal,
+        checkpoint_every=meta["checkpoint_every"],
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run the `run` subcommand (journaled WORMS execution)."""
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if not (0.0 <= args.rate <= 1.0):
+        print("--rate must be in [0, 1]", file=sys.stderr)
+        return 2
+    inst = _make_instance(args)
+    print(f"instance: {inst!r}")
+    ordered = [f for _t, f in WormsPolicy().schedule(inst).iter_timed()]
+    meta = {
+        "policy": "worms",
+        "messages": args.messages, "P": args.P, "B": args.B,
+        "leaves": args.leaves, "fanout": args.fanout,
+        "height": args.height, "skew": args.skew, "seed": args.seed,
+        "rate": args.rate, "burst": args.burst,
+        "fault_seed": args.fault_seed, "fault_aware": args.fault_aware,
+        "retry_budget": args.retry_budget,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    writer = JournalWriter(args.journal, meta=meta, sync=args.sync)
     try:
-        cells = resilience_sweep(
-            inst,
-            fault_rates=rates,
-            seed=args.seed,
-            retry_budget=args.retry_budget,
+        executor = _executor_for(inst, meta, journal=writer)
+        try:
+            sched = executor.run(list(ordered))
+        except ExecutionStalledError as exc:
+            print(f"execution stalled (journal kept):\n{exc}",
+                  file=sys.stderr)
+            return 1
+    finally:
+        writer.close()
+    res = validate_valid(inst, sched)
+    print(f"journal: {args.journal}")
+    print(
+        f"completed: {sched.n_steps} steps, {sched.n_flushes} flushes, "
+        f"total completion time {res.total_completion_time}"
+    )
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Run the `recover` subcommand (scan, repair, resume a journal)."""
+    manager = RecoveryManager(args.journal)
+    try:
+        meta = manager.meta
+        if meta is None:
+            print(
+                f"{args.journal}: no meta record survived; the run "
+                "configuration cannot be reconstructed",
+                file=sys.stderr,
+            )
+            return 1
+        if meta.get("policy") != "worms":
+            print(
+                f"journal meta has unsupported policy "
+                f"{meta.get('policy')!r}; cannot re-derive the reference "
+                "schedule",
+                file=sys.stderr,
+            )
+            return 2
+        inst = _build_instance(
+            messages=meta["messages"], P=meta["P"], B=meta["B"],
+            leaves=meta["leaves"], fanout=meta["fanout"],
+            height=meta["height"], skew=meta["skew"], seed=meta["seed"],
         )
-    except ExecutionStalledError as exc:
-        print(
-            "fault environment too hostile for recovery "
-            f"(try lower --rates or a higher --retry-budget):\n{exc}",
-            file=sys.stderr,
-        )
+        print(f"instance (rebuilt from journal meta): {inst!r}")
+        ordered = [
+            f for _t, f in WormsPolicy().schedule(inst).iter_timed()
+        ]
+        # Deterministic replay of the interrupted run's config gives the
+        # schedule the journal must be a prefix of.
+        reference = _executor_for(inst, meta).run(list(ordered))
+        report = manager.recover(inst, reference, repair=not args.no_repair)
+    except JournalCorruptionError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
         return 1
-    print(format_resilience_report(cells))
+    except (KeyError, TypeError) as exc:
+        print(f"journal meta unusable: {exc!r}", file=sys.stderr)
+        return 2
+    if report.torn_bytes:
+        print(
+            f"torn tail: {report.torn_bytes} byte(s) dropped "
+            f"({report.torn_reason})"
+        )
+    if report.run_completed:
+        print("journal records a completed run; nothing to resume")
+    print(
+        f"recovered: checkpoint at step {report.checkpoint_step}, "
+        f"{report.replayed_flushes} journaled flush(es) replayed, "
+        f"resumed from step {report.resumed_from_step}"
+    )
+    print(
+        f"resumed run: {report.result.max_completion_time} steps, total "
+        f"completion time {report.result.total_completion_time} "
+        "(validated identical to the uninterrupted run)"
+    )
     return 0
 
 
@@ -211,7 +361,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-budget", type=int, default=5,
         help="flush attempts before the executor re-plans",
     )
+    p_faults.add_argument(
+        "--burst", action="store_true",
+        help="correlated Markov-modulated bursts instead of iid faults",
+    )
+    p_faults.add_argument(
+        "--fault-aware", action="store_true",
+        help="enable fault-aware admission in the resilient executor",
+    )
     p_faults.set_defaults(func=cmd_faults)
+
+    p_run = sub.add_parser(
+        "run", help="journaled WORMS execution (crash-recoverable)"
+    )
+    add_instance_args(p_run)
+    p_run.add_argument(
+        "--journal", type=str, required=True,
+        help="path the execution journal is streamed to",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=DEFAULT_CHECKPOINT_EVERY,
+        help="steps between journaled state checkpoints",
+    )
+    p_run.add_argument(
+        "--sync", action="store_true",
+        help="fsync the journal at every checkpoint (real durability)",
+    )
+    p_run.add_argument(
+        "--rate", type=float, default=0.0,
+        help="fault rate to execute under (0 = fault-free)",
+    )
+    p_run.add_argument(
+        "--burst", action="store_true",
+        help="correlated Markov-modulated bursts instead of iid faults",
+    )
+    p_run.add_argument("--fault-seed", type=int, default=0)
+    p_run.add_argument("--fault-aware", action="store_true")
+    p_run.add_argument("--retry-budget", type=int, default=5)
+    p_run.set_defaults(func=cmd_run)
+
+    p_recover = sub.add_parser(
+        "recover", help="scan, repair, and resume an execution journal"
+    )
+    p_recover.add_argument("journal", type=str)
+    p_recover.add_argument(
+        "--no-repair", action="store_true",
+        help="scan and resume without truncating the torn tail in place",
+    )
+    p_recover.set_defaults(func=cmd_recover)
 
     p_gadget = sub.add_parser("gadget", help="Lemma 15 NP-hardness gadget")
     p_gadget.add_argument("integers", type=int, nargs="+")

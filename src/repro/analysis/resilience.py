@@ -22,8 +22,10 @@ from repro.analysis.stats import summarize
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.validator import validate_valid
+from repro.faults.bursts import BurstInjector, BurstPlan
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.util.errors import ExecutionStalledError
 from repro.policies.base import Policy
 from repro.policies.eager import EagerPolicy
 from repro.policies.greedy_batch import GreedyBatchPolicy
@@ -59,19 +61,31 @@ class ResilienceCell:
     p99_inflation: float
     #: what the recovery machinery did (retries, redeliveries, replans).
     stats: ResilienceStats
+    #: set when recovery was exhausted and execution raised
+    #: :class:`ExecutionStalledError` — the cell then carries the error's
+    #: diagnostics instead of completion statistics.
+    stalled: bool = False
+    stalled_step: int = -1
+    parked: int = 0
+    blocking: str = ""
 
     def row(self) -> "list":
         """Flat row for bench tables."""
+        if self.stalled:
+            stall = f"@{self.stalled_step}:{self.parked}p"
+        else:
+            stall = "-"
         return [
             self.policy,
             self.fault_rate,
-            round(self.mean, 1),
-            round(self.p99, 1),
+            "-" if self.stalled else round(self.mean, 1),
+            "-" if self.stalled else round(self.p99, 1),
             self.n_steps,
-            round(self.mean_inflation, 2),
-            round(self.p99_inflation, 2),
+            "-" if self.stalled else round(self.mean_inflation, 2),
+            "-" if self.stalled else round(self.p99_inflation, 2),
             self.stats.failed_attempts + self.stats.partial_deliveries,
             self.stats.replans,
+            stall,
         ]
 
 
@@ -88,6 +102,8 @@ def resilience_sweep(
     seed: int = 0,
     retry_budget: int = 5,
     max_replans: int = 4,
+    burst: bool = False,
+    fault_aware: bool = False,
 ) -> "list[ResilienceCell]":
     """Run every policy under every fault rate; returns one cell per pair.
 
@@ -96,6 +112,14 @@ def resilience_sweep(
     the gated executor) to establish its baseline; inflation is relative
     to that baseline, so the numbers isolate *fault* cost from policy
     cost.  All realized schedules are validated.
+
+    With ``burst=True`` each rate parameterizes a Markov-modulated
+    :class:`~repro.faults.BurstInjector` (correlated stall -> partial ->
+    failed escalation on a random subtree) instead of independent
+    per-flush faults — the regime where ``fault_aware=True`` admission
+    pays off.  A cell whose execution exhausts recovery is reported with
+    the :class:`ExecutionStalledError` diagnostics (stall step, parked
+    messages, blocking flush) rather than aborting the whole sweep.
     """
     if policies is None:
         policies = default_resilience_policies()
@@ -107,14 +131,43 @@ def resilience_sweep(
         clean = validate_valid(instance, clean_sched)
         clean_stats = summarize(clean.completion_times, clean_sched.n_steps)
         for rate in fault_rates:
-            injector = FaultInjector(FaultPlan.uniform(rate), seed=seed)
+            if burst:
+                injector: FaultInjector = BurstInjector(
+                    FaultPlan.none(),
+                    BurstPlan.from_rate(rate),
+                    instance.topology,
+                    seed=seed,
+                )
+            else:
+                injector = FaultInjector(FaultPlan.uniform(rate), seed=seed)
             executor = ResilientExecutor(
                 instance,
                 injector,
                 retry_budget=retry_budget,
                 max_replans=max_replans,
+                fault_aware=fault_aware,
             )
-            sched = executor.run(list(ordered))
+            try:
+                sched = executor.run(list(ordered))
+            except ExecutionStalledError as exc:
+                cells.append(
+                    ResilienceCell(
+                        policy=policy.name,
+                        fault_rate=rate,
+                        mean=float("nan"),
+                        p99=float("nan"),
+                        max=0,
+                        n_steps=exc.step,
+                        mean_inflation=float("nan"),
+                        p99_inflation=float("nan"),
+                        stats=executor.stats,
+                        stalled=True,
+                        stalled_step=exc.step,
+                        parked=len(exc.parked_messages),
+                        blocking=repr(exc.blocking_flush),
+                    )
+                )
+                continue
             sim = validate_valid(instance, sched)
             s = summarize(sim.completion_times, sched.n_steps)
             cells.append(
@@ -138,7 +191,7 @@ def format_resilience_report(
 ) -> str:
     """Render sweep cells as the aligned table the CLI and bench print."""
     headers = ["policy", "rate", "mean", "p99", "IOs",
-               "mean-x", "p99-x", "retries", "replans"]
+               "mean-x", "p99-x", "retries", "replans", "stalled"]
     rows = [c.row() for c in cells]
     widths = [
         max(len(h), *(len(str(v)) for v in col)) if rows else len(h)
@@ -151,6 +204,7 @@ def format_resilience_report(
         lines.append("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
     lines.append(
         "note: mean-x/p99-x = completion-time inflation vs the policy's own "
-        "fault-free run; retries = failed + partial flush attempts."
+        "fault-free run; retries = failed + partial flush attempts; "
+        "stalled = @step:parked-count when recovery was exhausted."
     )
     return "\n".join(lines)

@@ -13,6 +13,13 @@ messages each (Section 2.1 of the paper).
   (valid / overfilling) and raises precise errors.
 """
 
+from repro.dam.journal import (
+    JournalScan,
+    JournalWriter,
+    RecoveryManager,
+    RecoveryReport,
+    scan_journal,
+)
 from repro.dam.machine import DAMSpec
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.simulator import SimulationResult, simulate
@@ -47,4 +54,9 @@ __all__ = [
     "record_trace",
     "checkpoint_at",
     "resume_simulation",
+    "JournalWriter",
+    "JournalScan",
+    "RecoveryManager",
+    "RecoveryReport",
+    "scan_journal",
 ]

@@ -1,0 +1,420 @@
+"""Crash-consistent execution journal for schedule execution.
+
+A journal is a segmented, append-only file that makes an executor run
+durable: if the process is killed mid-run — a real ``kill -9``, not a
+simulated one — the journal holds everything needed to reconstruct the
+machine state at the last durable step and resume, with completion times
+byte-identical to an uninterrupted run.
+
+**File layout.**  An 8-byte header (``b"WOJ1"`` magic + little-endian
+``u32`` version) followed by records.  Each record is::
+
+    u32 payload length | u32 CRC-32 of payload | payload (UTF-8 JSON)
+
+Five record types flow through a journal, all JSON objects with a
+``"type"`` key:
+
+* ``meta`` — run configuration written once at open (instance shape,
+  executor options, anything the writer wants to persist);
+* ``flush`` — one realized flush: ``{"t", "src", "dest", "msgs"}``;
+* ``fault`` — a fault decision the executor observed (failed/partial
+  outcome, stall skip) — audit trail, not needed for state recovery;
+* ``checkpoint`` — a full :class:`~repro.dam.trace.CheckpointRecord`
+  snapshot (message locations + completion steps at the end of a step);
+* ``end`` — the run completed; nothing to recover.
+
+**Torn-tail rule.**  A crash can leave a partially written final record.
+On scan, a record that *extends past the end of the file*, or whose
+checksum/JSON fails *at the physical tail*, is a torn tail: it is
+discarded (and :meth:`RecoveryManager.repair` truncates it away) and the
+valid prefix is used.  A record that fails its checksum with more data
+*after* it cannot be a tear — appends never leave holes — so that is
+:class:`~repro.util.errors.JournalCorruptionError`.  The net guarantee:
+recovery either reproduces the uninterrupted run exactly or raises a
+typed error; it never returns a wrong answer.
+
+**Durable-step rule.**  A step's flush records may be half-written when
+the process dies, so a step ``t`` counts as durable only with evidence it
+finished: a later record (any record with step > ``t``), a checkpoint at
+step >= ``t``, or an ``end`` record.  Flushes of a non-durable trailing
+step are dropped; resuming re-executes that step, which is safe because
+the reconstructed state never saw it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.dam.simulator import SimulationResult
+from repro.dam.trace import CheckpointRecord, _apply_step, _initial_state
+from repro.util.errors import JournalCorruptionError
+
+MAGIC = b"WOJ1"
+VERSION = 1
+_HEADER = MAGIC + struct.pack("<I", VERSION)
+_PREFIX = struct.Struct("<II")  # payload length, CRC-32
+
+#: Record types.
+REC_META = "meta"
+REC_FLUSH = "flush"
+REC_FAULT = "fault"
+REC_CHECKPOINT = "checkpoint"
+REC_END = "end"
+
+
+def encode_record(record: dict) -> bytes:
+    """Serialize one record to its on-disk bytes (length | crc | payload)."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return _PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def flush_record(t: int, flush: Flush) -> dict:
+    """The journal record for one realized flush at step ``t``."""
+    return {"type": REC_FLUSH, "t": int(t), "src": int(flush.src),
+            "dest": int(flush.dest), "msgs": [int(m) for m in flush.messages]}
+
+
+def checkpoint_record(cp: CheckpointRecord) -> dict:
+    """The journal record for a state snapshot."""
+    return {"type": REC_CHECKPOINT, "t": int(cp.step),
+            "locations": list(cp.locations),
+            "completions": list(cp.completions)}
+
+
+def fault_record(t: int, kind: str, src: int, dest: int, detail: str) -> dict:
+    """The journal record for one fault decision the executor observed."""
+    return {"type": REC_FAULT, "t": int(t), "kind": kind, "src": int(src),
+            "dest": int(dest), "detail": detail}
+
+
+class JournalWriter:
+    """Append-only journal file handle.
+
+    The header (and ``meta`` record, if given) are written and synced at
+    open, so even an immediately-killed run leaves an identifiable
+    journal.  ``append`` buffers; call :meth:`flush` at durability points
+    (the executors flush at every checkpoint).  With ``sync=True`` every
+    flush also ``fsync``\\ s — slower, but survives OS-level crashes, not
+    just process kills.
+    """
+
+    def __init__(self, path: "str | os.PathLike", *,
+                 meta: "dict | None" = None, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = bool(sync)
+        self._f = open(self.path, "wb")
+        self._f.write(_HEADER)
+        if meta is not None:
+            self.append({"type": REC_META, **meta})
+        self.flush()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._f.closed
+
+    def append(self, record: dict) -> None:
+        """Buffer one record (see :meth:`flush` for durability)."""
+        self._f.write(encode_record(record))
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (and disk, with ``sync=True``)."""
+        self._f.flush()
+        if self.sync:
+            os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        """Flush and close; safe to call twice."""
+        if not self._f.closed:
+            self.flush()
+            self._f.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """Result of reading a journal: the valid record prefix + tail state."""
+
+    records: tuple[dict, ...]
+    #: bytes of header + fully valid records (the repair truncation point).
+    valid_bytes: int
+    file_bytes: int
+    #: why the tail was discarded ("" if the file ended on a record boundary).
+    torn_reason: str
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes of torn tail a crash left behind (0 for a clean file)."""
+        return self.file_bytes - self.valid_bytes
+
+
+def scan_journal(path: "str | os.PathLike") -> JournalScan:
+    """Read ``path``, tolerating a torn tail; raise on mid-file corruption.
+
+    Implements the torn-tail rule from the module docstring.  Raises
+    :class:`JournalCorruptionError` for a bad header or a damaged record
+    that is provably not a tear (data follows it).
+    """
+    data = Path(path).read_bytes()
+    if len(data) >= len(_HEADER) and data[: len(_HEADER)] != _HEADER:
+        raise JournalCorruptionError(
+            f"{path}: bad journal header {data[:8]!r} "
+            f"(expected {_HEADER!r})",
+            offset=0, reason="bad-magic",
+        )
+    if len(data) < len(_HEADER):
+        # Truncated inside the header: the whole file is a torn tail.
+        return JournalScan((), 0, len(data), "truncated header")
+    offset = len(_HEADER)
+    records: list[dict] = []
+    while offset < len(data):
+        if len(data) - offset < _PREFIX.size:
+            return JournalScan(tuple(records), offset, len(data),
+                               "truncated record prefix")
+        length, crc = _PREFIX.unpack_from(data, offset)
+        end = offset + _PREFIX.size + length
+        if end > len(data):
+            return JournalScan(tuple(records), offset, len(data),
+                               "record extends past end of file")
+        payload = data[offset + _PREFIX.size:end]
+        bad = ""
+        if zlib.crc32(payload) != crc:
+            bad = "bad-crc"
+        else:
+            try:
+                record = json.loads(payload)
+                if not isinstance(record, dict) or "type" not in record:
+                    bad = "bad-payload"
+            except (ValueError, UnicodeDecodeError):
+                bad = "bad-payload"
+        if bad:
+            if end == len(data):
+                # Damaged final record: a torn write, not corruption.
+                return JournalScan(tuple(records), offset, len(data),
+                                   f"torn final record ({bad})")
+            raise JournalCorruptionError(
+                f"{path}: record at byte {offset} fails its "
+                f"{'checksum' if bad == 'bad-crc' else 'decode'} with "
+                f"{len(data) - end} byte(s) of journal after it — "
+                "this is corruption, not a torn tail",
+                offset=offset, reason=bad,
+            )
+        records.append(record)
+        offset = end
+    return JournalScan(tuple(records), offset, len(data), "")
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`RecoveryManager.recover` did, for reports and the CLI."""
+
+    result: SimulationResult
+    #: the step recovery resumed from (the last durable step).
+    resumed_from_step: int
+    #: step of the checkpoint snapshot the state was rebuilt on.
+    checkpoint_step: int
+    #: journaled flushes replayed on top of the checkpoint.
+    replayed_flushes: int
+    #: torn bytes the crash left (0 if the journal ended cleanly).
+    torn_bytes: int
+    torn_reason: str
+    #: True when the journal holds an ``end`` record (nothing was lost).
+    run_completed: bool
+
+
+class RecoveryManager:
+    """Scan, repair, and resume from an execution journal after a kill.
+
+    Typical use (also what ``python -m repro recover`` does)::
+
+        rm = RecoveryManager("run.journal")
+        rm.repair()                        # drop the torn tail in place
+        report = rm.recover(instance, reference_schedule)
+
+    ``reference_schedule`` is the realized schedule of the uninterrupted
+    run; with a deterministic executor it is re-derived by re-running the
+    planner/executor with the journal's own ``meta`` configuration.  The
+    recovered completion times are checked against an uninterrupted
+    replay (:func:`repro.dam.validator.validate_recovery`), so the result
+    is byte-identical or a typed error — never silently wrong.
+    """
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        self.path = Path(path)
+        self._scan: "JournalScan | None" = None
+
+    def scan(self, *, refresh: bool = False) -> JournalScan:
+        """Read the journal (cached; ``refresh=True`` to re-read)."""
+        if self._scan is None or refresh:
+            self._scan = scan_journal(self.path)
+        return self._scan
+
+    @property
+    def meta(self) -> "dict | None":
+        """The journal's ``meta`` record payload (None if it didn't survive)."""
+        for rec in self.scan().records:
+            if rec["type"] == REC_META:
+                return {k: v for k, v in rec.items() if k != "type"}
+        return None
+
+    @property
+    def run_completed(self) -> bool:
+        """True iff the journal carries an ``end`` record."""
+        return any(r["type"] == REC_END for r in self.scan().records)
+
+    def repair(self) -> int:
+        """Truncate the torn tail off the file in place; returns bytes cut."""
+        scan = self.scan()
+        if scan.torn_bytes:
+            with open(self.path, "r+b") as f:
+                f.truncate(scan.valid_bytes)
+            self._scan = JournalScan(scan.records, scan.valid_bytes,
+                                     scan.valid_bytes, "")
+        return scan.torn_bytes
+
+    # ------------------------------------------------------------------
+    def last_durable_step(self) -> int:
+        """The newest step with evidence it fully executed (see module doc)."""
+        records = self.scan().records
+        completed = any(r["type"] == REC_END for r in records)
+        max_cp = max((r["t"] for r in records
+                      if r["type"] == REC_CHECKPOINT), default=-1)
+        steps = sorted({r["t"] for r in records if r["type"] == REC_FLUSH})
+        if not steps:
+            return max(max_cp, 0)
+        last = steps[-1]
+        if completed or max_cp >= last:
+            return max(last, max_cp)
+        # No evidence step `last` finished: it is not durable.
+        durable = steps[-2] if len(steps) >= 2 else 0
+        return max(durable, max_cp, 0)
+
+    def recovered_checkpoint(self, instance: WORMSInstance) -> CheckpointRecord:
+        """Rebuild the machine state at the last durable step.
+
+        Starts from the newest journaled checkpoint (or the instance's
+        initial state if none survived), then applies every durable
+        journaled flush after it.  Raises
+        :class:`JournalCorruptionError` if no records survived or the
+        journal belongs to a different instance.
+        """
+        return self._recover_state(instance)[0]
+
+    def _recover_state(
+        self, instance: WORMSInstance
+    ) -> "tuple[CheckpointRecord, int]":
+        """(state at last durable step, step of the snapshot it grew from)."""
+        records = self.scan().records
+        if not records:
+            raise JournalCorruptionError(
+                f"{self.path}: no usable records survived (journal "
+                f"truncated to {self.scan().file_bytes} byte(s))",
+                reason="no-records",
+            )
+        n = instance.n_messages
+        meta = self.meta
+        if meta is not None and meta.get("n_messages", n) != n:
+            raise JournalCorruptionError(
+                f"{self.path}: journal is for "
+                f"{meta['n_messages']} messages, instance has {n}",
+                reason="instance-mismatch",
+            )
+        base: "CheckpointRecord | None" = None
+        for rec in records:
+            if rec["type"] == REC_CHECKPOINT and (
+                base is None or rec["t"] > base.step
+            ):
+                if len(rec["locations"]) != n or len(rec["completions"]) != n:
+                    raise JournalCorruptionError(
+                        f"{self.path}: checkpoint at step {rec['t']} has "
+                        f"{len(rec['locations'])} message slots, instance "
+                        f"has {n}",
+                        reason="instance-mismatch",
+                    )
+                base = CheckpointRecord(
+                    int(rec["t"]),
+                    tuple(int(v) for v in rec["locations"]),
+                    tuple(int(v) for v in rec["completions"]),
+                )
+        if base is None:
+            location, completion = _initial_state(instance)
+            base = CheckpointRecord(0, tuple(location), tuple(completion))
+        durable = self.last_durable_step()
+        if durable <= base.step:
+            return base, base.step
+        location = list(base.locations)
+        completion = list(base.completions)
+        targets = instance.targets
+        by_step: dict[int, list[Flush]] = {}
+        for rec in records:
+            if rec["type"] == REC_FLUSH and base.step < rec["t"] <= durable:
+                by_step.setdefault(int(rec["t"]), []).append(
+                    Flush(int(rec["src"]), int(rec["dest"]),
+                          tuple(int(m) for m in rec["msgs"]))
+                )
+        for t in sorted(by_step):
+            _apply_step(t, by_step[t], location, completion, targets)
+        state = CheckpointRecord(durable, tuple(location), tuple(completion))
+        return state, base.step
+
+    def _check_prefix(self, schedule: FlushSchedule, durable: int) -> int:
+        """Verify durable journaled flushes appear in ``schedule``'s prefix."""
+        replayed = 0
+        for rec in self.scan().records:
+            if rec["type"] != REC_FLUSH or rec["t"] > durable:
+                continue
+            f = Flush(int(rec["src"]), int(rec["dest"]),
+                      tuple(int(m) for m in rec["msgs"]))
+            if f not in schedule.flushes_at(int(rec["t"])):
+                raise JournalCorruptionError(
+                    f"{self.path}: journaled flush {f!r} at step "
+                    f"{rec['t']} is not in the reference schedule — the "
+                    "journal belongs to a different run",
+                    reason="schedule-mismatch",
+                )
+            replayed += 1
+        return replayed
+
+    def recover(
+        self, instance: WORMSInstance, schedule: FlushSchedule, *,
+        repair: bool = True,
+    ) -> RecoveryReport:
+        """Full recovery: repair the tail, restore state, resume, validate.
+
+        Resumes ``schedule`` from the reconstructed state via
+        :func:`repro.dam.trace.resume_simulation` and asserts the result
+        matches an uninterrupted replay exactly
+        (:func:`~repro.dam.validator.validate_recovery`).  Returns a
+        :class:`RecoveryReport`; raises a typed error on any damage the
+        torn-tail rule cannot absorb.
+        """
+        from repro.dam.validator import validate_recovery
+
+        scan = self.scan()
+        torn_bytes, torn_reason = scan.torn_bytes, scan.torn_reason
+        if repair:
+            self.repair()
+        cp, base_step = self._recover_state(instance)
+        replayed = self._check_prefix(schedule, cp.step)
+        result = validate_recovery(instance, schedule, cp)
+        return RecoveryReport(
+            result=result,
+            resumed_from_step=cp.step,
+            checkpoint_step=base_step,
+            replayed_flushes=replayed,
+            torn_bytes=torn_bytes,
+            torn_reason=torn_reason,
+            run_completed=self.run_completed,
+        )

@@ -13,6 +13,20 @@ by two layers:
   the realized schedule stays valid (see ``docs/MODEL.md``).
 """
 
+from repro.faults.bursts import (
+    BurstInjector,
+    BurstPlan,
+    PHASE_CALM,
+    PHASE_FAILED,
+    PHASE_PARTIAL,
+    PHASE_STALL,
+)
+from repro.faults.crashes import (
+    CrashInjector,
+    flip_byte,
+    tear_last_record,
+    truncate_at,
+)
 from repro.faults.injector import (
     FaultEvent,
     FaultInjector,
@@ -33,6 +47,16 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultEvent",
+    "BurstPlan",
+    "BurstInjector",
+    "PHASE_CALM",
+    "PHASE_STALL",
+    "PHASE_PARTIAL",
+    "PHASE_FAILED",
+    "CrashInjector",
+    "truncate_at",
+    "tear_last_record",
+    "flip_byte",
     "FAULT_KINDS",
     "FAILED_FLUSH",
     "PARTIAL_FLUSH",

@@ -77,6 +77,21 @@ class FaultInjector:
         self.seed = int(seed)
         self.events: list[FaultEvent] = []
         self._logged: set[tuple] = set()
+        # Memoized uniforms: each (kind, coords) draw is a pure function
+        # of the seed, so caching changes nothing about the fault pattern
+        # but removes the dominant cost of hot-loop queries (constructing
+        # a numpy Generator per draw is ~25us; a dict hit is ~40ns).
+        self._uniforms: dict[tuple, float] = {}
+
+    @property
+    def is_zero_plan(self) -> bool:
+        """True iff no fault can ever fire (executors may skip all queries).
+
+        Subclasses with extra fault sources (e.g. the burst chain)
+        override this; the executors consult it instead of reaching into
+        ``plan.is_zero`` directly.
+        """
+        return self.plan.is_zero
 
     def reset_events(self) -> None:
         """Clear the fault log (decisions are unaffected — they are pure)."""
@@ -91,6 +106,15 @@ class FaultInjector:
         return np.random.default_rng(
             np.random.SeedSequence(entropy=self.seed, spawn_key=key)
         )
+
+    def _uniform(self, kind: str, *coords: int) -> float:
+        """The (memoized) uniform [0, 1) draw for one fault opportunity."""
+        key = (kind,) + coords
+        u = self._uniforms.get(key)
+        if u is None:
+            u = float(self._rng(kind, *coords).random())
+            self._uniforms[key] = u
+        return u
 
     def _log(self, event: FaultEvent, dedup_key: tuple) -> None:
         if dedup_key not in self._logged:
@@ -107,7 +131,7 @@ class FaultInjector:
             return P
         lo = max(1, t - plan.degraded_p_duration + 1)
         for t0 in range(lo, t + 1):
-            if self._rng(DEGRADED_P, t0).random() < plan.degraded_p_rate:
+            if self._uniform(DEGRADED_P, t0) < plan.degraded_p_rate:
                 eff = min(P, plan.degraded_p_floor)
                 self._log(
                     FaultEvent(
@@ -130,7 +154,7 @@ class FaultInjector:
             return False
         lo = max(1, t - plan.stall_duration + 1)
         for t0 in range(lo, t + 1):
-            if self._rng(NODE_STALL, t0, node).random() < plan.stall_rate:
+            if self._uniform(NODE_STALL, t0, node) < plan.stall_rate:
                 self._log(
                     FaultEvent(
                         NODE_STALL,
@@ -142,6 +166,27 @@ class FaultInjector:
                 )
                 return True
         return False
+
+    def stall_window_end(self, t: int, node: int) -> "int | None":
+        """Last step of the stall window covering ``(t, node)``, or None.
+
+        Fault-aware admission (:class:`~repro.policies.resilient.
+        ResilientExecutor` with ``fault_aware=True``) uses this to model
+        an operator who, on observing a stall, knows the device's pause
+        duration and parks work on that node until the window closes
+        instead of re-probing it every step.
+        """
+        plan = self.plan
+        if plan.stall_rate == 0.0:
+            return None
+        end = None
+        lo = max(1, t - plan.stall_duration + 1)
+        for t0 in range(lo, t + 1):
+            if self._uniform(NODE_STALL, t0, node) < plan.stall_rate:
+                window_end = t0 + plan.stall_duration - 1
+                if end is None or window_end > end:
+                    end = window_end
+        return end
 
     def flush_outcome(
         self, t: int, src: int, dest: int, messages: "tuple[int, ...]"
@@ -156,8 +201,8 @@ class FaultInjector:
         plan = self.plan
         if plan.failed_flush_rate == 0.0 and plan.partial_flush_rate == 0.0:
             return OUTCOME_OK, messages
-        rng = self._rng(FAILED_FLUSH, t, src, dest, min(messages, default=0))
-        u = float(rng.random())
+        coords = (t, src, dest, min(messages, default=0))
+        u = self._uniform(FAILED_FLUSH, *coords)
         if u < plan.failed_flush_rate:
             self._log(
                 FaultEvent(
@@ -173,6 +218,12 @@ class FaultInjector:
             u < plan.failed_flush_rate + plan.partial_flush_rate
             and len(messages) >= 2
         ):
+            # Partial outcomes need the generator itself for the subset
+            # draws; re-create it and burn the uniform already consumed
+            # via the memo so the stream position (and thus the chosen
+            # subset) is byte-identical to the unmemoized implementation.
+            rng = self._rng(FAILED_FLUSH, *coords)
+            rng.random()
             k = int(rng.integers(1, len(messages)))
             picked = rng.choice(len(messages), size=k, replace=False)
             delivered = tuple(sorted(messages[i] for i in picked))

@@ -16,19 +16,40 @@ For laminar flush lists (every flush's messages arrived at its source in
 a single earlier flush — which is exactly what the packed-set reduction
 produces) this never deadlocks: the deepest parked group always has an
 admissible next flush, because nothing is parked below it.
+
+**Durability** (``journal=``): pass a path or an open
+:class:`~repro.dam.journal.JournalWriter` and the executor streams every
+realized flush plus a :class:`~repro.dam.trace.CheckpointRecord` every
+``checkpoint_every`` steps into a crash-consistent journal, so a killed
+process can be resumed exactly (see :mod:`repro.dam.journal`).  With
+``journal=None`` (the default) no journal state is even allocated and
+the realized schedule is byte-for-byte what it always was.
+
+**Scan cost.**  The priority scan re-checks the readiness of every
+pending flush each step.  Three observations keep that tractable at
+millions of messages without changing a single decision: a flush whose
+*first* message is elsewhere cannot be ready (O(1) reject covers the
+common front-blocked case); how many of a flush's messages will *park*
+at its destination is a static property, precomputed once; and consumed
+flushes are flagged and compacted away lazily instead of rebuilding the
+pending list every step.
 """
 
 from __future__ import annotations
 
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
-from repro.util.errors import ExecutionStalledError
+from repro.dam.trace import CheckpointRecord
+from repro.util.errors import ExecutionStalledError, InvalidInstanceError
 
 #: Safety valve: abort rather than loop forever on a malformed flush list.
 MAX_IDLE_STEPS = 4
 
 #: How many parked messages / pending flushes to list in an error message.
 _DIAG_LIMIT = 5
+
+#: Default checkpoint cadence (steps) when journaling is enabled.
+DEFAULT_CHECKPOINT_EVERY = 32
 
 
 def stalled_error(
@@ -47,7 +68,7 @@ def stalled_error(
     """
     targets = instance.targets
     parked = tuple(
-        (m, location[m])
+        (m, int(location[m]))
         for m in range(instance.n_messages)
         if location[m] != int(targets[m])
     )
@@ -77,90 +98,236 @@ def execute_flush_list(
     return GatedExecutor(instance).run(flushes)
 
 
-class GatedExecutor:
-    """See module docstring.  One instance per execution."""
+class _RunJournal:
+    """Per-run journaling state: completion tracking + record emission.
 
-    def __init__(self, instance: WORMSInstance) -> None:
+    Instantiated only when journaling is on, so the fault-free,
+    journal-free path allocates nothing.  Flushes the writer at every
+    checkpoint — the durability points recovery resumes from.
+    """
+
+    def __init__(self, writer, owned: bool, targets: "list[int]",
+                 checkpoint_every: int, location: "list[int]") -> None:
+        self.writer = writer
+        self.owned = owned
+        self.targets = targets
+        self.every = checkpoint_every
+        self.completion = [0] * len(targets)
+        self._checkpoint(0, location)
+
+    def _checkpoint(self, step: int, location: "list[int]") -> None:
+        from repro.dam.journal import checkpoint_record
+
+        self.writer.append(checkpoint_record(CheckpointRecord(
+            step, tuple(int(v) for v in location), tuple(self.completion)
+        )))
+        self.writer.flush()
+
+    def record_flush(self, t: int, flush: Flush) -> None:
+        from repro.dam.journal import flush_record
+
+        self.writer.append(flush_record(t, flush))
+        dest = flush.dest
+        completion = self.completion
+        for m in flush.messages:
+            if self.targets[m] == dest and completion[m] == 0:
+                completion[m] = t
+
+    def record_fault(self, t: int, kind: str, src: int, dest: int,
+                     detail: str) -> None:
+        from repro.dam.journal import fault_record
+
+        self.writer.append(fault_record(t, kind, src, dest, detail))
+
+    def end_step(self, t: int, location: "list[int]") -> None:
+        if t % self.every == 0:
+            self._checkpoint(t, location)
+
+    def finish(self, n_steps: int, location: "list[int]") -> None:
+        """The run completed: final checkpoint + ``end`` record."""
+        self._checkpoint(n_steps, location)
+        self.writer.append({"type": "end", "t": int(n_steps)})
+        self.writer.flush()
+        if self.owned:
+            self.writer.close()
+
+    def abort(self) -> None:
+        """The run died (stall error): keep what we have durable."""
+        self.writer.flush()
+        if self.owned:
+            self.writer.close()
+
+
+class GatedExecutor:
+    """See module docstring.  One instance per execution.
+
+    Parameters
+    ----------
+    instance:
+        The WORMS instance being executed.
+    journal:
+        ``None`` (no journaling), a filesystem path (the executor opens
+        and owns a :class:`~repro.dam.journal.JournalWriter` with an
+        auto-generated ``meta`` record), or an open writer (the caller
+        owns lifecycle and ``meta``).
+    checkpoint_every:
+        Steps between journaled state snapshots (ignored without a
+        journal).  Smaller = less replay on recovery, more bytes.
+    """
+
+    def __init__(
+        self,
+        instance: WORMSInstance,
+        *,
+        journal=None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
         self.instance = instance
         topo = instance.topology
         self._is_leaf = [topo.is_leaf(v) for v in range(topo.n_nodes)]
         self._root = topo.root
+        if checkpoint_every < 1:
+            raise InvalidInstanceError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.checkpoint_every = int(checkpoint_every)
+        self.journal = journal
+
+    # ------------------------------------------------------------------
+    def _start_journal(self, location: "list[int]",
+                       targets: "list[int]") -> "_RunJournal | None":
+        """Open per-run journal state (None when journaling is off)."""
+        if self.journal is None:
+            return None
+        from repro.dam.journal import JournalWriter
+
+        inst = self.instance
+        if isinstance(self.journal, JournalWriter):
+            writer, owned = self.journal, False
+        else:
+            writer, owned = JournalWriter(
+                self.journal,
+                meta={
+                    "n_messages": inst.n_messages,
+                    "P": inst.P,
+                    "B": inst.B,
+                    "n_nodes": inst.topology.n_nodes,
+                    "checkpoint_every": self.checkpoint_every,
+                },
+            ), True
+        return _RunJournal(writer, owned, targets, self.checkpoint_every,
+                           location)
 
     def run(self, flushes: list[Flush]) -> FlushSchedule:
         """Replay ``flushes`` in priority order; returns a valid schedule."""
         inst = self.instance
-        targets = inst.targets
+        is_leaf = self._is_leaf
+        root = self._root
+        P, B = inst.P, inst.B
+        targets = inst.targets.tolist()
         location = [inst.start_of(m) for m in range(inst.n_messages)]
         occupancy = [0] * inst.topology.n_nodes  # parked msgs per internal node
         for m in range(inst.n_messages):
             v = location[m]
-            if v != self._root and not self._is_leaf[v] and v != int(targets[m]):
+            if v != root and not is_leaf[v] and v != targets[m]:
                 occupancy[v] += 1
 
+        # Static per-flush data: messages that do not complete at dest.
+        parking = [
+            sum(1 for m in f.messages if targets[m] != f.dest)
+            for f in flushes
+        ]
+        journal = self._start_journal(location, targets)
         pending = list(range(len(flushes)))
+        done = bytearray(len(flushes))
+        n_pending = len(flushes)
         schedule = FlushSchedule()
         t = 0
         idle = 0
-        while pending:
-            t += 1
-            ran: list[int] = []
-            moved: set[int] = set()
-            # One pass over pending flushes in priority order; stop once P
-            # flushes are placed.  Arrivals take effect *after* the step, so
-            # readiness/admission use start-of-step state plus this step's
-            # own departures/arrivals bookkeeping.
-            departed: dict[int, int] = {}
-            arrived: dict[int, int] = {}
-            for idx in pending:
-                if len(ran) >= inst.P:
-                    break
-                flush = flushes[idx]
-                if any(location[m] != flush.src or m in moved for m in flush.messages):
-                    continue
-                dest = flush.dest
-                # Messages completing at dest (a leaf, or their internal
-                # target under the footnote-3 extension) never park there.
-                parking = sum(1 for m in flush.messages if int(targets[m]) != dest)
-                if not self._is_leaf[dest]:
-                    projected = (
-                        occupancy[dest]
-                        - departed.get(dest, 0)
-                        + arrived.get(dest, 0)
-                        + parking
-                    )
-                    if projected > inst.B:
+        try:
+            while n_pending:
+                t += 1
+                ran: list[int] = []
+                moved: set[int] = set()
+                # One pass over pending flushes in priority order; stop
+                # once P flushes are placed.  Arrivals take effect *after*
+                # the step, so readiness/admission use start-of-step state
+                # plus this step's own departures/arrivals bookkeeping.
+                departed: dict[int, int] = {}
+                arrived: dict[int, int] = {}
+                for idx in pending:
+                    if done[idx]:
                         continue
-                ran.append(idx)
-                moved.update(flush.messages)
-                schedule.add(t, flush)
-                src = flush.src
-                if src != self._root and not self._is_leaf[src]:
-                    departed[src] = departed.get(src, 0) + flush.size
-                if not self._is_leaf[dest]:
-                    arrived[dest] = arrived.get(dest, 0) + parking
-                for m in flush.messages:
-                    location[m] = dest
-            if not ran:
-                idle += 1
-                if idle > MAX_IDLE_STEPS:
-                    raise stalled_error(
-                        "gated executor deadlocked (flush list is not "
-                        "laminar?)",
-                        step=t,
-                        instance=inst,
-                        location=location,
-                        pending_flushes=[flushes[i] for i in pending],
-                    )
-                # Nothing ran: roll the step counter back (an idle step
-                # would inflate costs) and retry; the idle counter above
-                # turns a genuine no-progress state into an error.
-                t -= 1
-                continue
-            idle = 0
-            for v, d in departed.items():
-                occupancy[v] -= d
-            for v, a in arrived.items():
-                occupancy[v] += a
-            ran_set = set(ran)
-            pending = [idx for idx in pending if idx not in ran_set]
-        return schedule.trim()
+                    if len(ran) >= P:
+                        break
+                    flush = flushes[idx]
+                    src = flush.src
+                    msgs = flush.messages
+                    if location[msgs[0]] != src:
+                        continue  # O(1) reject: first message not here yet
+                    if any(
+                        location[m] != src or m in moved for m in msgs
+                    ):
+                        continue
+                    dest = flush.dest
+                    # Messages completing at dest (a leaf, or their
+                    # internal target under the footnote-3 extension)
+                    # never park there.
+                    park = parking[idx]
+                    if not is_leaf[dest]:
+                        projected = (
+                            occupancy[dest]
+                            - departed.get(dest, 0)
+                            + arrived.get(dest, 0)
+                            + park
+                        )
+                        if projected > B:
+                            continue
+                    ran.append(idx)
+                    done[idx] = 1
+                    moved.update(msgs)
+                    schedule.add(t, flush)
+                    if src != root and not is_leaf[src]:
+                        departed[src] = departed.get(src, 0) + flush.size
+                    if not is_leaf[dest]:
+                        arrived[dest] = arrived.get(dest, 0) + park
+                    for m in msgs:
+                        location[m] = dest
+                if not ran:
+                    idle += 1
+                    if idle > MAX_IDLE_STEPS:
+                        raise stalled_error(
+                            "gated executor deadlocked (flush list is not "
+                            "laminar?)",
+                            step=t,
+                            instance=inst,
+                            location=location,
+                            pending_flushes=[
+                                flushes[i] for i in pending if not done[i]
+                            ],
+                        )
+                    # Nothing ran: roll the step counter back (an idle step
+                    # would inflate costs) and retry; the idle counter above
+                    # turns a genuine no-progress state into an error.
+                    t -= 1
+                    continue
+                idle = 0
+                for v, d in departed.items():
+                    occupancy[v] -= d
+                for v, a in arrived.items():
+                    occupancy[v] += a
+                n_pending -= len(ran)
+                if journal is not None:
+                    for idx in ran:
+                        journal.record_flush(t, flushes[idx])
+                    journal.end_step(t, location)
+                if n_pending and len(pending) > 2 * n_pending:
+                    pending = [i for i in pending if not done[i]]
+        except ExecutionStalledError:
+            if journal is not None:
+                journal.abort()
+            raise
+        schedule = schedule.trim()
+        if journal is not None:
+            journal.finish(schedule.n_steps, location)
+        return schedule

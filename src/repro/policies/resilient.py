@@ -22,6 +22,25 @@ recovery semantics a production flusher needs when IOs can fail
   raises :class:`~repro.util.errors.ExecutionStalledError` carrying the
   parked-message state instead of looping forever.
 
+**Fault-aware admission** (``fault_aware=True``, off by default) closes
+the ROADMAP's "fault-blind planning" gap: instead of recovering purely
+reactively, the selection loop consults the injector's *current* fault
+windows —
+
+* a node observed stalled is remembered until its window closes
+  (:meth:`~repro.faults.injector.FaultInjector.stall_window_end`), and
+  flushes touching it are parked without re-probing every step;
+* while capacity is degraded (``effective_p < P``), the scarce slots are
+  offered to *completion* flushes (flushes that park nothing) first, so
+  tail latency degrades before throughput does.
+
+Both behaviors only engage when a fault window is actually active, so
+the fault-free path is untouched with the flag on or off.
+
+**Durability** (``journal=``): like :class:`GatedExecutor`, the realized
+flushes, observed fault outcomes, and periodic checkpoints stream into a
+crash-consistent journal (:mod:`repro.dam.journal`).
+
 Zero-overhead fault path: with ``injector=None`` (or an all-zero
 :class:`~repro.faults.FaultPlan`) the selection logic below makes
 exactly the same decisions as :class:`GatedExecutor.run`, so the
@@ -40,7 +59,12 @@ from repro.faults.injector import (
     OUTCOME_FAILED,
     OUTCOME_PARTIAL,
 )
-from repro.policies.executor import GatedExecutor, MAX_IDLE_STEPS, stalled_error
+from repro.policies.executor import (
+    DEFAULT_CHECKPOINT_EVERY,
+    GatedExecutor,
+    MAX_IDLE_STEPS,
+    stalled_error,
+)
 from repro.tree.messages import Message
 from repro.util.errors import ExecutionStalledError, ReproError
 
@@ -50,8 +74,11 @@ class _PendingFlush:
     """A flush awaiting execution, with its retry bookkeeping."""
 
     flush: Flush
+    #: messages that do not complete at dest (static admission cost).
+    parking: int = 0
     attempts: int = 0
     eligible_at: int = 0  # earliest step this flush may be attempted again
+    done: bool = False
 
 
 @dataclass
@@ -63,6 +90,10 @@ class ResilienceStats:
     stalled_skips: int = 0
     replans: int = 0
     wait_steps: int = 0
+    #: flushes parked by fault-aware admission without probing the node.
+    fault_aware_skips: int = 0
+    #: steps where degraded capacity made admission prefer completions.
+    degraded_triage_steps: int = 0
     fault_events: list = field(default_factory=list)
 
 
@@ -100,7 +131,8 @@ def worms_replan(
         sub_messages,
         P=instance.P,
         B=instance.B,
-        start_nodes=None if all_at_root else [location[m] for m in remaining],
+        start_nodes=None if all_at_root
+        else [int(location[m]) for m in remaining],
         allow_internal_targets=instance.allow_internal_targets,
     )
     if all_at_root:
@@ -137,6 +169,11 @@ class ResilientExecutor(GatedExecutor):
         Hard ceiling on simulated steps (a diagnosable backstop against
         pathological fault plans); defaults to a generous multiple of
         the instance's total work.
+    fault_aware:
+        Enable fault-aware admission (see module docstring).  Off by
+        default; has zero effect while no fault window is active.
+    journal / checkpoint_every:
+        Crash-consistent journaling, as in :class:`GatedExecutor`.
     """
 
     def __init__(
@@ -148,9 +185,13 @@ class ResilientExecutor(GatedExecutor):
         max_replans: int = 2,
         replanner=None,
         max_steps: "int | None" = None,
+        fault_aware: bool = False,
+        journal=None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
-        super().__init__(instance)
-        if injector is not None and injector.plan.is_zero:
+        super().__init__(instance, journal=journal,
+                         checkpoint_every=checkpoint_every)
+        if injector is not None and injector.is_zero_plan:
             injector = None  # zero plan == no injector: skip all fault queries
         self.injector = injector
         self.retry_budget = max(1, int(retry_budget))
@@ -160,6 +201,7 @@ class ResilientExecutor(GatedExecutor):
             work = max(1, instance.total_work())
             max_steps = 1000 + 50 * work
         self.max_steps = max_steps
+        self.fault_aware = bool(fault_aware)
         self.stats = ResilienceStats()
 
     # ------------------------------------------------------------------
@@ -173,156 +215,250 @@ class ResilientExecutor(GatedExecutor):
         """
         inst = self.instance
         injector = self.injector
-        targets = inst.targets
+        is_leaf = self._is_leaf
+        root = self._root
+        P, B = inst.P, inst.B
+        targets = inst.targets.tolist()
         location = [inst.start_of(m) for m in range(inst.n_messages)]
         occupancy = [0] * inst.topology.n_nodes
         for m in range(inst.n_messages):
             v = location[m]
-            if v != self._root and not self._is_leaf[v] and v != int(targets[m]):
+            if v != root and not is_leaf[v] and v != targets[m]:
                 occupancy[v] += 1
 
-        pending = [_PendingFlush(f) for f in flushes]
+        def make_pending(fs: "list[Flush]") -> "list[_PendingFlush]":
+            return [
+                _PendingFlush(
+                    f,
+                    parking=sum(
+                        1 for m in f.messages if targets[m] != f.dest
+                    ),
+                )
+                for f in fs
+            ]
+
+        journal = self._start_journal(location, targets)
+        fault_aware = self.fault_aware and injector is not None
+        #: node -> last step of its observed stall window (fault-aware).
+        stall_until: dict[int, int] = {}
+        pending = make_pending(flushes)
+        n_pending = len(pending)
         schedule = FlushSchedule()
         t = 0
         idle = 0
         replans = 0
-        while pending:
-            t += 1
-            if t > self.max_steps:
-                raise self._stalled(
-                    f"resilient executor exceeded max_steps={self.max_steps}",
-                    t, location, pending,
-                )
-            capacity = inst.P if injector is None else injector.effective_p(
-                t, inst.P
-            )
-            ran: list[_PendingFlush] = []
-            attempted = 0
-            waiting = False
-            budget_exhausted = False
-            moved: set[int] = set()
-            departed: dict[int, int] = {}
-            arrived: dict[int, int] = {}
-            # Same one-pass priority scan as GatedExecutor.run; the extra
-            # guards (eligibility, stalls, outcomes) all no-op when
-            # injector is None, keeping the fault-free path identical.
-            for pf in pending:
-                if attempted >= capacity:
-                    break
-                if pf.eligible_at > t:
-                    waiting = True
-                    continue
-                flush = pf.flush
-                if injector is not None and (
-                    injector.is_stalled(t, flush.src)
-                    or injector.is_stalled(t, flush.dest)
-                ):
-                    self.stats.stalled_skips += 1
-                    waiting = True
-                    continue
-                if any(
-                    location[m] != flush.src or m in moved
-                    for m in flush.messages
-                ):
-                    continue
-                dest = flush.dest
-                parking = sum(
-                    1 for m in flush.messages if int(targets[m]) != dest
-                )
-                if not self._is_leaf[dest]:
-                    projected = (
-                        occupancy[dest]
-                        - departed.get(dest, 0)
-                        + arrived.get(dest, 0)
-                        + parking
+        try:
+            while n_pending:
+                t += 1
+                if t > self.max_steps:
+                    raise self._stalled(
+                        f"resilient executor exceeded max_steps="
+                        f"{self.max_steps}",
+                        t, location, pending,
                     )
-                    if projected > inst.B:
-                        continue
-                # Selected: the IO is attempted and the slot is consumed
-                # whatever the outcome.
-                attempted += 1
-                if injector is None:
-                    delivered: tuple[int, ...] = flush.messages
-                    status = None
+                capacity = P if injector is None else injector.effective_p(
+                    t, P
+                )
+                # Fault-aware triage: while capacity is degraded, offer
+                # the scarce slots to completion flushes (parking == 0)
+                # first, then everyone else.  Never active fault-free.
+                if fault_aware and capacity < P:
+                    self.stats.degraded_triage_steps += 1
+                    passes: "tuple[bool | None, ...]" = (True, False)
                 else:
-                    status, delivered = injector.flush_outcome(
-                        t, flush.src, flush.dest, flush.messages
-                    )
-                    if status == OUTCOME_FAILED:
-                        self.stats.failed_attempts += 1
-                        pf.attempts += 1
-                        pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
-                        if pf.attempts >= self.retry_budget:
-                            budget_exhausted = True
-                        continue
-                    if status == OUTCOME_PARTIAL:
-                        self.stats.partial_deliveries += 1
-                        remainder = tuple(
-                            m for m in flush.messages if m not in set(delivered)
+                    passes = (None,)
+                ran: list[_PendingFlush] = []
+                attempted = 0
+                waiting = False
+                budget_exhausted = False
+                moved: set[int] = set()
+                departed: dict[int, int] = {}
+                arrived: dict[int, int] = {}
+                # Same one-pass priority scan as GatedExecutor.run; the
+                # extra guards (eligibility, stalls, outcomes) all no-op
+                # when injector is None, keeping the fault-free path
+                # identical.
+                for completions_only in passes:
+                    if attempted >= capacity:
+                        break
+                    for pf in pending:
+                        if pf.done:
+                            continue
+                        if attempted >= capacity:
+                            break
+                        if completions_only is True and pf.parking > 0:
+                            continue
+                        if completions_only is False and pf.parking == 0:
+                            continue  # already offered in the first pass
+                        if pf.eligible_at > t:
+                            waiting = True
+                            continue
+                        flush = pf.flush
+                        src = flush.src
+                        dest = flush.dest
+                        if fault_aware and (
+                            stall_until.get(src, 0) >= t
+                            or stall_until.get(dest, 0) >= t
+                        ):
+                            # Known-stalled window: park without probing.
+                            self.stats.fault_aware_skips += 1
+                            waiting = True
+                            continue
+                        if injector is not None and (
+                            injector.is_stalled(t, src)
+                            or injector.is_stalled(t, dest)
+                        ):
+                            self.stats.stalled_skips += 1
+                            if fault_aware:
+                                for node in (src, dest):
+                                    end = injector.stall_window_end(t, node)
+                                    if end is not None and end > stall_until.get(
+                                        node, 0
+                                    ):
+                                        stall_until[node] = end
+                            waiting = True
+                            continue
+                        msgs = flush.messages
+                        if location[msgs[0]] != src:
+                            continue
+                        if any(
+                            location[m] != src or m in moved for m in msgs
+                        ):
+                            continue
+                        park = pf.parking
+                        if not is_leaf[dest]:
+                            projected = (
+                                occupancy[dest]
+                                - departed.get(dest, 0)
+                                + arrived.get(dest, 0)
+                                + park
+                            )
+                            if projected > B:
+                                continue
+                        # Selected: the IO is attempted and the slot is
+                        # consumed whatever the outcome.
+                        attempted += 1
+                        if injector is None:
+                            delivered: tuple[int, ...] = msgs
+                            status = None
+                        else:
+                            status, delivered = injector.flush_outcome(
+                                t, src, dest, msgs
+                            )
+                            if status == OUTCOME_FAILED:
+                                self.stats.failed_attempts += 1
+                                pf.attempts += 1
+                                pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
+                                if journal is not None:
+                                    journal.record_fault(
+                                        t, "failed_flush", src, dest,
+                                        f"{len(msgs)} msgs no-oped "
+                                        f"(attempt {pf.attempts})",
+                                    )
+                                if pf.attempts >= self.retry_budget:
+                                    budget_exhausted = True
+                                continue
+                            if status == OUTCOME_PARTIAL:
+                                self.stats.partial_deliveries += 1
+                                remainder = tuple(
+                                    m for m in msgs
+                                    if m not in set(delivered)
+                                )
+                                # Redeliver the remainder at the same
+                                # priority slot.
+                                pf.flush = Flush(src, dest, remainder)
+                                pf.parking = sum(
+                                    1 for m in remainder
+                                    if targets[m] != dest
+                                )
+                                pf.attempts += 1
+                                pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
+                                if journal is not None:
+                                    journal.record_fault(
+                                        t, "partial_flush", src, dest,
+                                        f"delivered {len(delivered)}/"
+                                        f"{len(msgs)} msgs "
+                                        f"(attempt {pf.attempts})",
+                                    )
+                                if pf.attempts >= self.retry_budget:
+                                    budget_exhausted = True
+                        actual = (
+                            flush
+                            if len(delivered) == len(msgs)
+                            else Flush(src, dest, delivered)
                         )
-                        # Redeliver the remainder at the same priority slot.
-                        pf.flush = Flush(flush.src, flush.dest, remainder)
-                        pf.attempts += 1
-                        pf.eligible_at = t + 1 + (1 << (pf.attempts - 1))
-                        if pf.attempts >= self.retry_budget:
-                            budget_exhausted = True
-                actual = (
-                    flush
-                    if len(delivered) == flush.size
-                    else Flush(flush.src, flush.dest, delivered)
-                )
-                if len(delivered) == flush.size:
-                    ran.append(pf)
-                schedule.add(t, actual)
-                moved.update(delivered)
-                src = flush.src
-                delivered_parking = sum(
-                    1 for m in delivered if int(targets[m]) != dest
-                )
-                if src != self._root and not self._is_leaf[src]:
-                    departed[src] = departed.get(src, 0) + len(delivered)
-                if not self._is_leaf[dest]:
-                    arrived[dest] = arrived.get(dest, 0) + delivered_parking
-                for m in delivered:
-                    location[m] = dest
+                        if len(delivered) == len(msgs):
+                            ran.append(pf)
+                            pf.done = True
+                        schedule.add(t, actual)
+                        moved.update(delivered)
+                        delivered_parking = (
+                            park
+                            if len(delivered) == len(msgs)
+                            else sum(
+                                1 for m in delivered if targets[m] != dest
+                            )
+                        )
+                        if journal is not None:
+                            journal.record_flush(t, actual)
+                        if src != root and not is_leaf[src]:
+                            departed[src] = departed.get(src, 0) + len(delivered)
+                        if not is_leaf[dest]:
+                            arrived[dest] = arrived.get(dest, 0) + delivered_parking
+                        for m in delivered:
+                            location[m] = dest
 
-            if attempted == 0:
-                if waiting:
-                    # Blocked on faults (stall window / backoff): time
-                    # genuinely passes; the realized schedule gets an
-                    # idle step.  Bounded because windows and backoffs
-                    # are finite (max_steps backstops pathologies).
-                    self.stats.wait_steps += 1
-                    idle = 0
-                    continue
-                idle += 1
-                if idle > MAX_IDLE_STEPS:
+                if attempted == 0:
+                    if waiting:
+                        # Blocked on faults (stall window / backoff): time
+                        # genuinely passes; the realized schedule gets an
+                        # idle step.  Bounded because windows and backoffs
+                        # are finite (max_steps backstops pathologies).
+                        self.stats.wait_steps += 1
+                        idle = 0
+                        continue
+                    idle += 1
+                    if idle > MAX_IDLE_STEPS:
+                        t -= 1
+                        pending = self._replan_or_raise(
+                            t, location, pending, replans,
+                            reason="deadlocked (flush list is not laminar?)",
+                            make_pending=make_pending,
+                        )
+                        n_pending = len(pending)
+                        replans += 1
+                        idle = 0
+                        continue
                     t -= 1
+                    continue
+                idle = 0
+                for v, d in departed.items():
+                    occupancy[v] -= d
+                for v, a in arrived.items():
+                    occupancy[v] += a
+                n_pending -= len(ran)
+                if journal is not None and moved:
+                    journal.end_step(t, location)
+                if n_pending and len(pending) > 2 * n_pending:
+                    pending = [pf for pf in pending if not pf.done]
+                if budget_exhausted and n_pending:
                     pending = self._replan_or_raise(
                         t, location, pending, replans,
-                        reason="deadlocked (flush list is not laminar?)",
+                        reason="retry budget exhausted",
+                        make_pending=make_pending,
                     )
+                    n_pending = len(pending)
                     replans += 1
-                    idle = 0
-                    continue
-                t -= 1
-                continue
-            idle = 0
-            for v, d in departed.items():
-                occupancy[v] -= d
-            for v, a in arrived.items():
-                occupancy[v] += a
-            ran_set = {id(pf) for pf in ran}
-            pending = [pf for pf in pending if id(pf) not in ran_set]
-            if budget_exhausted and pending:
-                pending = self._replan_or_raise(
-                    t, location, pending, replans,
-                    reason="retry budget exhausted",
-                )
-                replans += 1
+        except ExecutionStalledError:
+            if journal is not None:
+                journal.abort()
+            raise
         if injector is not None:
             self.stats.fault_events = list(injector.events)
-        return schedule.trim()
+        schedule = schedule.trim()
+        if journal is not None:
+            journal.finish(schedule.n_steps, location)
+        return schedule
 
     # ------------------------------------------------------------------
     def _replan_or_raise(
@@ -333,8 +469,10 @@ class ResilientExecutor(GatedExecutor):
         replans: int,
         *,
         reason: str,
+        make_pending,
     ) -> "list[_PendingFlush]":
         """Re-plan the surviving messages, or raise if out of options."""
+        pending = [pf for pf in pending if not pf.done]
         if replans >= self.max_replans:
             raise self._stalled(
                 f"resilient executor stalled ({reason}; "
@@ -361,7 +499,7 @@ class ResilientExecutor(GatedExecutor):
                 t, location, pending,
             )
         self.stats.replans += 1
-        return [_PendingFlush(f) for f in new_flushes]
+        return make_pending(new_flushes)
 
     def _stalled(
         self,
@@ -375,5 +513,5 @@ class ResilientExecutor(GatedExecutor):
             step=t,
             instance=self.instance,
             location=location,
-            pending_flushes=[pf.flush for pf in pending],
+            pending_flushes=[pf.flush for pf in pending if not pf.done],
         )

@@ -34,6 +34,35 @@ class InvalidFlushError(InvalidScheduleError):
     """A single flush is malformed (too many messages, bad edge, ...)."""
 
 
+class JournalError(ReproError):
+    """Base class for execution-journal failures (:mod:`repro.dam.journal`)."""
+
+
+class JournalCorruptionError(JournalError):
+    """A journal is damaged beyond the torn-tail rule.
+
+    Raised when a record *before* the physical tail fails its checksum or
+    cannot be decoded (bit rot, overwritten bytes), or when the journal
+    header/required records are missing entirely.  A damaged *tail* is
+    never an error — torn final records are the expected signature of a
+    crash and are repaired by discarding them (see ``docs/MODEL.md``).
+
+    Attributes
+    ----------
+    offset:
+        Byte offset of the damaged region (-1 if not applicable).
+    reason:
+        Machine-friendly tag (``bad-magic``, ``bad-crc``, ``bad-payload``,
+        ``no-records``, ``instance-mismatch``, ``schedule-mismatch``).
+    """
+
+    def __init__(self, message: str, *, offset: int = -1,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.reason = reason
+
+
 class ExecutionStalledError(InvalidScheduleError):
     """An executor made no progress and exhausted its recovery options.
 

@@ -64,3 +64,68 @@ def test_report_formatting(sweep):
 def test_report_empty_cells():
     report = format_resilience_report([])
     assert "policy" in report
+
+
+# ----------------------------------------------------------------------
+# Stall surfacing: an exhausted cell reports diagnostics, not a crash.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stalled_sweep():
+    inst = make_uniform(balanced_tree(3, 3), n_messages=120, P=2, B=12,
+                        seed=2)
+    return resilience_sweep(
+        inst, [WormsPolicy()], fault_rates=(1.0,), seed=0,
+        retry_budget=1, max_replans=0,
+    )
+
+
+def test_stalled_cell_carries_diagnostics(stalled_sweep):
+    (cell,) = stalled_sweep
+    assert cell.stalled
+    assert cell.stalled_step >= 0
+    assert cell.parked > 0
+    assert "Flush" in cell.blocking
+    assert cell.stats.failed_attempts > 0
+
+
+def test_stalled_cell_renders_in_report(stalled_sweep):
+    report = format_resilience_report(stalled_sweep)
+    lines = report.splitlines()
+    assert len(lines) == len(stalled_sweep) + 4  # same layout contract
+    assert "stalled" in lines[1]
+    cell = stalled_sweep[0]
+    assert f"@{cell.stalled_step}:{cell.parked}p" in lines[3]
+
+
+def test_healthy_cells_show_no_stall_marker(sweep):
+    report = format_resilience_report(sweep)
+    for line in report.splitlines()[3:-1]:
+        assert line.rstrip().endswith("-")
+
+
+# ----------------------------------------------------------------------
+# Burst mode and fault-aware pass-through.
+# ----------------------------------------------------------------------
+def test_burst_sweep_completes_and_validates():
+    inst = make_uniform(balanced_tree(3, 3), n_messages=120, P=2, B=12,
+                        seed=2)
+    cells = resilience_sweep(
+        inst, [WormsPolicy()], fault_rates=(0.0, 0.4), seed=1, burst=True,
+    )
+    assert [c.fault_rate for c in cells] == [0.0, 0.4]
+    assert not any(c.stalled for c in cells)
+    assert cells[0].mean_inflation == pytest.approx(1.0)
+    assert cells[1].mean_inflation >= 1.0
+
+
+def test_fault_aware_sweep_matches_blind_on_completion():
+    inst = make_uniform(balanced_tree(3, 3), n_messages=120, P=2, B=12,
+                        seed=2)
+    blind = resilience_sweep(
+        inst, [WormsPolicy()], fault_rates=(0.2,), seed=3,
+    )
+    aware = resilience_sweep(
+        inst, [WormsPolicy()], fault_rates=(0.2,), seed=3, fault_aware=True,
+    )
+    assert not blind[0].stalled and not aware[0].stalled
+    assert aware[0].mean_inflation >= 1.0

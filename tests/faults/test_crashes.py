@@ -1,0 +1,83 @@
+"""Tests for the file-layer crash injection primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import CrashInjector, flip_byte, tear_last_record, truncate_at
+from repro.util.errors import InvalidInstanceError
+
+
+@pytest.fixture
+def victim(tmp_path):
+    path = tmp_path / "victim.bin"
+    path.write_bytes(bytes(range(100)))
+    return path
+
+
+def test_truncate_copies_by_default(victim, tmp_path):
+    out = truncate_at(victim, 10, out=tmp_path / "cut.bin")
+    assert out.read_bytes() == bytes(range(10))
+    assert victim.stat().st_size == 100  # original untouched
+
+
+def test_truncate_in_place(victim):
+    assert truncate_at(victim, 0, in_place=True) == victim
+    assert victim.stat().st_size == 0
+
+
+def test_truncate_requires_destination(victim):
+    with pytest.raises(InvalidInstanceError):
+        truncate_at(victim, 10)
+
+
+def test_truncate_range_checked(victim, tmp_path):
+    for bad in (-1, 101):
+        with pytest.raises(InvalidInstanceError):
+            truncate_at(victim, bad, out=tmp_path / "x.bin")
+    # Both boundary offsets are legal (0 and filesize).
+    assert truncate_at(victim, 100, out=tmp_path / "full.bin").stat() \
+        .st_size == 100
+
+
+def test_tear_last_record(victim, tmp_path):
+    out = tear_last_record(victim, 7, out=tmp_path / "torn.bin")
+    assert out.read_bytes() == bytes(range(93))
+    with pytest.raises(InvalidInstanceError):
+        tear_last_record(victim, 101, out=tmp_path / "y.bin")
+
+
+def test_flip_byte(victim, tmp_path):
+    out = flip_byte(victim, 3, out=tmp_path / "flip.bin")
+    data = out.read_bytes()
+    assert data[3] == 3 ^ 0xFF
+    assert data[:3] == bytes(range(3)) and data[4:] == bytes(range(4, 100))
+    with pytest.raises(InvalidInstanceError):
+        flip_byte(victim, 100, out=tmp_path / "z.bin")
+    with pytest.raises(InvalidInstanceError):
+        flip_byte(victim, 0, xor=0, out=tmp_path / "z.bin")
+
+
+def test_crash_injector_is_deterministic(victim, tmp_path):
+    offs1 = [CrashInjector(seed=4).random_truncation(
+        victim, out=tmp_path / "a.bin")[1] for _ in range(1)]
+    offs2 = [CrashInjector(seed=4).random_truncation(
+        victim, out=tmp_path / "b.bin")[1] for _ in range(1)]
+    assert offs1 == offs2
+    inj = CrashInjector(seed=4)
+    draws = [inj.random_truncation(victim, out=tmp_path / "c.bin")[1]
+             for _ in range(20)]
+    assert all(0 <= o <= 100 for o in draws)
+    assert len(set(draws)) > 1  # stream advances between calls
+
+
+def test_crash_injector_random_flip(victim, tmp_path):
+    path, offset = CrashInjector(seed=1).random_flip(
+        victim, out=tmp_path / "f.bin"
+    )
+    assert 0 <= offset < 100
+    assert path.read_bytes() != victim.read_bytes()
+    empty = tmp_path / "empty.bin"
+    empty.write_bytes(b"")
+    with pytest.raises(InvalidInstanceError):
+        CrashInjector(seed=1).random_flip(empty, out=tmp_path / "g.bin")
