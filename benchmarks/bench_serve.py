@@ -1,0 +1,139 @@
+"""E14: the serving layer — sojourn latency under load, overload, faults.
+
+The offline experiments measure completion *steps* of a fixed batch; a
+service instead cares about sojourn time (completion - arrival + 1) as
+the offered load approaches and passes the machine's capacity.  Three
+tables: the latency/load curve for an open Poisson stream, shard
+scaling at fixed per-shard load, and bounded-queue overload behaviour
+(shed fraction + surviving tail latency).  A machine-readable summary of
+the steady-state runs lands in ``results/serve_metrics.json`` for the CI
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.common import RESULTS_DIR, emit_table
+from repro.serve import ServeConfig, ServiceLoop
+
+
+def run(cfg: ServeConfig):
+    return ServiceLoop(cfg).run()
+
+
+def test_e14_latency_vs_load(benchmark):
+    rows = []
+    artifacts = {}
+    for rate in (2.0, 4.0, 8.0, 12.0, 16.0):
+        cfg = ServeConfig(arrivals="poisson", rate=rate, messages=2000,
+                          shards=4, P=4, B=16, seed=14)
+        snap = run(cfg).snapshot
+        s = snap["sojourn"]
+        rows.append([
+            rate, snap["n_steps"], s["p50"], s["p95"], s["p99"], s["max"],
+            snap["throughput"],
+        ])
+        artifacts[f"poisson_rate_{rate:g}"] = snap
+    emit_table(
+        "E14_serve_latency",
+        ["rate", "steps", "p50", "p95", "p99", "max", "msgs/step"],
+        rows,
+        note="sojourn (steps) of an open Poisson stream, 4 shards, P=4 "
+        "B=16.  Below capacity the tail tracks the tree height; past it "
+        "sojourn grows with the backlog.",
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "serve_metrics.json"), "w") as fh:
+        json.dump(artifacts, fh, indent=2, sort_keys=True)
+    benchmark(
+        lambda: run(ServeConfig(arrivals="poisson", rate=8.0, messages=500,
+                                shards=4, seed=14))
+    )
+
+
+def test_e14_shard_scaling(benchmark):
+    rows = []
+    for shards in (1, 2, 4, 8):
+        # Fixed per-shard load: the total rate scales with the fleet.
+        cfg = ServeConfig(arrivals="poisson", rate=3.0 * shards,
+                          messages=400 * shards, shards=shards, P=4, B=16,
+                          seed=7)
+        snap = run(cfg).snapshot
+        s = snap["sojourn"]
+        rows.append([shards, 3.0 * shards, snap["n_steps"], s["p50"],
+                     s["p99"], snap["throughput"]])
+    emit_table(
+        "E14_serve_shard_scaling",
+        ["shards", "rate", "steps", "p50", "p99", "msgs/step"],
+        rows,
+        note="per-shard load held at 3 msgs/step; near-flat p99 means "
+        "key-range routing spreads the stream evenly.",
+    )
+    benchmark(
+        lambda: run(ServeConfig(arrivals="poisson", rate=6.0, messages=300,
+                                shards=2, seed=7))
+    )
+
+
+def test_e14_overload_shedding(benchmark):
+    rows = []
+    for rate in (8.0, 32.0, 128.0):
+        cfg = ServeConfig(arrivals="poisson", rate=rate, messages=2000,
+                          shards=2, P=2, B=8, max_queue=64,
+                          max_root_backlog=32, seed=9)
+        snap = run(cfg).snapshot
+        s = snap["sojourn"]
+        shed_pct = 100.0 * snap["shed"] / snap["arrived"]
+        rows.append([rate, snap["completed"], snap["shed"], shed_pct,
+                     s["p50"], s["p99"]])
+        assert snap["completed"] + snap["shed"] == snap["arrived"]
+    emit_table(
+        "E14_serve_overload",
+        ["rate", "completed", "shed", "shed %", "p50", "p99"],
+        rows,
+        note="bounded queues (64) + root backlog (32) on an undersized "
+        "machine (2 shards, P=2, B=8).  Admission sheds the excess "
+        "instead of letting sojourn diverge: the surviving tail stays "
+        "bounded while the shed fraction absorbs the overload.",
+    )
+    benchmark(
+        lambda: run(ServeConfig(arrivals="poisson", rate=64.0, messages=400,
+                                shards=2, P=2, B=8, max_queue=64,
+                                max_root_backlog=32, seed=9))
+    )
+
+
+def test_e14_faulty_serving(benchmark):
+    rows = []
+    for fault_rate, aware in ((0.0, False), (0.2, False), (0.2, True)):
+        cfg = ServeConfig(arrivals="mmpp", rate=3.0, burst_rate=24.0,
+                          messages=1200, shards=4, P=4, B=16, seed=11,
+                          fault_rate=fault_rate, fault_aware=aware,
+                          fault_seed=5)
+        report = run(cfg)
+        snap = report.snapshot
+        s = snap["sojourn"]
+        retries = sum(st.failed_attempts + st.partial_deliveries
+                      for st in report.shard_stats)
+        stalls = sum(st.stalled_skips for st in report.shard_stats)
+        rows.append([
+            fault_rate, "yes" if aware else "no", snap["n_steps"],
+            s["p50"], s["p99"], s["max"], retries, stalls,
+        ])
+    emit_table(
+        "E14_serve_faults",
+        ["fault rate", "aware", "steps", "p50", "p99", "max", "retries",
+         "stall skips"],
+        rows,
+        note="bursty (MMPP) stream under injected faults.  Fault-aware "
+        "triage caches observed stall windows, so it burns far fewer "
+        "attempts on frozen nodes and shaves the tail slightly; the "
+        "median is set by the tree height either way.",
+    )
+    benchmark(
+        lambda: run(ServeConfig(arrivals="mmpp", rate=3.0, burst_rate=24.0,
+                                messages=300, shards=2, seed=11,
+                                fault_rate=0.2, fault_seed=5))
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows without writing code:
+Seven subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
@@ -13,7 +13,14 @@ Six subcommands cover the common workflows without writing code:
 * ``run``     — execute the WORMS policy once, streaming a
   crash-consistent journal to disk (kill it mid-run, then...);
 * ``recover`` — ...scan that journal, repair its torn tail, and resume
-  the interrupted run to byte-identical completion times.
+  the interrupted run to byte-identical completion times (works on
+  both batch ``run`` journals and ``serve`` journals);
+* ``serve``   — online serving: seeded arrival processes over sharded
+  B^ε-trees with epoch re-planning, admission control, and per-message
+  p50/p95/p99 sojourn-time reporting.
+
+Every subcommand takes ``--seed``; with the same arguments and seed a
+run is byte-reproducible.
 
 Examples::
 
@@ -23,6 +30,7 @@ Examples::
     python -m repro faults --seed 0 --rates 0.05,0.1,0.2 --burst
     python -m repro run --messages 5000 --journal /tmp/worms.journal
     python -m repro recover /tmp/worms.journal
+    python -m repro serve --arrivals poisson --rate 8 --shards 4 --seed 1
 """
 
 from __future__ import annotations
@@ -55,6 +63,13 @@ from repro.policies import (
     WormsPolicy,
 )
 from repro.policies.executor import DEFAULT_CHECKPOINT_EVERY
+from repro.serve import (
+    SERVE_POLICY,
+    ServeConfig,
+    ServiceLoop,
+    format_serve_report,
+    recover_serve,
+)
 from repro.tree import balanced_tree, beps_shape_tree
 from repro.util.errors import ExecutionStalledError, JournalCorruptionError
 from repro.workloads import uniform_instance, zipf_instance
@@ -235,6 +250,104 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        arrivals=args.arrivals,
+        rate=args.rate,
+        burst_rate=args.burst_rate,
+        p_burst=args.p_burst,
+        p_calm=args.p_calm,
+        n_clients=args.clients,
+        think_time=args.think_time,
+        messages=args.messages,
+        shards=args.shards,
+        key_space=args.key_space,
+        theta=args.skew,
+        P=args.P,
+        B=args.B,
+        fanout=args.fanout,
+        height=args.height,
+        leaves=args.leaves,
+        epoch=args.epoch,
+        max_root_backlog=args.max_root_backlog,
+        max_queue=args.max_queue,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        fault_aware=args.fault_aware,
+        retry_budget=args.retry_budget,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the `serve` subcommand (online sharded serving loop)."""
+    try:
+        config = _config_from_args(args)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+    loop = ServiceLoop(
+        config, journal=args.journal, sync=args.sync,
+        max_segment_bytes=args.max_segment_bytes,
+    )
+    try:
+        report = loop.run()
+    except ExecutionStalledError as exc:
+        print(f"serving loop stalled:\n{exc}", file=sys.stderr)
+        return 1
+    title = (
+        f"serve {config.arrivals} rate={config.rate} "
+        f"shards={config.shards} seed={config.seed}"
+    )
+    print(format_serve_report(report.snapshot, title=title))
+    ps, ad = report.planner_stats, report.admission_stats
+    print(
+        f"planner: {ps.noop_epochs} noop, {ps.incremental_plans} "
+        f"incremental, {ps.full_replans} full, {ps.forced_replans} forced "
+        f"({ps.planned_flushes} flushes planned)"
+    )
+    print(
+        f"admission: {ad.admitted}/{ad.offered} admitted, {ad.shed} shed, "
+        f"max queue depth {ad.max_queue_depth}, {ad.stall_holds} stall holds"
+    )
+    if args.journal:
+        print(f"journal: {args.journal}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            f.write(report.metrics.to_json(
+                report.n_steps, config=config.to_meta(),
+            ))
+        print(f"metrics JSON: {args.json}")
+    return 0
+
+
+def _recover_serve_journal(args: argparse.Namespace) -> int:
+    """Serve-journal branch of ``recover``: re-derive, verify, report."""
+    report = recover_serve(args.journal, repair=not args.no_repair)
+    if report.torn_bytes:
+        print(
+            f"torn tail: {report.torn_bytes} byte(s) dropped "
+            f"({report.torn_reason})"
+        )
+    if report.run_completed:
+        print("journal records a completed run; nothing to resume")
+    print(
+        f"recovered serving run: {report.replayed_flushes} journaled "
+        f"flush(es) verified against the re-derived run, last durable "
+        f"step {report.resumed_from_step}"
+    )
+    snap = report.report.snapshot
+    s = snap["sojourn"]
+    print(
+        f"re-derived run: {snap['n_steps']} steps, "
+        f"{snap['completed']} completed, {snap['shed']} shed, sojourn "
+        f"p50 {s['p50']:.0f} p99 {s['p99']:.0f} "
+        "(identical to an uninterrupted run)"
+    )
+    return 0
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     """Run the `recover` subcommand (scan, repair, resume a journal)."""
     manager = RecoveryManager(args.journal)
@@ -247,6 +360,16 @@ def cmd_recover(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+        if args.seed is not None and meta.get("seed") not in (None, args.seed):
+            print(
+                f"--seed {args.seed} does not match the journal's own "
+                f"seed {meta['seed']}; recovery always replays the "
+                "journal's configuration",
+                file=sys.stderr,
+            )
+            return 2
+        if meta.get("policy") == SERVE_POLICY:
+            return _recover_serve_journal(args)
         if meta.get("policy") != "worms":
             print(
                 f"journal meta has unsupported policy "
@@ -408,11 +531,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-repair", action="store_true",
         help="scan and resume without truncating the torn tail in place",
     )
+    p_recover.add_argument(
+        "--seed", type=int, default=None,
+        help="sanity check: error out if the journal was written with a "
+        "different seed (recovery itself always uses the journal's meta)",
+    )
     p_recover.set_defaults(func=cmd_recover)
 
     p_gadget = sub.add_parser("gadget", help="Lemma 15 NP-hardness gadget")
     p_gadget.add_argument("integers", type=int, nargs="+")
+    p_gadget.add_argument(
+        "--seed", type=int, default=0,
+        help="accepted for interface uniformity (the gadget construction "
+        "is fully deterministic)",
+    )
     p_gadget.set_defaults(func=cmd_gadget)
+
+    p_serve = sub.add_parser(
+        "serve", help="online serving loop over sharded B^eps-trees"
+    )
+    p_serve.add_argument(
+        "--arrivals", choices=("poisson", "mmpp", "closed"),
+        default="poisson",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=8.0,
+        help="mean arrivals per step (poisson; calm rate for mmpp)",
+    )
+    p_serve.add_argument(
+        "--burst-rate", type=float, default=32.0,
+        help="mmpp burst-state arrival rate",
+    )
+    p_serve.add_argument("--p-burst", type=float, default=0.05,
+                         help="mmpp calm->burst transition probability")
+    p_serve.add_argument("--p-calm", type=float, default=0.25,
+                         help="mmpp burst->calm transition probability")
+    p_serve.add_argument("--clients", type=int, default=16,
+                         help="closed-loop client count")
+    p_serve.add_argument("--think-time", type=int, default=0,
+                         help="closed-loop think time between requests")
+    p_serve.add_argument("--messages", type=int, default=1000,
+                         help="total messages to serve before shutdown")
+    p_serve.add_argument("--shards", type=int, default=4)
+    p_serve.add_argument("--key-space", type=int, default=0,
+                         help="key universe size (0 = one key per leaf)")
+    p_serve.add_argument("--skew", type=float, default=0.0,
+                         help="Zipf theta of key popularity (0 = uniform)")
+    p_serve.add_argument("--P", type=int, default=4)
+    p_serve.add_argument("--B", type=int, default=16)
+    p_serve.add_argument("--fanout", type=int, default=0,
+                         help="balanced shard trees with this fanout")
+    p_serve.add_argument("--height", type=int, default=3)
+    p_serve.add_argument("--leaves", type=int, default=64,
+                         help="B^eps-shaped shard trees with this many leaves")
+    p_serve.add_argument("--epoch", type=int, default=8,
+                         help="steps between re-planning epochs")
+    p_serve.add_argument("--max-root-backlog", type=int, default=0,
+                         help="admitted messages allowed at a shard root "
+                         "(0 = 4*B)")
+    p_serve.add_argument("--max-queue", type=int, default=0,
+                         help="arrivals allowed to queue per shard before "
+                         "shedding (0 = 16*B)")
+    p_serve.add_argument("--fault-rate", type=float, default=0.0)
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.add_argument("--fault-aware", action="store_true")
+    p_serve.add_argument("--retry-budget", type=int, default=5)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--journal", type=str, default=None,
+                         help="stream a crash-recoverable journal here")
+    p_serve.add_argument("--checkpoint-every", type=int, default=32,
+                         help="steps between journal checkpoints")
+    p_serve.add_argument("--sync", action="store_true",
+                         help="fsync the journal at every checkpoint")
+    p_serve.add_argument("--max-segment-bytes", type=int, default=None,
+                         help="rotate the journal into segments of at most "
+                         "this many bytes")
+    p_serve.add_argument("--json", type=str, default=None,
+                         help="also write the metrics snapshot to this file")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

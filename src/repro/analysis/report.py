@@ -54,8 +54,14 @@ def completion_cdf_report(
         return f"{label}: none"
     lines = [f"{label} CDF ({c.size} messages):"]
     for q in np.linspace(0.1, 1.0, n_points):
-        idx = min(c.size - 1, int(np.ceil(q * c.size)) - 1)
-        lines.append(f"  {int(q * 100):>3d}% done by step {int(c[idx])}")
+        # Round before ceil: linspace gives q = 0.30000000000000004,
+        # whose raw ceil(q * size) lands one rank too high whenever
+        # q * size should be exact (e.g. the 30% row of 10 samples).
+        rank = int(np.ceil(round(float(q) * c.size, 9)))
+        idx = min(c.size - 1, max(0, rank - 1))
+        lines.append(
+            f"  {round(float(q) * 100):>3d}% done by step {int(c[idx])}"
+        )
     return "\n".join(lines)
 
 

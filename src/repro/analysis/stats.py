@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -9,6 +10,25 @@ import numpy as np
 
 from repro.core.worms import WORMSInstance
 from repro.dam.validator import validate_valid
+
+
+def nearest_rank(values, q: float) -> float:
+    """Nearest-rank percentile: the smallest sample value ``x`` such that
+    at least ``q`` percent of the samples are ``<= x``.
+
+    Unlike ``np.percentile``'s default linear interpolation, the result is
+    always an observed sample, which is the standard convention for tail
+    latency (a reported p99 latency actually happened).  A single-sample
+    input returns that sample for every ``q``; an empty input raises
+    ``ValueError`` (callers decide what an undefined percentile means).
+    """
+    if not (0.0 < q <= 100.0):
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("nearest_rank of an empty sample is undefined")
+    idx = max(0, math.ceil(q / 100.0 * arr.size) - 1)
+    return float(arr[idx])
 
 
 @dataclass(frozen=True)
@@ -45,7 +65,14 @@ class CompletionStats:
 
 
 def summarize(completion_times: np.ndarray, n_steps: int) -> CompletionStats:
-    """Build :class:`CompletionStats` from a completion-time array."""
+    """Build :class:`CompletionStats` from a completion-time array.
+
+    Tail percentiles are nearest-rank: every reported p95/p99 is an
+    observed completion time.  (``np.percentile``'s default linear
+    interpolation invents values for small samples — the p95 of
+    ``[1, 2]`` came out 1.95, a latency no message ever had.)  The
+    median keeps the conventional midpoint-of-two definition.
+    """
     c = np.asarray(completion_times, dtype=np.float64)
     if c.size == 0:
         return CompletionStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0, n_steps)
@@ -54,8 +81,8 @@ def summarize(completion_times: np.ndarray, n_steps: int) -> CompletionStats:
         total=int(c.sum()),
         mean=float(c.mean()),
         median=float(np.median(c)),
-        p95=float(np.percentile(c, 95)),
-        p99=float(np.percentile(c, 99)),
+        p95=nearest_rank(c, 95),
+        p99=nearest_rank(c, 99),
         max=int(c.max()),
         n_steps=n_steps,
     )

@@ -11,6 +11,19 @@ byte-identical to an uninterrupted run.
 
     u32 payload length | u32 CRC-32 of payload | payload (UTF-8 JSON)
 
+**Segments.**  Long-running (serving) journals rotate: with
+``max_segment_bytes`` set, :class:`JournalWriter` closes the current
+segment when the next record would overflow it and continues in a new
+file.  Segment 0 is the base path; segment ``i`` is ``<path>.<i>``.
+Every segment carries its own header; records are split only at record
+boundaries, never mid-record.  :func:`scan_journal` reads the whole
+chain and :meth:`RecoveryManager.repair` repairs it, so rotation is
+invisible to recovery.  The torn-tail rule extends naturally: only the
+*last* segment of the chain may end torn (including a half-written
+header from a crash during rotation); damage in any earlier segment is
+corruption, because rotation flushes and closes a segment before
+opening its successor.
+
 Five record types flow through a journal, all JSON objects with a
 ``"type"`` key:
 
@@ -54,7 +67,7 @@ from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.simulator import SimulationResult
 from repro.dam.trace import CheckpointRecord, _apply_step, _initial_state
-from repro.util.errors import JournalCorruptionError
+from repro.util.errors import InvalidInstanceError, JournalCorruptionError
 
 MAGIC = b"WOJ1"
 VERSION = 1
@@ -69,10 +82,37 @@ REC_CHECKPOINT = "checkpoint"
 REC_END = "end"
 
 
+#: Smallest permitted rotation threshold: a header plus a tiny record.
+MIN_SEGMENT_BYTES = 64
+
+
 def encode_record(record: dict) -> bytes:
     """Serialize one record to its on-disk bytes (length | crc | payload)."""
     payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
     return _PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def segment_path(path: "str | os.PathLike", index: int) -> Path:
+    """Path of segment ``index`` of the journal at ``path`` (0 = base)."""
+    base = Path(path)
+    return base if index == 0 else Path(f"{base}.{index}")
+
+
+def journal_segments(path: "str | os.PathLike") -> "list[Path]":
+    """The existing segment chain of the journal at ``path``, in order.
+
+    Enumeration stops at the first gap, so an orphan ``<path>.7`` with no
+    ``<path>.6`` is never silently folded into the chain.
+    """
+    segments: "list[Path]" = []
+    i = 0
+    while True:
+        p = segment_path(path, i)
+        if not p.exists():
+            break
+        segments.append(p)
+        i += 1
+    return segments
 
 
 def flush_record(t: int, flush: Flush) -> dict:
@@ -103,14 +143,32 @@ class JournalWriter:
     (the executors flush at every checkpoint).  With ``sync=True`` every
     flush also ``fsync``\\ s — slower, but survives OS-level crashes, not
     just process kills.
+
+    With ``max_segment_bytes`` set the journal rotates: when the next
+    record would push the current segment past the limit, the segment is
+    flushed and closed and writing continues in ``<path>.<n>``.  Records
+    never span segments.  (A single record larger than the limit still
+    gets written — into a fresh segment of its own — so rotation can
+    delay but never lose a record.)
     """
 
     def __init__(self, path: "str | os.PathLike", *,
-                 meta: "dict | None" = None, sync: bool = False) -> None:
+                 meta: "dict | None" = None, sync: bool = False,
+                 max_segment_bytes: "int | None" = None) -> None:
+        if max_segment_bytes is not None and (
+            max_segment_bytes < MIN_SEGMENT_BYTES
+        ):
+            raise InvalidInstanceError(
+                f"max_segment_bytes must be >= {MIN_SEGMENT_BYTES}, "
+                f"got {max_segment_bytes}"
+            )
         self.path = Path(path)
         self.sync = bool(sync)
+        self.max_segment_bytes = max_segment_bytes
+        self._segment_index = 0
         self._f = open(self.path, "wb")
         self._f.write(_HEADER)
+        self._segment_bytes = len(_HEADER)
         if meta is not None:
             self.append({"type": REC_META, **meta})
         self.flush()
@@ -120,9 +178,31 @@ class JournalWriter:
         """True once :meth:`close` has run."""
         return self._f.closed
 
+    @property
+    def n_segments(self) -> int:
+        """Number of segments written so far (1 without rotation)."""
+        return self._segment_index + 1
+
+    def _rotate(self) -> None:
+        """Seal the current segment and continue in the next one."""
+        self.flush()
+        self._f.close()
+        self._segment_index += 1
+        self._f = open(segment_path(self.path, self._segment_index), "wb")
+        self._f.write(_HEADER)
+        self._segment_bytes = len(_HEADER)
+
     def append(self, record: dict) -> None:
         """Buffer one record (see :meth:`flush` for durability)."""
-        self._f.write(encode_record(record))
+        blob = encode_record(record)
+        if (
+            self.max_segment_bytes is not None
+            and self._segment_bytes > len(_HEADER)
+            and self._segment_bytes + len(blob) > self.max_segment_bytes
+        ):
+            self._rotate()
+        self._f.write(blob)
+        self._segment_bytes += len(blob)
 
     def flush(self) -> None:
         """Push buffered records to the OS (and disk, with ``sync=True``)."""
@@ -145,29 +225,36 @@ class JournalWriter:
 
 @dataclass(frozen=True)
 class JournalScan:
-    """Result of reading a journal: the valid record prefix + tail state."""
+    """Result of reading a journal chain: valid record prefix + tail state."""
 
     records: tuple[dict, ...]
-    #: bytes of header + fully valid records (the repair truncation point).
+    #: bytes of header(s) + fully valid records across the whole chain.
     valid_bytes: int
+    #: total bytes on disk across the whole chain.
     file_bytes: int
-    #: why the tail was discarded ("" if the file ended on a record boundary).
+    #: why the tail was discarded ("" if the chain ended on a boundary).
     torn_reason: str
+    #: the segment files scanned, in chain order (always >= 1 entry).
+    segments: "tuple[str, ...]" = ()
+    #: valid bytes *within the last segment* (its repair truncation point).
+    tail_valid_bytes: int = 0
 
     @property
     def torn_bytes(self) -> int:
-        """Bytes of torn tail a crash left behind (0 for a clean file)."""
+        """Bytes of torn tail a crash left behind (0 for a clean chain)."""
         return self.file_bytes - self.valid_bytes
 
+    @property
+    def n_segments(self) -> int:
+        return max(1, len(self.segments))
 
-def scan_journal(path: "str | os.PathLike") -> JournalScan:
-    """Read ``path``, tolerating a torn tail; raise on mid-file corruption.
 
-    Implements the torn-tail rule from the module docstring.  Raises
-    :class:`JournalCorruptionError` for a bad header or a damaged record
-    that is provably not a tear (data follows it).
+def _scan_segment(path: Path, data: bytes) -> "tuple[list[dict], int, str]":
+    """Scan one segment: ``(records, valid_bytes, torn_reason)``.
+
+    Raises :class:`JournalCorruptionError` for a bad magic value or a
+    damaged record that is provably not a tear (data follows it).
     """
-    data = Path(path).read_bytes()
     if len(data) >= len(_HEADER) and data[: len(_HEADER)] != _HEADER:
         raise JournalCorruptionError(
             f"{path}: bad journal header {data[:8]!r} "
@@ -176,18 +263,16 @@ def scan_journal(path: "str | os.PathLike") -> JournalScan:
         )
     if len(data) < len(_HEADER):
         # Truncated inside the header: the whole file is a torn tail.
-        return JournalScan((), 0, len(data), "truncated header")
+        return [], 0, "truncated header"
     offset = len(_HEADER)
     records: list[dict] = []
     while offset < len(data):
         if len(data) - offset < _PREFIX.size:
-            return JournalScan(tuple(records), offset, len(data),
-                               "truncated record prefix")
+            return records, offset, "truncated record prefix"
         length, crc = _PREFIX.unpack_from(data, offset)
         end = offset + _PREFIX.size + length
         if end > len(data):
-            return JournalScan(tuple(records), offset, len(data),
-                               "record extends past end of file")
+            return records, offset, "record extends past end of file"
         payload = data[offset + _PREFIX.size:end]
         bad = ""
         if zlib.crc32(payload) != crc:
@@ -202,8 +287,7 @@ def scan_journal(path: "str | os.PathLike") -> JournalScan:
         if bad:
             if end == len(data):
                 # Damaged final record: a torn write, not corruption.
-                return JournalScan(tuple(records), offset, len(data),
-                                   f"torn final record ({bad})")
+                return records, offset, f"torn final record ({bad})"
             raise JournalCorruptionError(
                 f"{path}: record at byte {offset} fails its "
                 f"{'checksum' if bad == 'bad-crc' else 'decode'} with "
@@ -213,7 +297,49 @@ def scan_journal(path: "str | os.PathLike") -> JournalScan:
             )
         records.append(record)
         offset = end
-    return JournalScan(tuple(records), offset, len(data), "")
+    return records, offset, ""
+
+
+def scan_journal(path: "str | os.PathLike") -> JournalScan:
+    """Read the journal chain at ``path``, tolerating a torn tail.
+
+    Implements the torn-tail rule from the module docstring, extended to
+    segment chains: only the last segment may end torn.  Raises
+    :class:`JournalCorruptionError` for a bad header, a damaged record
+    that is provably not a tear (data follows it), or a damaged non-final
+    segment (rotation seals segments, so mid-chain damage cannot be a
+    crash artifact).
+    """
+    segments = journal_segments(path)
+    if not segments:
+        # Preserve the single-file error shape (FileNotFoundError).
+        Path(path).read_bytes()
+    records: list[dict] = []
+    total_valid = 0
+    total_bytes = 0
+    tail_reason = ""
+    tail_valid = 0
+    for i, seg in enumerate(segments):
+        data = seg.read_bytes()
+        total_bytes += len(data)
+        seg_records, valid, reason = _scan_segment(seg, data)
+        if reason and i != len(segments) - 1:
+            raise JournalCorruptionError(
+                f"{seg}: segment {i} of {len(segments)} is damaged "
+                f"({reason}) but a later segment exists — rotation seals "
+                "segments, so this is corruption, not a torn tail",
+                offset=valid, reason="mid-chain-tear",
+            )
+        records.extend(seg_records)
+        total_valid += valid
+        if i == len(segments) - 1:
+            tail_reason = reason
+            tail_valid = valid
+    return JournalScan(
+        tuple(records), total_valid, total_bytes, tail_reason,
+        segments=tuple(str(s) for s in segments),
+        tail_valid_bytes=tail_valid,
+    )
 
 
 @dataclass(frozen=True)
@@ -275,13 +401,26 @@ class RecoveryManager:
         return any(r["type"] == REC_END for r in self.scan().records)
 
     def repair(self) -> int:
-        """Truncate the torn tail off the file in place; returns bytes cut."""
+        """Truncate the torn tail off the chain in place; returns bytes cut.
+
+        A torn tail always lives in the last segment.  If that segment is
+        a rotation successor holding no valid records (a crash during or
+        just after rotation), the file is deleted outright so the chain
+        ends at its sealed predecessor; otherwise it is truncated to its
+        valid prefix.
+        """
         scan = self.scan()
         if scan.torn_bytes:
-            with open(self.path, "r+b") as f:
-                f.truncate(scan.valid_bytes)
-            self._scan = JournalScan(scan.records, scan.valid_bytes,
-                                     scan.valid_bytes, "")
+            tail = Path(scan.segments[-1]) if scan.segments else self.path
+            if (
+                len(scan.segments) > 1
+                and scan.tail_valid_bytes <= len(_HEADER)
+            ):
+                tail.unlink()
+            else:
+                with open(tail, "r+b") as f:
+                    f.truncate(scan.tail_valid_bytes)
+            self.scan(refresh=True)
         return scan.torn_bytes
 
     # ------------------------------------------------------------------

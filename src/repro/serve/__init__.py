@@ -1,0 +1,68 @@
+"""repro.serve — online ingestion & serving on top of the WORMS pipeline.
+
+The batch layers answer "given all messages up front, what is the best
+root-to-leaf schedule?".  This package turns that machinery into a
+service: messages arrive over time (:mod:`~repro.serve.arrivals`), are
+routed to sharded B^ε-trees (:mod:`~repro.serve.router`), held at the
+door under backpressure (:mod:`~repro.serve.admission`), re-planned in
+epochs with the paper pipeline (:mod:`~repro.serve.planner`), and
+metered per-message (:mod:`~repro.serve.metrics`) — all driven by the
+deterministic, journal-capable :class:`~repro.serve.loop.ServiceLoop`.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    KeySampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.serve.loop import (
+    SERVE_POLICY,
+    ServeConfig,
+    ServeRecoveryReport,
+    ServeReport,
+    ServiceLoop,
+    recover_serve,
+)
+from repro.serve.metrics import (
+    LatencyStats,
+    ServeMetrics,
+    format_serve_report,
+)
+from repro.serve.planner import EpochPlanner, PlannerStats, plan_flushes
+from repro.serve.router import (
+    ShardEngine,
+    ShardRouter,
+    ShardSpec,
+    ShardStats,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "ArrivalProcess",
+    "ClosedLoopArrivals",
+    "EpochPlanner",
+    "KeySampler",
+    "LatencyStats",
+    "MMPPArrivals",
+    "PlannerStats",
+    "PoissonArrivals",
+    "SERVE_POLICY",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeRecoveryReport",
+    "ServeReport",
+    "ServiceLoop",
+    "ShardEngine",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardStats",
+    "TraceArrivals",
+    "format_serve_report",
+    "plan_flushes",
+    "recover_serve",
+]

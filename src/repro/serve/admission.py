@@ -1,0 +1,108 @@
+"""Admission control: bounded root-buffer backpressure + load shedding.
+
+The WORMS model gives the root an unbounded backlog; a real service does
+not.  :class:`AdmissionController` bounds, per shard, (1) how many
+admitted messages may sit at the root awaiting their first flush
+(``max_root_backlog``) and (2) how many arrivals may queue in front of
+admission (``max_queue``).  Arrivals beyond both bounds are **shed** —
+counted, reported, and surfaced to closed-loop arrival processes, never
+silently dropped.
+
+The queue drains in FIFO order at the start of every step while the
+shard's root has headroom.  Draining also consults
+:meth:`~repro.serve.router.ShardEngine.root_stalled`, so backpressure
+composes with fault-aware triage: while a shard's ingest node sits in an
+observed stall window the queue holds (messages wait at the door rather
+than piling into a frozen root and then competing with recovery traffic
+for IO slots).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.router import ShardEngine
+from repro.util.errors import InvalidInstanceError
+
+
+@dataclass
+class AdmissionStats:
+    """Backpressure counters, per shard and in total."""
+
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    #: message-steps spent waiting in admission queues (total).
+    queue_wait_steps: int = 0
+    max_queue_depth: int = 0
+    #: steps on which draining held because the shard root was stalled.
+    stall_holds: int = 0
+    shed_by_shard: dict = field(default_factory=dict)
+
+
+class AdmissionController:
+    """Per-shard bounded queues in front of the shard roots."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        max_root_backlog: int,
+        max_queue: int,
+    ) -> None:
+        if max_root_backlog < 1:
+            raise InvalidInstanceError(
+                f"max_root_backlog must be >= 1, got {max_root_backlog}"
+            )
+        if max_queue < 0:
+            raise InvalidInstanceError(
+                f"max_queue must be >= 0, got {max_queue}"
+            )
+        self.max_root_backlog = int(max_root_backlog)
+        self.max_queue = int(max_queue)
+        #: per-shard FIFO of (msg_id, target_leaf) awaiting admission.
+        self.queues: "list[deque]" = [deque() for _ in range(n_shards)]
+        self.stats = AdmissionStats()
+
+    def queue_depth(self, shard_id: int) -> int:
+        """Arrivals currently waiting in front of ``shard_id``."""
+        return len(self.queues[shard_id])
+
+    def offer(
+        self, shard_id: int, msg_id: int, target_leaf: int
+    ) -> bool:
+        """Enqueue one arrival; returns False (shed) when the queue is full."""
+        self.stats.offered += 1
+        q = self.queues[shard_id]
+        if len(q) >= self.max_queue:
+            self.stats.shed += 1
+            by = self.stats.shed_by_shard
+            by[shard_id] = by.get(shard_id, 0) + 1
+            return False
+        q.append((msg_id, target_leaf))
+        if len(q) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(q)
+        return True
+
+    def drain(
+        self, shard_id: int, engine: ShardEngine, step: int
+    ) -> "list[tuple[int, int, int | None]]":
+        """Admit queued arrivals while the shard root has headroom.
+
+        Returns ``(msg_id, target_leaf, completed_step_or_None)`` tuples
+        for everything admitted this step (the completion slot is for
+        degenerate single-node shards, where admission *is* completion).
+        """
+        q = self.queues[shard_id]
+        admitted: "list[tuple[int, int, int | None]]" = []
+        if q and engine.root_stalled(step):
+            self.stats.stall_holds += 1
+        else:
+            while q and engine.root_backlog < self.max_root_backlog:
+                msg_id, leaf = q.popleft()
+                done = engine.admit(msg_id, leaf, step)
+                admitted.append((msg_id, leaf, done))
+                self.stats.admitted += 1
+        self.stats.queue_wait_steps += len(q)
+        return admitted

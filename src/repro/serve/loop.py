@@ -1,0 +1,485 @@
+"""The deterministic serving loop: arrivals -> shards -> epochs -> metrics.
+
+:class:`ServiceLoop` closes the loop the batch pipeline leaves open: it
+advances global DAM time one step at a time, pulling arrivals
+(:mod:`repro.serve.arrivals`), routing them to shards
+(:mod:`repro.serve.router`), holding them at the door under backpressure
+(:mod:`repro.serve.admission`), folding them into per-shard flush plans
+at epoch boundaries (:mod:`repro.serve.planner`), and accounting every
+message's sojourn (:mod:`repro.serve.metrics`).
+
+Everything is a pure function of :class:`ServeConfig` — arrival draws,
+key sampling, per-shard fault streams, planning, and execution all derive
+from ``config.seed`` — so a run is byte-reproducible.  That determinism
+is also the recovery story: a serving run journals its realized flushes
+(same crash-consistent format as batch runs, shard-tagged), and
+:func:`recover_serve` re-derives the uninterrupted run from the journal's
+own ``meta`` config, verifies the durable journal prefix against it, and
+reports completion times that are exact or a typed
+:class:`~repro.util.errors.JournalCorruptionError` — never silently
+wrong.  A serving run can therefore be SIGKILLed at any byte and
+recovered, exactly like a batch run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.dam.journal import (
+    JournalWriter,
+    RecoveryManager,
+    REC_FLUSH,
+    flush_record,
+    fault_record,
+)
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.policies.executor import MAX_IDLE_STEPS
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    KeySampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.planner import EpochPlanner, PlannerStats
+from repro.serve.router import ShardEngine, ShardRouter, ShardStats
+from repro.util.errors import (
+    ExecutionStalledError,
+    InvalidInstanceError,
+    JournalCorruptionError,
+)
+
+#: meta "policy" tag distinguishing serve journals from batch ones.
+SERVE_POLICY = "serve"
+
+#: forced full re-plans allowed per shard before the loop gives up.
+MAX_FORCED_REPLANS = 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that determines a serving run (JSON-round-trippable).
+
+    ``arrivals`` is one of ``poisson``, ``mmpp``, ``closed``, ``trace``
+    (the last driven by ``trace``, a list of ``[step, key]`` pairs).
+    ``key_space`` defaults to shards * leaves-per-shard so every leaf owns
+    at least one key.
+    """
+
+    arrivals: str = "poisson"
+    rate: float = 8.0
+    burst_rate: float = 32.0
+    p_burst: float = 0.05
+    p_calm: float = 0.25
+    n_clients: int = 16
+    think_time: int = 0
+    trace: "tuple[tuple[int, int], ...] | None" = None
+    messages: int = 1000
+    shards: int = 4
+    key_space: int = 0  # 0 = derived from the shard trees
+    theta: float = 0.0  # key-popularity skew (0 = uniform)
+    P: int = 4
+    B: int = 16
+    fanout: int = 0  # >0: balanced shard trees; 0: B^eps shape
+    height: int = 3
+    leaves: int = 64
+    eps: float = 0.5
+    epoch: int = 8
+    max_root_backlog: int = 0  # 0 = default 4*B
+    max_queue: int = 0  # 0 = default 16*B
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    fault_aware: bool = False
+    retry_budget: int = 5
+    seed: int = 0
+    checkpoint_every: int = 32
+    max_steps: int = 0  # 0 = derived
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in ("poisson", "mmpp", "closed", "trace"):
+            raise InvalidInstanceError(
+                f"unknown arrival process {self.arrivals!r}"
+            )
+        if self.arrivals == "trace" and self.trace is None:
+            raise InvalidInstanceError("trace arrivals need trace=[...]")
+        # `not >` rather than `<=` so NaN is rejected too.
+        if self.arrivals == "poisson" and not self.rate > 0:
+            raise InvalidInstanceError(f"rate must be > 0, got {self.rate}")
+        if self.arrivals == "mmpp" and (
+            not self.rate >= 0 or not self.burst_rate > 0
+        ):
+            raise InvalidInstanceError(
+                f"mmpp needs rate >= 0 and burst_rate > 0, got "
+                f"{self.rate}, {self.burst_rate}"
+            )
+        if self.arrivals == "closed" and self.n_clients < 1:
+            raise InvalidInstanceError("closed loop needs n_clients >= 1")
+        if self.messages < 0:
+            raise InvalidInstanceError("messages must be >= 0")
+        if not (0.0 <= self.fault_rate <= 1.0):
+            raise InvalidInstanceError("fault_rate must be in [0, 1]")
+        if self.checkpoint_every < 1:
+            raise InvalidInstanceError("checkpoint_every must be >= 1")
+
+    def to_meta(self) -> dict:
+        """The journal ``meta`` payload that reconstructs this config."""
+        meta = asdict(self)
+        meta["trace"] = (
+            None if self.trace is None else [list(p) for p in self.trace]
+        )
+        meta["policy"] = SERVE_POLICY
+        return meta
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "ServeConfig":
+        """Inverse of :meth:`to_meta` (ignores the ``policy`` tag)."""
+        fields = {k: v for k, v in meta.items() if k != "policy"}
+        if fields.get("trace") is not None:
+            fields["trace"] = tuple(
+                (int(s), int(k)) for s, k in fields["trace"]
+            )
+        return cls(**fields)
+
+
+@dataclass
+class ServeReport:
+    """Everything a serving run produced."""
+
+    config: ServeConfig
+    n_steps: int
+    snapshot: dict
+    #: global message id -> completion step (completed messages only).
+    completions: "dict[int, int]"
+    #: realized per-shard schedules (index = shard id).
+    shard_schedules: "list[FlushSchedule]"
+    planner_stats: PlannerStats
+    admission_stats: AdmissionStats
+    shard_stats: "list[ShardStats]"
+    metrics: ServeMetrics = field(repr=False, default=None)
+
+
+class _ServeJournal:
+    """Shard-tagged journal emission for a serving run."""
+
+    def __init__(self, writer: JournalWriter, owned: bool,
+                 checkpoint_every: int) -> None:
+        self.writer = writer
+        self.owned = owned
+        self.every = int(checkpoint_every)
+
+    def record_flush(self, t: int, shard: int, flush: Flush) -> None:
+        rec = flush_record(t, flush)
+        rec["shard"] = int(shard)
+        self.writer.append(rec)
+
+    def record_fault(self, t: int, shard: int, kind: str, src: int,
+                     dest: int, detail: str) -> None:
+        rec = fault_record(t, kind, src, dest, detail)
+        rec["shard"] = int(shard)
+        self.writer.append(rec)
+
+    def end_step(self, t: int, arrived: int, completed: int) -> None:
+        if t % self.every == 0:
+            self.checkpoint(t, arrived, completed)
+
+    def checkpoint(self, t: int, arrived: int, completed: int) -> None:
+        self.writer.append({
+            "type": "checkpoint", "t": int(t),
+            "arrived": int(arrived), "completed": int(completed),
+        })
+        self.writer.flush()
+
+    def finish(self, t: int, arrived: int, completed: int) -> None:
+        self.checkpoint(t, arrived, completed)
+        self.writer.append({"type": "end", "t": int(t)})
+        self.writer.flush()
+        if self.owned:
+            self.writer.close()
+
+    def abort(self) -> None:
+        self.writer.flush()
+        if self.owned:
+            self.writer.close()
+
+
+def _spawn_seed(*coords: int) -> int:
+    """A stable derived seed for a named sub-stream of the run."""
+    return int(
+        np.random.SeedSequence(entropy=tuple(int(c) for c in coords))
+        .generate_state(1)[0]
+    )
+
+
+class ServiceLoop:
+    """One serving run.  Construct, then :meth:`run` exactly once.
+
+    ``journal`` is ``None``, a path (the loop opens and owns a
+    :class:`~repro.dam.journal.JournalWriter` with the config as its
+    ``meta``), or an open writer (caller owns lifecycle and meta).
+    """
+
+    def __init__(self, config: ServeConfig, *, journal=None,
+                 sync: bool = False,
+                 max_segment_bytes: "int | None" = None) -> None:
+        self.config = config
+        self.router = ShardRouter(
+            config.shards,
+            config.key_space or self._derived_key_space(config),
+            B=config.B,
+            fanout=config.fanout,
+            height=config.height,
+            leaves=config.leaves,
+            eps=config.eps,
+        )
+        self.engines: "list[ShardEngine]" = []
+        for spec in self.router.shards:
+            injector = None
+            if config.fault_rate > 0:
+                injector = FaultInjector(
+                    FaultPlan.uniform(config.fault_rate),
+                    seed=_spawn_seed(config.fault_seed, spec.shard_id),
+                )
+            self.engines.append(ShardEngine(
+                spec.shard_id, spec.topology, config.P, config.B,
+                injector=injector, fault_aware=config.fault_aware,
+                retry_budget=config.retry_budget,
+            ))
+        self.arrivals = self._build_arrivals(config)
+        self.planner = EpochPlanner(config.epoch)
+        self.admission = AdmissionController(
+            config.shards,
+            max_root_backlog=config.max_root_backlog or 4 * config.B,
+            max_queue=config.max_queue or 16 * config.B,
+        )
+        self.metrics = ServeMetrics(config.shards)
+        self._journal_arg = journal
+        self._sync = bool(sync)
+        self._max_segment_bytes = max_segment_bytes
+        self._ran = False
+
+    @staticmethod
+    def _derived_key_space(config: ServeConfig) -> int:
+        if config.fanout:
+            return config.shards * config.fanout**config.height
+        return config.shards * config.leaves
+
+    def _build_arrivals(self, config: ServeConfig) -> ArrivalProcess:
+        sampler = KeySampler(
+            self.router.key_space, theta=config.theta,
+            seed=_spawn_seed(config.seed, 1),
+        )
+        if config.arrivals == "poisson":
+            return PoissonArrivals(
+                config.rate, config.messages, sampler,
+                seed=_spawn_seed(config.seed, 2),
+            )
+        if config.arrivals == "mmpp":
+            return MMPPArrivals(
+                config.rate, config.burst_rate, config.messages, sampler,
+                p_burst=config.p_burst, p_calm=config.p_calm,
+                seed=_spawn_seed(config.seed, 2),
+            )
+        if config.arrivals == "closed":
+            return ClosedLoopArrivals(
+                config.n_clients, config.messages, sampler,
+                think_time=config.think_time,
+            )
+        return TraceArrivals(list(config.trace or ()))
+
+    def _open_journal(self) -> "_ServeJournal | None":
+        if self._journal_arg is None:
+            return None
+        if isinstance(self._journal_arg, JournalWriter):
+            return _ServeJournal(self._journal_arg, False,
+                                 self.config.checkpoint_every)
+        writer = JournalWriter(
+            self._journal_arg, meta=self.config.to_meta(), sync=self._sync,
+            max_segment_bytes=self._max_segment_bytes,
+        )
+        return _ServeJournal(writer, True, self.config.checkpoint_every)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ServeReport:
+        """Drive the loop to completion; returns the full report."""
+        if self._ran:
+            raise InvalidInstanceError("a ServiceLoop runs exactly once")
+        self._ran = True
+        config = self.config
+        arrivals = self.arrivals
+        admission = self.admission
+        planner = self.planner
+        metrics = self.metrics
+        engines = self.engines
+        journal = self._open_journal()
+        max_steps = config.max_steps or max(
+            1000, 50 * config.messages * (config.height + 2)
+        )
+        #: per-shard admissions since that shard's last plan.
+        fresh: "list[list[int]]" = [[] for _ in engines]
+        replans_left = [MAX_FORCED_REPLANS] * len(engines)
+        next_gid = 0
+        t = 0
+        try:
+            while True:
+                if (
+                    arrivals.exhausted
+                    and all(len(q) == 0 for q in admission.queues)
+                    and all(e.in_flight == 0 for e in engines)
+                ):
+                    break
+                t += 1
+                if t > max_steps:
+                    raise ExecutionStalledError(
+                        f"serving loop exceeded max_steps={max_steps} "
+                        f"(in flight: "
+                        f"{sum(e.in_flight for e in engines)})",
+                        step=t,
+                    )
+                # 1. Arrivals: route, meter, offer to admission.
+                keys = arrivals.take(t)
+                gids = list(range(next_gid, next_gid + len(keys)))
+                next_gid += len(keys)
+                for gid, key in zip(gids, keys):
+                    sid, leaf = self.router.route(key)
+                    metrics.note_arrival(gid, sid, t)
+                    if not admission.offer(sid, gid, leaf):
+                        metrics.note_shed(gid, t)
+                        arrivals.notify_shed(gid, t)
+                arrivals.on_emitted(gids)
+                # 2. Backpressure drain: queue -> shard roots.
+                for sid, engine in enumerate(engines):
+                    for gid, _leaf, done in admission.drain(sid, engine, t):
+                        metrics.note_admit(gid, t)
+                        if done is not None:
+                            metrics.note_completion(gid, done)
+                            arrivals.notify_completion(gid, done)
+                        else:
+                            fresh[sid].append(gid)
+                # 3. Epoch planning (plus forced re-plans on deadlock).
+                boundary = planner.is_boundary(t)
+                for sid, engine in enumerate(engines):
+                    force = engine.idle_streak > MAX_IDLE_STEPS
+                    if force and replans_left[sid] <= 0:
+                        raise ExecutionStalledError(
+                            f"shard {sid} deadlocked at step {t} with no "
+                            f"re-plans left ({engine.pending_flushes} "
+                            "flush(es) pending)",
+                            step=t,
+                        )
+                    if force or (boundary and fresh[sid]):
+                        planner.plan(engine, fresh[sid], force_full=force)
+                        fresh[sid] = []
+                        if force:
+                            replans_left[sid] -= 1
+                # 4. One DAM step per shard.
+                for sid, engine in enumerate(engines):
+                    for gid, step in engine.step(t, journal):
+                        metrics.note_completion(gid, step)
+                        arrivals.notify_completion(gid, step)
+                # 5. Metering + durability.
+                metrics.note_step(
+                    [admission.queue_depth(s) for s in range(len(engines))],
+                    [e.root_backlog for e in engines],
+                    [e.in_flight for e in engines],
+                )
+                if journal is not None:
+                    journal.end_step(
+                        t, next_gid, len(metrics.completion_step)
+                    )
+        except ExecutionStalledError:
+            if journal is not None:
+                journal.abort()
+            raise
+        for engine in engines:
+            engine.schedule.trim()
+        if journal is not None:
+            journal.finish(t, next_gid, len(metrics.completion_step))
+        return ServeReport(
+            config=config,
+            n_steps=t,
+            snapshot=metrics.snapshot(t),
+            completions=dict(metrics.completion_step),
+            shard_schedules=[e.schedule for e in engines],
+            planner_stats=planner.stats,
+            admission_stats=admission.stats,
+            shard_stats=[e.stats for e in engines],
+            metrics=metrics,
+        )
+
+
+@dataclass(frozen=True)
+class ServeRecoveryReport:
+    """What :func:`recover_serve` did."""
+
+    report: ServeReport
+    resumed_from_step: int
+    replayed_flushes: int
+    torn_bytes: int
+    torn_reason: str
+    run_completed: bool
+
+
+def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
+    """Recover an interrupted serving run from its journal.
+
+    The loop is deterministic in its config, so recovery re-derives the
+    uninterrupted run from the journal's ``meta``, then verifies every
+    durable journaled flush appears in the re-derived shard schedules at
+    the same step — the same exact-or-typed-error contract as batch
+    recovery.  Returns the re-derived report (completion times identical
+    to an uninterrupted run) plus what the journal contributed.
+    """
+    manager = RecoveryManager(path)
+    scan = manager.scan()
+    meta = manager.meta
+    if meta is None:
+        raise JournalCorruptionError(
+            f"{path}: no meta record survived; the serving run cannot be "
+            "reconstructed",
+            reason="no-records",
+        )
+    if meta.get("policy") != SERVE_POLICY:
+        raise JournalCorruptionError(
+            f"{path}: journal meta has policy {meta.get('policy')!r}, "
+            f"not {SERVE_POLICY!r}",
+            reason="instance-mismatch",
+        )
+    torn_bytes, torn_reason = scan.torn_bytes, scan.torn_reason
+    if repair:
+        manager.repair()
+    config = ServeConfig.from_meta(meta)
+    report = ServiceLoop(config).run()
+    durable = manager.last_durable_step()
+    replayed = 0
+    for rec in manager.scan().records:
+        if rec["type"] != REC_FLUSH or rec["t"] > durable:
+            continue
+        f = Flush(int(rec["src"]), int(rec["dest"]),
+                  tuple(int(m) for m in rec["msgs"]))
+        sid = int(rec.get("shard", 0))
+        if (
+            sid >= len(report.shard_schedules)
+            or f not in report.shard_schedules[sid].flushes_at(int(rec["t"]))
+        ):
+            raise JournalCorruptionError(
+                f"{path}: journaled flush {f!r} (shard {sid}, step "
+                f"{rec['t']}) is not in the re-derived serving run — the "
+                "journal belongs to a different run",
+                reason="schedule-mismatch",
+            )
+        replayed += 1
+    return ServeRecoveryReport(
+        report=report,
+        resumed_from_step=durable,
+        replayed_flushes=replayed,
+        torn_bytes=torn_bytes,
+        torn_reason=torn_reason,
+        run_completed=manager.run_completed,
+    )

@@ -1,0 +1,170 @@
+"""Epoch-based WORMS re-planning for the serving loop.
+
+The batch pipeline plans once; a service re-plans as messages arrive.
+:class:`EpochPlanner` folds newly admitted messages into a shard's
+in-flight flush list every ``epoch_length`` steps, choosing the cheapest
+sufficient planning mode per epoch:
+
+* **noop** — no new admissions since the last plan: the in-flight
+  priority list is already complete, keep it;
+* **incremental** — new arrivals all target *clean* top-level subtrees
+  (no in-flight message is parked mid-tree under them): the paper
+  pipeline (reduction -> MPHTF -> Lemma 8 order) runs on just the new
+  root-resident messages and the resulting flushes append after the
+  in-flight list.  Validity is preserved by the admission gate whatever
+  the order, so the fast path trades only priority freshness, not
+  correctness — and it skips re-reducing the (large) residual backlog;
+* **full** — some arrival lands in a dirty subtree, or the engine
+  reported a deadlock between stitched plans: re-plan *everything* still
+  in flight from its current location.  All-at-root residues go through
+  the paper pipeline; mid-tree residues use the density-guided online
+  scheduler (which is valid from arbitrary start nodes), exactly the
+  split :func:`repro.policies.resilient.worms_replan` uses.
+
+Planned flushes carry global message ids; the plan is a *priority
+order*, the shard engine's gate decides actual step placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reduction import reduce_to_scheduling
+from repro.core.task_to_flush import task_schedule_to_flush_schedule
+from repro.core.worms import WORMSInstance
+from repro.dam.schedule import Flush
+from repro.policies.online import online_density_schedule
+from repro.scheduling.mphtf import mphtf_schedule
+from repro.serve.router import ShardEngine
+from repro.tree.messages import Message
+from repro.tree.topology import TreeTopology
+from repro.util.errors import InvalidInstanceError
+
+
+def plan_flushes(
+    topology: TreeTopology,
+    P: int,
+    B: int,
+    msg_ids: "list[int]",
+    targets: "dict[int, int]",
+    locations: "dict[int, int] | None" = None,
+) -> "list[Flush]":
+    """Priority-ordered flush list for ``msg_ids`` (global ids preserved).
+
+    Builds a dense sub-instance, plans it, and maps the flushes back to
+    the caller's ids.  With ``locations`` (mid-tree residue) the online
+    density scheduler plans from the current nodes; all-at-root input
+    goes through the paper pipeline.
+    """
+    if not msg_ids:
+        return []
+    root = topology.root
+    all_at_root = locations is None or all(
+        locations[m] == root for m in msg_ids
+    )
+    sub_messages = [
+        Message(i, int(targets[m])) for i, m in enumerate(msg_ids)
+    ]
+    sub = WORMSInstance(
+        topology,
+        sub_messages,
+        P=P,
+        B=B,
+        start_nodes=None if all_at_root
+        else [int(locations[m]) for m in msg_ids],
+    )
+    if all_at_root:
+        reduced = reduce_to_scheduling(sub)
+        sigma = mphtf_schedule(reduced.scheduling)
+        planned = task_schedule_to_flush_schedule(reduced, sigma)
+    else:
+        planned = online_density_schedule(sub)
+    return [
+        Flush(f.src, f.dest, tuple(msg_ids[i] for i in f.messages))
+        for _t, f in planned.iter_timed()
+    ]
+
+
+@dataclass
+class PlannerStats:
+    """What planning actually did, per mode."""
+
+    noop_epochs: int = 0
+    incremental_plans: int = 0
+    full_replans: int = 0
+    forced_replans: int = 0
+    planned_flushes: int = 0
+
+
+class EpochPlanner:
+    """Fold arrivals into shard plans every ``epoch_length`` steps."""
+
+    def __init__(self, epoch_length: int = 8) -> None:
+        if epoch_length < 1:
+            raise InvalidInstanceError(
+                f"epoch_length must be >= 1, got {epoch_length}"
+            )
+        self.epoch_length = int(epoch_length)
+        self.stats = PlannerStats()
+
+    def is_boundary(self, step: int) -> bool:
+        """True iff planning runs at the start of 1-based ``step``."""
+        return (step - 1) % self.epoch_length == 0
+
+    @staticmethod
+    def _top_ancestor(topo: TreeTopology, v: int) -> int:
+        """The child-of-root ancestor of non-root node ``v`` (or v itself)."""
+        node = v
+        parent = topo.parent_of(node)
+        while parent != topo.root and parent != -1:
+            node = parent
+            parent = topo.parent_of(node)
+        return node if parent == topo.root else v
+
+    def plan(
+        self,
+        engine: ShardEngine,
+        new_msgs: "list[int]",
+        *,
+        force_full: bool = False,
+    ) -> None:
+        """Update ``engine.pending`` for this epoch (see module docstring)."""
+        topo = engine.topology
+        root = topo.root
+        if force_full:
+            self.stats.forced_replans += 1
+        elif not new_msgs:
+            self.stats.noop_epochs += 1
+            return
+        if not force_full:
+            dirty = {
+                self._top_ancestor(topo, v)
+                for v in engine.location.values()
+                if v != root
+            }
+            clean = True
+            for m in new_msgs:
+                top = topo.child_towards(root, engine.targets[m]) \
+                    if engine.targets[m] != root else root
+                if top in dirty:
+                    clean = False
+                    break
+            if clean:
+                flushes = plan_flushes(
+                    topo, engine.P, engine.B, list(new_msgs), engine.targets
+                )
+                engine.append_plan(flushes)
+                self.stats.incremental_plans += 1
+                self.stats.planned_flushes += len(flushes)
+                return
+        # Full re-plan of everything still in flight from current state.
+        residual = sorted(engine.location)
+        flushes = plan_flushes(
+            topo, engine.P, engine.B, residual, engine.targets,
+            engine.location,
+        )
+        engine.set_plan(flushes)
+        engine.idle_streak = 0
+        if not force_full:
+            self.stats.full_replans += 1
+        self.stats.planned_flushes += len(flushes)

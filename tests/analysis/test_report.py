@@ -49,6 +49,21 @@ def test_cdf_report_empty():
     assert "none" in completion_cdf_report([])
 
 
+def test_cdf_report_exact_rank_rows():
+    # Regression: np.linspace gives q = 0.30000000000000004, whose raw
+    # ceil(q * n) overshoots by one rank exactly when q * n should be an
+    # integer — the 30% row of 10 samples read "step 4".
+    text = completion_cdf_report(list(range(1, 11)))
+    for pct in range(10, 101, 10):
+        assert f"{pct:>3d}% done by step {pct // 10}" in text
+
+
+def test_cdf_report_single_sample():
+    text = completion_cdf_report([7])
+    assert "100% done by step 7" in text
+    assert " 10% done by step 7" in text
+
+
 def test_utilization_report_lines():
     topo = balanced_tree(3, 2)
     inst = make_uniform(topo, 100, P=2, B=16, seed=0)

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.stats import CompletionStats, compare_policies, summarize
+from repro.analysis.stats import (
+    CompletionStats,
+    compare_policies,
+    nearest_rank,
+    summarize,
+)
 from repro.policies import EagerPolicy, GreedyBatchPolicy
 from repro.tree import balanced_tree
 from tests.conftest import make_uniform
@@ -40,6 +45,38 @@ def test_row_keys():
         "n", "total", "mean", "median", "p95", "p99", "max", "steps",
         "throughput",
     }
+
+
+def test_nearest_rank_is_an_observed_sample():
+    # Regression: np.percentile's linear interpolation reported p95 of
+    # [1, 2] as 1.95 — a completion time no message ever had.
+    assert nearest_rank([1, 2], 95) == 2
+    assert nearest_rank([1, 2], 50) == 1
+    assert nearest_rank(range(1, 101), 99) == 99
+    assert nearest_rank(range(1, 101), 100) == 100
+
+
+def test_nearest_rank_single_sample():
+    for q in (1, 50, 95, 99, 100):
+        assert nearest_rank([42], q) == 42
+
+
+def test_nearest_rank_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        nearest_rank([], 95)
+    with pytest.raises(ValueError):
+        nearest_rank([1], 0)
+    with pytest.raises(ValueError):
+        nearest_rank([1], 100.5)
+
+
+def test_summarize_tail_percentiles_are_observed():
+    s = summarize(np.array([1, 2]), n_steps=2)
+    assert s.p95 == 2.0
+    assert s.p99 == 2.0
+    t = summarize(np.arange(1, 101), n_steps=100)
+    assert t.p95 == 95.0
+    assert t.p99 == 99.0
 
 
 def test_compare_policies_runs_and_validates():

@@ -151,6 +151,115 @@ def test_run_rejects_bad_flags(tmp_path, capsys):
     assert rc == 2
 
 
+# ----------------------------------------------------------------------
+# serve: the online ingestion/serving loop.
+# ----------------------------------------------------------------------
+SERVE_ARGS = ["serve", "--arrivals", "poisson", "--rate", "6", "--messages",
+              "200", "--shards", "3", "--seed", "12"]
+
+
+def test_serve_runs_and_reports(capsys):
+    rc = main(SERVE_ARGS)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serve poisson rate=6.0 shards=3 seed=12" in out
+    assert "sojourn" in out
+    assert "planner:" in out
+    assert "admission:" in out
+
+
+def test_serve_stdout_is_byte_reproducible(capsys):
+    assert main(SERVE_ARGS) == 0
+    first = capsys.readouterr().out
+    assert main(SERVE_ARGS) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_seed_changes_output(capsys):
+    assert main(SERVE_ARGS) == 0
+    first = capsys.readouterr().out
+    assert main(SERVE_ARGS[:-1] + ["13"]) == 0
+    assert capsys.readouterr().out != first
+
+
+def test_serve_overload_reports_shedding(capsys):
+    rc = main(["serve", "--arrivals", "poisson", "--rate", "200",
+               "--messages", "800", "--shards", "2", "--seed", "3",
+               "--P", "2", "--B", "8", "--max-queue", "64",
+               "--max-root-backlog", "32"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shed" in out
+    # The admission line reports a non-zero shed count under overload.
+    admission = next(l for l in out.splitlines() if l.startswith("admission:"))
+    shed = int(admission.split("admitted,")[1].split("shed")[0].strip())
+    assert shed > 0
+
+
+def test_serve_json_artifact(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "metrics.json"
+    rc = main(SERVE_ARGS + ["--json", str(out_file)])
+    assert rc == 0
+    data = json.loads(out_file.read_text())
+    assert data["completed"] == 200
+    assert data["config"]["seed"] == 12
+    assert data["sojourn"]["p99"] >= data["sojourn"]["p50"] >= 1
+
+
+def test_serve_rejects_bad_config(capsys):
+    rc = main(["serve", "--arrivals", "poisson", "--rate", "-1",
+               "--messages", "10"])
+    assert rc == 2
+    assert "invalid serve configuration" in capsys.readouterr().err
+
+
+def test_serve_journal_recovers(tmp_path, capsys):
+    journal = tmp_path / "serve.journal"
+    rc = main(SERVE_ARGS + ["--journal", str(journal)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["recover", str(journal)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "completed run" in out
+    assert "identical to an uninterrupted run" in out
+
+
+def test_serve_journal_recovers_after_kill(tmp_path, capsys):
+    from repro.faults import truncate_at
+
+    journal = tmp_path / "serve.journal"
+    assert main(SERVE_ARGS + ["--journal", str(journal),
+                              "--checkpoint-every", "4"]) == 0
+    capsys.readouterr()
+    killed = truncate_at(journal, journal.stat().st_size * 3 // 5,
+                         out=tmp_path / "killed.journal")
+    rc = main(["recover", str(killed)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "torn tail" in out
+    assert "identical to an uninterrupted run" in out
+
+
+def test_recover_seed_mismatch_is_an_error(tmp_path, capsys):
+    journal = tmp_path / "serve.journal"
+    assert main(SERVE_ARGS + ["--journal", str(journal)]) == 0
+    capsys.readouterr()
+    rc = main(["recover", str(journal), "--seed", "99"])
+    assert rc == 2
+    assert "does not match the journal's own seed" in capsys.readouterr().err
+    # The matching seed passes the sanity check.
+    assert main(["recover", str(journal), "--seed", "12"]) == 0
+
+
+def test_gadget_accepts_seed(capsys):
+    rc = main(["gadget", "6", "7", "7", "6", "8", "6", "--seed", "5"])
+    assert rc == 0
+    assert "YES" in capsys.readouterr().out
+
+
 def test_faults_burst_flag(capsys):
     rc = main(["faults", "--messages", "80", "--fanout", "3", "--height",
                "2", "--P", "2", "--B", "12", "--rates", "0.2", "--burst",

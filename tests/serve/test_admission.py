@@ -1,0 +1,85 @@
+"""Tests for admission control: backpressure, shedding, stall holds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController
+from repro.serve.router import ShardEngine
+from repro.tree import balanced_tree
+from repro.util.errors import InvalidInstanceError
+
+
+def make_engine(P=2, B=8):
+    topo = balanced_tree(2, 2)
+    return ShardEngine(0, topo, P, B), topo
+
+
+def test_queue_bound_sheds():
+    ctrl = AdmissionController(1, max_root_backlog=4, max_queue=3)
+    accepted = [ctrl.offer(0, gid, 3) for gid in range(5)]
+    assert accepted == [True, True, True, False, False]
+    assert ctrl.stats.shed == 2
+    assert ctrl.stats.shed_by_shard == {0: 2}
+    assert ctrl.queue_depth(0) == 3
+
+
+def test_drain_respects_root_backlog():
+    engine, topo = make_engine()
+    ctrl = AdmissionController(1, max_root_backlog=2, max_queue=100)
+    leaf = topo.leaves[0]
+    for gid in range(5):
+        assert ctrl.offer(0, gid, leaf)
+    admitted = ctrl.drain(0, engine, 1)
+    assert [a[0] for a in admitted] == [0, 1]
+    assert engine.root_backlog == 2
+    assert ctrl.queue_depth(0) == 3
+    # Nothing drained from the root: still no headroom.
+    assert ctrl.drain(0, engine, 2) == []
+
+
+def test_drain_fifo_order():
+    engine, topo = make_engine()
+    ctrl = AdmissionController(1, max_root_backlog=100, max_queue=100)
+    for gid in (7, 3, 9):
+        ctrl.offer(0, gid, topo.leaves[0])
+    admitted = ctrl.drain(0, engine, 1)
+    assert [a[0] for a in admitted] == [7, 3, 9]
+
+
+def test_degenerate_completion_surfaces_through_drain():
+    topo = balanced_tree(2, 2)
+    engine = ShardEngine(0, topo, 2, 8)
+    ctrl = AdmissionController(1, max_root_backlog=10, max_queue=10)
+    ctrl.offer(0, 1, topo.root)  # root == target: completes on admission
+    [(gid, _leaf, done)] = ctrl.drain(0, engine, 4)
+    assert gid == 1 and done == 4
+
+
+def test_stall_hold_keeps_queue(monkeypatch):
+    engine, topo = make_engine()
+    ctrl = AdmissionController(1, max_root_backlog=10, max_queue=10)
+    ctrl.offer(0, 0, topo.leaves[0])
+    monkeypatch.setattr(engine, "root_stalled", lambda step: True)
+    assert ctrl.drain(0, engine, 1) == []
+    assert ctrl.stats.stall_holds == 1
+    assert ctrl.queue_depth(0) == 1
+    monkeypatch.setattr(engine, "root_stalled", lambda step: False)
+    assert len(ctrl.drain(0, engine, 2)) == 1
+
+
+def test_queue_wait_accounting():
+    engine, topo = make_engine()
+    ctrl = AdmissionController(1, max_root_backlog=1, max_queue=10)
+    for gid in range(3):
+        ctrl.offer(0, gid, topo.leaves[0])
+    ctrl.drain(0, engine, 1)  # admits 1, leaves 2 queued
+    assert ctrl.stats.queue_wait_steps == 2
+    assert ctrl.stats.max_queue_depth == 3
+
+
+def test_validation():
+    with pytest.raises(InvalidInstanceError):
+        AdmissionController(1, max_root_backlog=0, max_queue=5)
+    with pytest.raises(InvalidInstanceError):
+        AdmissionController(1, max_root_backlog=1, max_queue=-1)

@@ -1,0 +1,127 @@
+"""Tests for the serving arrival processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.arrivals import (
+    ClosedLoopArrivals,
+    KeySampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+def drain(proc, max_steps=10_000):
+    """Run an open-loop process dry; returns step -> keys."""
+    out = {}
+    step = 0
+    while not proc.exhausted:
+        step += 1
+        assert step <= max_steps, "arrival process never exhausted"
+        keys = proc.take(step)
+        proc.on_emitted(list(range(len(keys))))
+        if keys:
+            out[step] = keys
+    return out
+
+
+def test_key_sampler_deterministic_and_in_range():
+    a = KeySampler(100, theta=0.9, seed=7)
+    b = KeySampler(100, theta=0.9, seed=7)
+    ka, kb = a.draw(500), b.draw(500)
+    assert ka == kb
+    assert all(0 <= k < 100 for k in ka)
+    assert KeySampler(100, theta=0.9, seed=8).draw(500) != ka
+
+
+def test_key_sampler_skew_concentrates_mass():
+    uniform = KeySampler(1000, theta=0.0, seed=1).draw(4000)
+    skewed = KeySampler(1000, theta=1.2, seed=1).draw(4000)
+    assert len(set(skewed)) < len(set(uniform))
+
+
+def test_poisson_truncates_at_n_messages():
+    proc = PoissonArrivals(5.0, 137, KeySampler(64, seed=0), seed=3)
+    by_step = drain(proc)
+    assert sum(len(v) for v in by_step.values()) == 137
+
+
+def test_poisson_deterministic():
+    mk = lambda: PoissonArrivals(3.0, 200, KeySampler(64, seed=2), seed=9)
+    assert drain(mk()) == drain(mk())
+
+
+def test_mmpp_bursts_are_burstier_than_poisson():
+    mm = MMPPArrivals(1.0, 50.0, 600, KeySampler(64, seed=1),
+                      p_burst=0.05, p_calm=0.2, seed=4)
+    by_step = drain(mm)
+    sizes = [len(v) for v in by_step.values()]
+    # A burst step should dwarf the calm rate.
+    assert max(sizes) > 10
+    assert sum(sizes) == 600
+
+
+def test_trace_arrivals_normalize_nonpositive_steps():
+    proc = TraceArrivals([(0, 5), (-3, 6), (2, 7)])
+    assert sorted(proc.take(1)) == [5, 6]
+    proc.on_emitted([0, 1])
+    assert proc.take(2) == [7]
+    proc.on_emitted([2])
+    assert proc.exhausted
+
+
+def test_closed_loop_waits_for_completions():
+    proc = ClosedLoopArrivals(4, 20, KeySampler(16, seed=0), think_time=0)
+    first = proc.take(1)
+    assert len(first) == 4  # one request per client
+    proc.on_emitted([0, 1, 2, 3])
+    # Nobody completed: no client is ready again.
+    assert proc.take(2) == []
+    proc.notify_completion(0, 2)
+    nxt = proc.take(3)
+    assert len(nxt) == 1  # only the released client re-issues
+    proc.on_emitted([4])
+
+
+def test_closed_loop_shed_releases_client():
+    proc = ClosedLoopArrivals(1, 5, KeySampler(16, seed=0), think_time=0)
+    assert len(proc.take(1)) == 1
+    proc.on_emitted([0])
+    proc.notify_shed(0, 1)
+    assert len(proc.take(2)) == 1  # shed request frees the client
+
+
+def test_closed_loop_think_time():
+    proc = ClosedLoopArrivals(1, 5, KeySampler(16, seed=0), think_time=3)
+    proc.take(1)
+    proc.on_emitted([0])
+    proc.notify_completion(0, 1)
+    assert proc.take(2) == []  # thinking until step 1 + 1 + 3
+    assert proc.take(4) == []
+    assert len(proc.take(5)) == 1
+
+
+def test_closed_loop_exhausts_at_n_messages():
+    proc = ClosedLoopArrivals(3, 10, KeySampler(16, seed=5), think_time=0)
+    issued = 0
+    step = 0
+    next_id = 0
+    while not proc.exhausted:
+        step += 1
+        keys = proc.take(step)
+        ids = list(range(next_id, next_id + len(keys)))
+        next_id += len(keys)
+        proc.on_emitted(ids)
+        for i in ids:
+            proc.notify_completion(i, step)
+        issued += len(keys)
+        assert step < 100
+    assert issued == 10
+
+
+@pytest.mark.parametrize("bad", [-1.0, float("nan")])
+def test_poisson_rejects_bad_rate(bad):
+    with pytest.raises(Exception):
+        PoissonArrivals(bad, 10, KeySampler(16, seed=0), seed=0)

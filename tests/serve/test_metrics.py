@@ -1,0 +1,91 @@
+"""Tests for serving metrics: sojourns, percentiles, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.metrics import LatencyStats, ServeMetrics, format_serve_report
+
+
+def test_latency_stats_empty_is_all_zero():
+    s = LatencyStats.of([])
+    assert s.n == 0
+    assert (s.p50, s.p95, s.p99, s.max, s.mean) == (0, 0, 0, 0, 0)
+
+
+def test_latency_stats_single_sample_is_that_sample():
+    s = LatencyStats.of([17])
+    assert (s.p50, s.p95, s.p99, s.max, s.mean) == (17, 17, 17, 17, 17)
+
+
+def test_latency_stats_are_observed_samples():
+    s = LatencyStats.of(list(range(1, 101)))
+    assert s.p50 == 50 and s.p95 == 95 and s.p99 == 99 and s.max == 100
+    t = LatencyStats.of([1, 10])
+    assert t.p95 == 10  # nearest rank, not interpolated 9.55
+
+
+def test_sojourn_definition():
+    m = ServeMetrics(1)
+    m.note_arrival(0, 0, 3)
+    m.note_completion(0, 3)  # completed the step it arrived
+    m.note_arrival(1, 0, 2)
+    m.note_completion(1, 6)
+    assert m.sojourns() == [1, 5]
+
+
+def test_snapshot_conservation_and_shape():
+    m = ServeMetrics(2)
+    for gid, shard in [(0, 0), (1, 0), (2, 1), (3, 1)]:
+        m.note_arrival(gid, shard, 1)
+    m.note_shed(3, 1)
+    for gid in (0, 1, 2):
+        m.note_admit(gid, 1)
+        m.note_completion(gid, gid + 2)
+    m.note_step([0, 1], [2, 3], [1, 1])
+    snap = m.snapshot(n_steps=10)
+    assert snap["arrived"] == 4
+    assert snap["completed"] == 3
+    assert snap["shed"] == 1
+    assert snap["in_flight"] == 0
+    assert snap["completed"] + snap["shed"] + snap["in_flight"] == snap["arrived"]
+    assert len(snap["shards"]) == 2
+    assert snap["shards"][1]["shed"] == 1
+    assert snap["shards"][0]["completed"] == 2
+    assert snap["shards"][0]["max_root_backlog"] == 2
+
+
+def test_snapshot_zero_steps_no_division_error():
+    snap = ServeMetrics(1).snapshot(n_steps=0)
+    assert snap["throughput"] == 0.0
+    assert snap["sojourn"]["n"] == 0
+
+
+def test_to_json_round_trips_with_extra():
+    m = ServeMetrics(1)
+    m.note_arrival(0, 0, 1)
+    m.note_completion(0, 4)
+    data = json.loads(m.to_json(4, config={"seed": 9}))
+    assert data["config"]["seed"] == 9
+    assert data["completed"] == 1
+
+
+def test_format_serve_report_renders():
+    m = ServeMetrics(2)
+    m.note_arrival(0, 0, 1)
+    m.note_admit(0, 1)
+    m.note_completion(0, 5)
+    text = format_serve_report(m.snapshot(5), title="t")
+    assert "== t ==" in text
+    assert "sojourn" in text and "shard" in text
+    assert len(text.splitlines()) >= 8
+
+
+def test_timelines_grow_per_step():
+    m = ServeMetrics(2)
+    m.note_step([1, 2], [3, 4], [5, 6])
+    m.note_step([0, 0], [0, 0], [0, 0])
+    assert m.timelines[0].queue_depth == [1, 0]
+    assert m.timelines[1].root_backlog == [4, 0]
