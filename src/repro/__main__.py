@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows without writing code:
+Nine subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
@@ -17,7 +17,12 @@ Seven subcommands cover the common workflows without writing code:
   both batch ``run`` journals and ``serve`` journals);
 * ``serve``   — online serving: seeded arrival processes over sharded
   B^ε-trees with epoch re-planning, admission control, and per-message
-  p50/p95/p99 sojourn-time reporting.
+  p50/p95/p99 sojourn-time reporting;
+* ``compact`` — drop sealed journal records a later checkpoint
+  supersedes (recovery stays exact; see :mod:`repro.dam.compaction`);
+* ``trace``   — run any other subcommand under :mod:`repro.obs`
+  observability and write a Perfetto-loadable trace, a deterministic
+  metrics snapshot, and a span tree (see ``docs/OBSERVABILITY.md``).
 
 Every subcommand takes ``--seed``; with the same arguments and seed a
 run is byte-reproducible.
@@ -31,6 +36,8 @@ Examples::
     python -m repro run --messages 5000 --journal /tmp/worms.journal
     python -m repro recover /tmp/worms.journal
     python -m repro serve --arrivals poisson --rate 8 --shards 4 --seed 1
+    python -m repro compact /tmp/serve.journal
+    python -m repro trace --out /tmp/t serve --messages 200 --seed 1
 """
 
 from __future__ import annotations
@@ -52,8 +59,10 @@ from repro.analysis.resilience import (
 from repro.analysis.stats import compare_policies
 from repro.core import solve_worms
 from repro.dam import validate_valid
+from repro.dam.compaction import compact_journal
 from repro.dam.journal import JournalWriter, RecoveryManager
 from repro.dam.trace import record_trace
+from repro.obs import observed, span_tree, write_chrome_trace
 from repro.faults import BurstInjector, BurstPlan, FaultInjector, FaultPlan
 from repro.policies import (
     EagerPolicy,
@@ -417,6 +426,77 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Run the `compact` subcommand (drop superseded sealed records)."""
+    try:
+        report = compact_journal(args.journal)
+    except FileNotFoundError:
+        print(f"{args.journal}: no such journal", file=sys.stderr)
+        return 1
+    except JournalCorruptionError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 1
+    if report.segments_total < 2:
+        print(
+            f"{args.journal}: single-segment journal; nothing sealed, "
+            "nothing to compact"
+        )
+        return 0
+    if report.checkpoint_step < 0:
+        print(
+            f"{args.journal}: no checkpoint in the "
+            f"{report.segments_total - 1} sealed segment(s); nothing is "
+            "superseded"
+        )
+        return 0
+    by_type = ", ".join(
+        f"{n} {kind}" for kind, n in sorted(report.dropped.items())
+    ) or "none"
+    print(
+        f"compacted {report.segments_compacted} of "
+        f"{report.segments_total - 1} sealed segment(s) "
+        f"(supersession bar: checkpoint at step {report.checkpoint_step})"
+    )
+    print(f"dropped records: {by_type}")
+    print(
+        f"reclaimed {report.bytes_reclaimed} byte(s) "
+        f"({report.bytes_before} -> {report.bytes_after})"
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the `trace` subcommand (any other subcommand, observed)."""
+    if args.subcommand == "trace":
+        print("trace cannot wrap itself", file=sys.stderr)
+        return 2
+    inner_argv = [args.subcommand] + list(args.rest)
+    try:
+        inner = build_parser().parse_args(inner_argv)
+    except SystemExit:
+        return 2
+    out = args.out
+    with observed() as ctx:
+        code = inner.func(inner)
+    trace_path = f"{out}.trace.json"
+    metrics_path = f"{out}.metrics.json"
+    spans_path = f"{out}.spans.txt"
+    write_chrome_trace(trace_path, ctx.tracer, ctx.metrics)
+    with open(metrics_path, "w", encoding="utf-8") as f:
+        f.write(ctx.metrics.to_json(command=inner_argv))
+        f.write("\n")
+    with open(spans_path, "w", encoding="utf-8") as f:
+        f.write(span_tree(ctx.tracer))
+        f.write("\n")
+    print()
+    print(ctx.profiler.report(title=f"phase profile: {' '.join(inner_argv)}"))
+    print(f"trace:   {trace_path} ({ctx.tracer.n_spans} spans; open in "
+          "https://ui.perfetto.dev or chrome://tracing)")
+    print(f"metrics: {metrics_path}")
+    print(f"spans:   {spans_path}")
+    return code
+
+
 def cmd_gadget(args: argparse.Namespace) -> int:
     """Run the `gadget` subcommand (Lemma 15 decision + schedule)."""
     try:
@@ -609,6 +689,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", type=str, default=None,
                          help="also write the metrics snapshot to this file")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_compact = sub.add_parser(
+        "compact", help="drop sealed journal records a checkpoint supersedes"
+    )
+    p_compact.add_argument("journal", type=str)
+    p_compact.set_defaults(func=cmd_compact)
+
+    p_trace = sub.add_parser(
+        "trace", help="run any subcommand under observability",
+        description="Run another subcommand with tracing/metrics/profiling "
+        "enabled and write <out>.trace.json (Perfetto), <out>.metrics.json "
+        "(deterministic snapshot), and <out>.spans.txt.  Options for trace "
+        "itself (--out) go before the wrapped subcommand; everything after "
+        "it is passed through.",
+    )
+    p_trace.add_argument(
+        "--out", type=str, default="repro-trace",
+        help="artifact path prefix (default: repro-trace)",
+    )
+    p_trace.add_argument("subcommand", type=str,
+                         help="the subcommand to run under observability")
+    p_trace.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="arguments for the wrapped subcommand")
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -26,6 +26,8 @@ from repro.core.valid_conversion import ConversionDiagnostics, make_valid
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import FlushSchedule
 from repro.dam.simulator import SimulationResult, simulate
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_PLAN
 from repro.scheduling.cost import TaskSchedule, schedule_cost
 from repro.scheduling.horn import compute_horn
 from repro.scheduling.instance import SchedulingInstance
@@ -74,20 +76,51 @@ def solve_worms(
     should never happen (the fallback stage is valid by construction) and
     exists as an internal safety net.
     """
-    packed = build_packed_sets(instance)
-    reduced = reduce_to_scheduling(instance, packed)
-    if task_scheduler is None:
-        horn = compute_horn(reduced.scheduling)
-        sigma = mphtf_schedule(reduced.scheduling, horn)
-    else:
-        sigma = task_scheduler(reduced.scheduling)
-    task_cost = schedule_cost(reduced.scheduling, sigma)
-    overfilling = task_schedule_to_flush_schedule(reduced, sigma)
-    overfilling_result = simulate(instance, overfilling)
+    obs = current_obs()
+    tracer = obs.tracer
+    t0 = obs.profiler.clock() if obs.enabled else 0.0
+    with tracer.span(
+        "pipeline.solve", category="pipeline",
+        n=instance.topology.n_nodes, P=instance.P, B=instance.B,
+    ) as solve_span:
+        with tracer.span("pipeline.packed_sets", category="pipeline"):
+            packed = build_packed_sets(instance)
+        with tracer.span("pipeline.reduction", category="pipeline"):
+            reduced = reduce_to_scheduling(instance, packed)
+        if task_scheduler is None:
+            with tracer.span("pipeline.horn", category="pipeline"):
+                horn = compute_horn(reduced.scheduling)
+            with tracer.span("pipeline.mphtf", category="pipeline"):
+                sigma = mphtf_schedule(reduced.scheduling, horn)
+        else:
+            with tracer.span("pipeline.task_scheduler", category="pipeline"):
+                sigma = task_scheduler(reduced.scheduling)
+        task_cost = schedule_cost(reduced.scheduling, sigma)
+        with tracer.span("pipeline.task_to_flush", category="pipeline"):
+            overfilling = task_schedule_to_flush_schedule(reduced, sigma)
+        with tracer.span("pipeline.simulate_overfilling", category="pipeline"):
+            overfilling_result = simulate(instance, overfilling)
 
-    conversion = ConversionDiagnostics()
-    schedule = make_valid(instance, packed, overfilling, diagnostics=conversion)
-    result = simulate(instance, schedule)
+        conversion = ConversionDiagnostics()
+        with tracer.span("pipeline.make_valid", category="pipeline"):
+            schedule = make_valid(
+                instance, packed, overfilling, diagnostics=conversion
+            )
+        with tracer.span("pipeline.validate", category="pipeline"):
+            result = simulate(instance, schedule)
+        solve_span.set_steps(1, schedule.n_steps)
+    if obs.enabled:
+        obs.profiler.add(PHASE_PLAN, obs.profiler.clock() - t0)
+        metrics = obs.metrics
+        metrics.counter(
+            "pipeline_solves_total", "solve_worms() invocations"
+        ).inc()
+        metrics.counter(
+            "pipeline_packed_sets_total", "packed sets built across solves"
+        ).inc(len(packed.sets))
+        metrics.counter(
+            "pipeline_reduced_tasks_total", "scheduling tasks across solves"
+        ).inc(reduced.scheduling.n_tasks)
     if verify and not result.is_valid:
         raise InvalidScheduleError(
             "pipeline produced an invalid schedule: "

@@ -13,6 +13,7 @@ messages each (Section 2.1 of the paper).
   (valid / overfilling) and raises precise errors.
 """
 
+from repro.dam.compaction import CompactionReport, compact_journal
 from repro.dam.journal import (
     JournalScan,
     JournalWriter,
@@ -54,6 +55,8 @@ __all__ = [
     "record_trace",
     "checkpoint_at",
     "resume_simulation",
+    "CompactionReport",
+    "compact_journal",
     "JournalWriter",
     "JournalScan",
     "RecoveryManager",

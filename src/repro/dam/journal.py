@@ -67,6 +67,8 @@ from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.simulator import SimulationResult
 from repro.dam.trace import CheckpointRecord, _apply_step, _initial_state
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_JOURNAL, PHASE_RECOVER
 from repro.util.errors import InvalidInstanceError, JournalCorruptionError
 
 MAGIC = b"WOJ1"
@@ -166,6 +168,11 @@ class JournalWriter:
         self.sync = bool(sync)
         self.max_segment_bytes = max_segment_bytes
         self._segment_index = 0
+        # Observability is bound at open: a writer created under the
+        # disabled default does zero instrumentation work per record.
+        obs = current_obs()
+        self._metrics = obs.metrics if obs.enabled else None
+        self._profiler = obs.profiler if obs.enabled else None
         self._f = open(self.path, "wb")
         self._f.write(_HEADER)
         self._segment_bytes = len(_HEADER)
@@ -191,6 +198,10 @@ class JournalWriter:
         self._f = open(segment_path(self.path, self._segment_index), "wb")
         self._f.write(_HEADER)
         self._segment_bytes = len(_HEADER)
+        if self._metrics is not None:
+            self._metrics.counter(
+                "journal_rotations_total", "journal segments sealed"
+            ).inc()
 
     def append(self, record: dict) -> None:
         """Buffer one record (see :meth:`flush` for durability)."""
@@ -203,9 +214,28 @@ class JournalWriter:
             self._rotate()
         self._f.write(blob)
         self._segment_bytes += len(blob)
+        if self._metrics is not None:
+            records = self._metrics.counter(
+                "journal_records_total", "journal records appended"
+            )
+            records.inc()
+            records.labels(type=record.get("type", "?")).inc()
+            self._metrics.counter(
+                "journal_bytes_total", "journal bytes appended"
+            ).inc(len(blob))
 
     def flush(self) -> None:
         """Push buffered records to the OS (and disk, with ``sync=True``)."""
+        if self._profiler is not None:
+            t0 = self._profiler.clock()
+            self._f.flush()
+            if self.sync:
+                os.fsync(self._f.fileno())
+                self._metrics.counter(
+                    "journal_fsyncs_total", "fsyncs issued by sync writers"
+                ).inc()
+            self._profiler.add(PHASE_JOURNAL, self._profiler.clock() - t0)
+            return
         self._f.flush()
         if self.sync:
             os.fsync(self._f.fileno())
@@ -541,13 +571,36 @@ class RecoveryManager:
         """
         from repro.dam.validator import validate_recovery
 
-        scan = self.scan()
-        torn_bytes, torn_reason = scan.torn_bytes, scan.torn_reason
-        if repair:
-            self.repair()
-        cp, base_step = self._recover_state(instance)
-        replayed = self._check_prefix(schedule, cp.step)
-        result = validate_recovery(instance, schedule, cp)
+        obs = current_obs()
+        with obs.tracer.span(
+            "journal.recover", category="journal", path=str(self.path)
+        ) as span:
+            t0 = obs.profiler.clock() if obs.enabled else 0.0
+            scan = self.scan()
+            torn_bytes, torn_reason = scan.torn_bytes, scan.torn_reason
+            if repair:
+                self.repair()
+            cp, base_step = self._recover_state(instance)
+            replayed = self._check_prefix(schedule, cp.step)
+            result = validate_recovery(instance, schedule, cp)
+            if obs.enabled:
+                obs.profiler.add(
+                    PHASE_RECOVER, obs.profiler.clock() - t0
+                )
+                span.set("resumed_from_step", cp.step)
+                span.set("replayed_flushes", replayed)
+                span.set("torn_bytes", torn_bytes)
+                obs.metrics.counter(
+                    "journal_recoveries_total", "successful recoveries"
+                ).inc()
+                obs.metrics.counter(
+                    "journal_replayed_flushes_total",
+                    "journaled flushes replayed during recovery",
+                ).inc(replayed)
+                obs.metrics.counter(
+                    "journal_torn_bytes_total",
+                    "torn tail bytes discarded by repair",
+                ).inc(torn_bytes)
         return RecoveryReport(
             result=result,
             resumed_from_step=cp.step,

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import FlushSchedule
+from repro.obs.hooks import current_obs
 from repro.faults.injector import (
     FaultEvent,
     OUTCOME_FAILED,
@@ -138,6 +139,11 @@ def simulate(
     With ``faults``, the replay is open-loop fault injection: see the
     module docstring for the exact semantics of each fault kind.
     """
+    obs = current_obs()
+    span = obs.tracer.span(
+        "dam.simulate", category="dam",
+        n_steps=schedule.n_steps, n_messages=instance.n_messages,
+    )
     topo = instance.topology
     n_msgs = instance.n_messages
     parents = topo.parents
@@ -334,6 +340,20 @@ def simulate(
         fault_events.extend(faults.events)
         fault_events.sort(key=lambda e: e.step)
 
+    if obs.enabled:
+        span.set("violations", len(violations) + len(space_violations))
+        span.set_steps(1, schedule.n_steps)
+        span.finish()
+        metrics = obs.metrics
+        metrics.counter(
+            "simulator_replays_total", "simulate() replays"
+        ).inc()
+        metrics.counter(
+            "simulator_steps_total", "DAM steps replayed"
+        ).inc(schedule.n_steps)
+        metrics.counter(
+            "simulator_violations_total", "violations found by replays"
+        ).inc(len(violations) + len(space_violations))
     return SimulationResult(
         completion_times=np.asarray(completion, dtype=np.int64),
         n_steps=schedule.n_steps,

@@ -1,0 +1,73 @@
+"""repro.obs — end-to-end observability for the flush pipeline.
+
+Four cooperating pieces, all zero-dependency and all free when off:
+
+* :mod:`~repro.obs.tracer` — structured spans (name, DAM-step range,
+  attributes, parent) with an allocation-free no-op fast path;
+* :mod:`~repro.obs.metrics` — a registry of counters / gauges /
+  histograms with labeled children and deterministic JSON snapshots;
+* :mod:`~repro.obs.export` — Chrome ``chrome://tracing`` / Perfetto
+  JSON trace writer plus a plain-text span tree;
+* :mod:`~repro.obs.profile` — opt-in wall-clock phase profiler
+  (plan / execute / journal / recover) with nearest-rank percentiles.
+
+:mod:`~repro.obs.hooks` binds them into one :class:`ObsContext` that the
+execution layers (executors, simulator, journal, serving loop, MPHTF
+pipeline) consult; ``python -m repro trace <subcommand> ...`` runs any
+CLI workflow under an enabled context and writes the artifacts.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    span_tree,
+    write_chrome_trace,
+)
+from repro.obs.hooks import (
+    DISABLED,
+    ObsContext,
+    current_obs,
+    disable_obs,
+    enable_obs,
+    observed,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    PHASE_EXECUTE,
+    PHASE_JOURNAL,
+    PHASE_PLAN,
+    PHASE_RECOVER,
+    PhaseProfiler,
+)
+from repro.obs.tracer import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "ObsContext",
+    "PHASE_EXECUTE",
+    "PHASE_JOURNAL",
+    "PHASE_PLAN",
+    "PHASE_RECOVER",
+    "PhaseProfiler",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "current_obs",
+    "disable_obs",
+    "enable_obs",
+    "observed",
+    "span_tree",
+    "write_chrome_trace",
+]

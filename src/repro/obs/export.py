@@ -1,0 +1,122 @@
+"""Trace exporters: Chrome/Perfetto JSON and a plain-text span tree.
+
+``chrome://tracing`` and https://ui.perfetto.dev both read the Chrome
+Trace Event JSON format — a list of *complete* events (``"ph": "X"``)
+with microsecond timestamps.  :func:`write_chrome_trace` renders a
+:class:`~repro.obs.tracer.Tracer`'s spans into that format, one named
+track per span category (executor, serve, pipeline, journal, ...), so a
+run opens in Perfetto as a flame chart with the DAM-step ranges and
+attributes attached to every slice's ``args``.
+
+:func:`span_tree` is the terminal-friendly counterpart: the same span
+forest as an indented text tree with durations and attributes, for quick
+looks without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+
+def _span_args(span: Span) -> dict:
+    args = dict(span.attrs)
+    if span.step_lo is not None:
+        args["step_lo"] = span.step_lo
+        args["step_hi"] = span.step_hi
+    return args
+
+
+def chrome_trace_events(tracer: Tracer, *, pid: int = 1) -> "list[dict]":
+    """The tracer's spans as Chrome Trace Event dicts.
+
+    Timestamps are microseconds relative to the earliest span start (so
+    the trace opens at t=0).  Each distinct span category becomes its own
+    thread/track, named via ``thread_name`` metadata events; spans with
+    no category share track 0.
+    """
+    spans = tracer.spans
+    events: "list[dict]" = []
+    if not spans:
+        return events
+    base_ns = min(s.start_ns for s in spans)
+    categories: "dict[str, int]" = {}
+    for span in spans:
+        cat = span.category
+        if cat not in categories:
+            categories[cat] = len(categories)
+    for cat, tid in sorted(categories.items(), key=lambda kv: kv[1]):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": cat or "main"},
+        })
+    # Sort by start time so slices nest correctly in the viewer.
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        events.append({
+            "name": span.name,
+            "cat": span.category or "main",
+            "ph": "X",
+            "ts": (span.start_ns - base_ns) / 1000.0,
+            "dur": (end_ns - span.start_ns) / 1000.0,
+            "pid": pid,
+            "tid": categories[span.category],
+            "args": _span_args(span),
+        })
+    return events
+
+
+def chrome_trace(tracer: Tracer,
+                 metrics: "MetricsRegistry | None" = None) -> dict:
+    """The full Chrome-trace JSON document (a dict, ready to serialize)."""
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics.snapshot()}
+    return doc
+
+
+def write_chrome_trace(path: "str | os.PathLike", tracer: Tracer,
+                       metrics: "MetricsRegistry | None" = None) -> str:
+    """Write the Perfetto-loadable trace JSON to ``path``; returns it."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(chrome_trace(tracer, metrics), f, indent=1)
+    return os.fspath(path)
+
+
+# ----------------------------------------------------------------------
+def _render(span: Span, children: "dict[int | None, list[Span]]",
+            depth: int, lines: "list[str]") -> None:
+    ms = span.duration_ns / 1e6
+    steps = (
+        f" [steps {span.step_lo}..{span.step_hi}]"
+        if span.step_lo is not None else ""
+    )
+    attrs = ""
+    if span.attrs:
+        attrs = " " + " ".join(
+            f"{k}={span.attrs[k]}" for k in sorted(span.attrs)
+        )
+    lines.append(f"{'  ' * depth}{span.name} {ms:.3f}ms{steps}{attrs}")
+    for child in children.get(span.span_id, ()):
+        _render(child, children, depth + 1, lines)
+
+
+def span_tree(tracer: Tracer) -> str:
+    """The span forest as an indented text tree (creation order)."""
+    children: "dict[int | None, list[Span]]" = {}
+    span_ids = {s.span_id for s in tracer.spans}
+    for span in sorted(tracer.spans, key=lambda s: s.span_id):
+        # A parent that never finished (still open at export) is absent
+        # from the record; promote its children to roots.
+        parent = span.parent_id if span.parent_id in span_ids else None
+        children.setdefault(parent, []).append(span)
+    lines: "list[str]" = []
+    for root in children.get(None, ()):
+        _render(root, children, 0, lines)
+    return "\n".join(lines)

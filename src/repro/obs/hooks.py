@@ -1,0 +1,96 @@
+"""The instrumentation context the execution layers consult.
+
+Every instrumented layer (executors, simulator, journal, serving loop,
+planner, admission, the MPHTF pipeline) reads one process-wide
+:class:`ObsContext` — a tracer + metrics registry + phase profiler
+bundle — through :func:`current_obs`.  The default context is the
+immutable :data:`DISABLED` singleton: ``enabled`` is False, its tracer
+hands out the no-op span, and instrumented hot loops bind that single
+flag once per run, so with observability off (the default) the
+instrumented code makes exactly the decisions — and exactly the
+allocations — it made before the hooks existed.  The determinism tests
+in ``tests/obs`` pin this: schedules are byte-identical with the context
+enabled, disabled, or enabled halfway through a process's life.
+
+Enable for a scope::
+
+    with observed() as ctx:
+        ServiceLoop(config).run()
+    write_chrome_trace("run.trace.json", ctx.tracer)
+
+or imperatively (what ``python -m repro trace`` does)::
+
+    ctx = enable_obs()
+    try:
+        ...
+    finally:
+        disable_obs()
+
+**Capture discipline.**  Hot loops capture ``current_obs()`` once at run
+start; rare events (a shed, a replan, an epoch plan) look the context up
+at the event site.  Enabling observability therefore takes effect for
+runs *started* after ``enable_obs()`` — it never mutates a run already
+in flight.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler
+from repro.obs.tracer import Tracer
+
+
+@dataclass
+class ObsContext:
+    """One observed scope: tracer + metrics + profiler + master switch."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    profiler: PhaseProfiler = field(default_factory=PhaseProfiler)
+    enabled: bool = True
+
+
+#: The default, process-wide disabled context (never mutated).
+DISABLED = ObsContext(Tracer(enabled=False), enabled=False)
+
+_current: ObsContext = DISABLED
+
+
+def current_obs() -> ObsContext:
+    """The active observation context (:data:`DISABLED` by default)."""
+    return _current
+
+
+def enable_obs(*, tracer: "Tracer | None" = None,
+               metrics: "MetricsRegistry | None" = None,
+               profiler: "PhaseProfiler | None" = None) -> ObsContext:
+    """Install (and return) an enabled context as the process-wide one."""
+    global _current
+    _current = ObsContext(
+        tracer=tracer if tracer is not None else Tracer(),
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+        profiler=profiler if profiler is not None else PhaseProfiler(),
+        enabled=True,
+    )
+    return _current
+
+
+def disable_obs() -> None:
+    """Restore the disabled default context."""
+    global _current
+    _current = DISABLED
+
+
+@contextmanager
+def observed(**kwargs):
+    """``with observed() as ctx:`` — enable within a block, then restore."""
+    global _current
+    previous = _current
+    ctx = enable_obs(**kwargs)
+    try:
+        yield ctx
+    finally:
+        _current = previous

@@ -1,0 +1,94 @@
+"""Opt-in wall-clock phase profiler with nearest-rank percentiles.
+
+Where the tracer answers "what happened, in what order, under what
+parent", the profiler answers "where did the wall-clock go": it buckets
+elapsed time into named *phases* (``plan`` / ``execute`` / ``journal`` /
+``recover`` are the conventional ones the hooks use) and summarizes each
+phase's samples with the same nearest-rank percentiles as
+:func:`repro.analysis.stats.nearest_rank`, so a reported p99 phase cost
+is a cost some step actually paid.
+
+Phases are independent stopwatches, not a partition: the ``journal``
+phase runs inside the ``execute`` phase, so totals may overlap.  Hot
+loops use the allocation-light :meth:`PhaseProfiler.add` with an
+explicit clock read; coarse call sites use the :meth:`PhaseProfiler.phase`
+context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+#: The conventional phase names the built-in hooks record.
+PHASE_PLAN = "plan"
+PHASE_EXECUTE = "execute"
+PHASE_JOURNAL = "journal"
+PHASE_RECOVER = "recover"
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock samples (seconds)."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        #: phase name -> list of elapsed-seconds samples.
+        self.samples: "dict[str, list[float]]" = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record one sample (hot-loop API: caller reads the clock)."""
+        bucket = self.samples.get(phase)
+        if bucket is None:
+            bucket = self.samples[phase] = []
+        bucket.append(seconds)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a block: ``with profiler.phase("plan"): ...``."""
+        t0 = self.clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self.clock() - t0)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> "dict[str, dict]":
+        """Per-phase stats: n, total/mean/p50/p95/p99/max milliseconds."""
+        # Imported here: analysis.stats reaches the DAM layer, which the
+        # obs hooks instrument — a module-level import would be circular.
+        from repro.analysis.stats import nearest_rank
+
+        out: "dict[str, dict]" = {}
+        for name in sorted(self.samples):
+            vals = self.samples[name]
+            ms = [v * 1e3 for v in vals]
+            out[name] = {
+                "n": len(ms),
+                "total_ms": sum(ms),
+                "mean_ms": sum(ms) / len(ms),
+                "p50_ms": nearest_rank(ms, 50),
+                "p95_ms": nearest_rank(ms, 95),
+                "p99_ms": nearest_rank(ms, 99),
+                "max_ms": max(ms),
+            }
+        return out
+
+    def report(self, *, title: str = "phase profile") -> str:
+        """The summary as a fixed-width text table."""
+        rows = self.summary()
+        lines = [f"== {title} =="]
+        if not rows:
+            lines.append("(no samples)")
+            return "\n".join(lines)
+        lines.append(
+            f"{'phase':>12} {'n':>8} {'total ms':>10} {'mean ms':>9} "
+            f"{'p50':>8} {'p95':>8} {'p99':>8} {'max':>8}"
+        )
+        for name, s in rows.items():
+            lines.append(
+                f"{name:>12} {s['n']:>8} {s['total_ms']:>10.2f} "
+                f"{s['mean_ms']:>9.4f} {s['p50_ms']:>8.4f} "
+                f"{s['p95_ms']:>8.4f} {s['p99_ms']:>8.4f} "
+                f"{s['max_ms']:>8.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Zero-dependency structured tracing spans.
+
+A *span* is a named interval of work with wall-clock bounds, an optional
+DAM-step range (the virtual time the simulators and executors advance),
+free-form attributes, and a parent — enough structure to reconstruct the
+run as a tree ("the serve loop spent this epoch re-planning shard 2")
+and to export it as a Chrome/Perfetto trace (:mod:`repro.obs.export`).
+
+Two properties make the tracer safe to leave compiled into every
+execution layer:
+
+* **No-op fast path.**  A disabled tracer's :meth:`Tracer.span` returns
+  the process-wide :data:`NOOP_SPAN` singleton — no ``Span`` object, no
+  clock read, no list append.  Hot loops additionally guard their
+  instrumentation behind a single pre-bound ``enabled`` check so the
+  disabled path performs *zero* per-step work (pinned by
+  ``tests/obs/test_disabled_determinism.py``).
+* **Deterministic identity.**  Span ids are a plain counter in creation
+  order, so two runs of the same workload produce the same span
+  *structure* (names, parents, attributes, step ranges); only the wall
+  timestamps differ.
+
+Spans are context managers::
+
+    with tracer.span("serve.plan", category="serve", shard=2) as sp:
+        sp.set("mode", "full")
+        sp.set_steps(epoch_start, t)
+        ...
+
+Nesting is tracked per-tracer with an explicit stack (the executors are
+single-threaded; a tracer must not be shared across threads).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One named interval of traced work.  Created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name", "category", "span_id", "parent_id", "start_ns", "end_ns",
+        "step_lo", "step_hi", "attrs", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 span_id: int, parent_id: "int | None",
+                 attrs: "dict | None") -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = tracer._clock()
+        self.end_ns: "int | None" = None
+        #: inclusive DAM-step range this span covers (None = wall-only).
+        self.step_lo: "int | None" = None
+        self.step_hi: "int | None" = None
+        self.attrs: dict = attrs if attrs is not None else {}
+
+    # ------------------------------------------------------------------
+    def set(self, key: str, value) -> "Span":
+        """Attach one attribute; returns self for chaining."""
+        self.attrs[key] = value
+        return self
+
+    def set_steps(self, lo: int, hi: int) -> "Span":
+        """Record the inclusive DAM-step range this span covers."""
+        self.step_lo = int(lo)
+        self.step_hi = int(hi)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall-clock nanoseconds (0 while the span is still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        """Close the span (idempotent); records it with its tracer."""
+        if self.end_ns is not None:
+            return
+        self.end_ns = self._tracer._clock()
+        self._tracer._finish(self)
+
+    def __repr__(self) -> str:
+        ms = self.duration_ns / 1e6
+        steps = (
+            f" steps {self.step_lo}..{self.step_hi}"
+            if self.step_lo is not None else ""
+        )
+        return f"Span({self.name}, {ms:.3f}ms{steps}, {self.attrs})"
+
+
+class _NoopSpan:
+    """The allocation-free span a disabled tracer hands out.
+
+    Every method is a no-op returning self, and :data:`NOOP_SPAN` is the
+    only instance ever created, so instrumented code can call the full
+    span API unconditionally without allocating on the disabled path.
+    """
+
+    __slots__ = ()
+
+    def set(self, key, value) -> "_NoopSpan":
+        return self
+
+    def set_steps(self, lo, hi) -> "_NoopSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NOOP_SPAN"
+
+
+#: The singleton no-op span (identity-pinned by the obs test suite).
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans for one observed run (see module docstring)."""
+
+    def __init__(self, *, enabled: bool = True,
+                 clock=time.perf_counter_ns) -> None:
+        self.enabled = bool(enabled)
+        self._clock = clock
+        #: finished spans, in finish order (children before parents).
+        self.spans: "list[Span]" = []
+        self._stack: "list[int]" = []
+        self._next_id = 1
+
+    def span(self, name: str, *, category: str = "", **attrs):
+        """Open a child span of whatever span is currently active.
+
+        Disabled tracers return :data:`NOOP_SPAN` without touching the
+        clock or allocating a ``Span``.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self, name, category, self._next_id, parent,
+                    attrs or None)
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        # Close any abandoned children left on the stack (defensive: a
+        # span finished out of order should not corrupt the tree).
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.spans.append(span)
+
+    @property
+    def n_spans(self) -> int:
+        """Finished spans recorded so far."""
+        return len(self.spans)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (the id counter keeps advancing)."""
+        self.spans.clear()
+        self._stack.clear()

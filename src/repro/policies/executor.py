@@ -40,6 +40,8 @@ from __future__ import annotations
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.dam.trace import CheckpointRecord
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_EXECUTE
 from repro.util.errors import ExecutionStalledError, InvalidInstanceError
 
 #: Safety valve: abort rather than loop forever on a malformed flush list.
@@ -96,6 +98,36 @@ def execute_flush_list(
 ) -> FlushSchedule:
     """Run ``flushes`` (in priority order) through the gated executor."""
     return GatedExecutor(instance).run(flushes)
+
+
+def record_run_metrics(metrics, schedule: FlushSchedule) -> None:
+    """End-of-run executor counters, shared by both executors.
+
+    Called only from enabled obs contexts, after the run finished — the
+    disabled path never reaches this and never pays for it.
+    """
+    n_flushes = 0
+    moved = 0
+    size_hist = metrics.histogram(
+        "executor_flush_size", "messages per realized flush"
+    )
+    for step in schedule.steps:
+        for flush in step:
+            n_flushes += 1
+            moved += flush.size
+            size_hist.observe(flush.size)
+    metrics.counter(
+        "executor_runs_total", "executor runs completed"
+    ).inc()
+    metrics.counter(
+        "executor_steps_total", "DAM steps executed"
+    ).inc(schedule.n_steps)
+    metrics.counter(
+        "executor_flushes_total", "flushes issued by executors"
+    ).inc(n_flushes)
+    metrics.counter(
+        "executor_messages_moved_total", "message moves across all flushes"
+    ).inc(moved)
 
 
 class _RunJournal:
@@ -220,6 +252,14 @@ class GatedExecutor:
 
     def run(self, flushes: list[Flush]) -> FlushSchedule:
         """Replay ``flushes`` in priority order; returns a valid schedule."""
+        # Observability is bound once per run: the disabled default makes
+        # every per-step decision and allocation below identical to the
+        # pre-instrumentation executor (pinned by tests/obs).
+        obs = current_obs()
+        span = obs.tracer.span(
+            "executor.run", category="executor", flushes=len(flushes)
+        )
+        t_wall = obs.profiler.clock() if obs.enabled else 0.0
         inst = self.instance
         is_leaf = self._is_leaf
         root = self._root
@@ -326,8 +366,15 @@ class GatedExecutor:
         except ExecutionStalledError:
             if journal is not None:
                 journal.abort()
+            span.set("stalled", True)
+            span.finish()
             raise
         schedule = schedule.trim()
         if journal is not None:
             journal.finish(schedule.n_steps, location)
+        if obs.enabled:
+            obs.profiler.add(PHASE_EXECUTE, obs.profiler.clock() - t_wall)
+            span.set_steps(1, schedule.n_steps)
+            record_run_metrics(obs.metrics, schedule)
+        span.finish()
         return schedule

@@ -52,6 +52,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.faults.injector import (
@@ -59,14 +61,25 @@ from repro.faults.injector import (
     OUTCOME_FAILED,
     OUTCOME_PARTIAL,
 )
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_EXECUTE
 from repro.policies.executor import (
     DEFAULT_CHECKPOINT_EVERY,
     GatedExecutor,
     MAX_IDLE_STEPS,
+    record_run_metrics,
     stalled_error,
 )
 from repro.tree.messages import Message
-from repro.util.errors import ExecutionStalledError, ReproError
+from repro.util.errors import (
+    ExecutionStalledError,
+    InvalidInstanceError,
+    ReproError,
+)
+
+#: ``scan="auto"`` switches to the vectorized readiness scan at this many
+#: pending flushes (fault-free runs only; see :class:`_VectorScan`).
+VECTOR_SCAN_AUTO_THRESHOLD = 100_000
 
 
 @dataclass
@@ -79,6 +92,61 @@ class _PendingFlush:
     attempts: int = 0
     eligible_at: int = 0  # earliest step this flush may be attempted again
     done: bool = False
+
+
+class _VectorScan:
+    """Numpy-accelerated candidate prefilter for the priority scan.
+
+    The per-step scan cost of the scalar path is one readiness probe per
+    pending flush; at the ROADMAP's 10^6-message scale that probe — not
+    the flushes themselves — dominates.  This helper keeps three parallel
+    arrays over the pending list (first message id, source node, done
+    flag) and answers "which pending flushes *could* run this step" with
+    one vectorized compare::
+
+        candidates = nonzero(location[first] == src & ~done)
+
+    in priority (ascending-index) order.
+
+    **Why the decisions stay byte-identical** (pinned by
+    ``tests/policies/test_vector_scan.py``): the filter uses
+    start-of-step state, and the two ways mid-step mutation could make it
+    diverge from the scalar scan both cancel out —
+
+    * a flush whose first message *arrives* at its source mid-step is not
+      a candidate, but the scalar scan rejects it too (the message is in
+      ``moved``, and moved messages never flush again in the same step);
+    * a flush whose messages *leave* mid-step is a candidate, but the
+      full scalar readiness/admission checks re-run inside the candidate
+      loop and reject it exactly as the scalar scan would.
+
+    Only fault-free runs (``injector is None``) use the fast path: under
+    faults the scalar scan also visits non-ready flushes to update
+    backoff/stall bookkeeping, which a readiness prefilter would skip.
+    """
+
+    __slots__ = ("first", "src", "done")
+
+    def __init__(self, pending: "list[_PendingFlush]") -> None:
+        self.rebuild(pending)
+
+    def rebuild(self, pending: "list[_PendingFlush]") -> None:
+        """Recompute the arrays (after compaction or a re-plan)."""
+        n = len(pending)
+        self.first = np.fromiter(
+            (pf.flush.messages[0] for pf in pending), dtype=np.int64,
+            count=n,
+        )
+        self.src = np.fromiter(
+            (pf.flush.src for pf in pending), dtype=np.int64, count=n
+        )
+        self.done = np.zeros(n, dtype=bool)
+
+    def candidates(self, location: np.ndarray) -> np.ndarray:
+        """Indices of maybe-ready pending flushes, in priority order."""
+        return np.nonzero(
+            (location[self.first] == self.src) & ~self.done
+        )[0]
 
 
 @dataclass
@@ -172,6 +240,13 @@ class ResilientExecutor(GatedExecutor):
     fault_aware:
         Enable fault-aware admission (see module docstring).  Off by
         default; has zero effect while no fault window is active.
+    scan:
+        Readiness-scan strategy: ``"scalar"`` (the classic per-flush
+        probe), ``"vector"`` (numpy candidate prefilter, fault-free runs
+        only — silently falls back to scalar under an injector), or
+        ``"auto"`` (default: vector iff fault-free and the flush list has
+        at least :data:`VECTOR_SCAN_AUTO_THRESHOLD` entries).  The two
+        paths make byte-identical decisions; see :class:`_VectorScan`.
     journal / checkpoint_every:
         Crash-consistent journaling, as in :class:`GatedExecutor`.
     """
@@ -186,11 +261,17 @@ class ResilientExecutor(GatedExecutor):
         replanner=None,
         max_steps: "int | None" = None,
         fault_aware: bool = False,
+        scan: str = "auto",
         journal=None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
         super().__init__(instance, journal=journal,
                          checkpoint_every=checkpoint_every)
+        if scan not in ("auto", "scalar", "vector"):
+            raise InvalidInstanceError(
+                f"scan must be 'auto', 'scalar' or 'vector', got {scan!r}"
+            )
+        self.scan = scan
         if injector is not None and injector.is_zero_plan:
             injector = None  # zero plan == no injector: skip all fault queries
         self.injector = injector
@@ -213,6 +294,12 @@ class ResilientExecutor(GatedExecutor):
         always a valid schedule of the fault-free model and can be
         checked with :func:`repro.dam.validator.validate_valid`.
         """
+        obs = current_obs()
+        span = obs.tracer.span(
+            "executor.resilient_run", category="executor",
+            flushes=len(flushes),
+        )
+        t_wall = obs.profiler.clock() if obs.enabled else 0.0
         inst = self.instance
         injector = self.injector
         is_leaf = self._is_leaf
@@ -243,6 +330,18 @@ class ResilientExecutor(GatedExecutor):
         stall_until: dict[int, int] = {}
         pending = make_pending(flushes)
         n_pending = len(pending)
+        # Vectorized readiness scan: decided once per run (see the class
+        # docstring of _VectorScan for why only fault-free runs qualify).
+        use_vector = injector is None and (
+            self.scan == "vector"
+            or (self.scan == "auto"
+                and len(pending) >= VECTOR_SCAN_AUTO_THRESHOLD)
+        )
+        vscan: "_VectorScan | None" = None
+        if use_vector:
+            location = np.asarray(location, dtype=np.int64)
+            vscan = _VectorScan(pending)
+        span.set("scan", "vector" if use_vector else "scalar")
         schedule = FlushSchedule()
         t = 0
         idle = 0
@@ -274,6 +373,51 @@ class ResilientExecutor(GatedExecutor):
                 moved: set[int] = set()
                 departed: dict[int, int] = {}
                 arrived: dict[int, int] = {}
+                if vscan is not None:
+                    # Fault-free fast path: vectorized candidate prefilter
+                    # + the full scalar checks on every candidate, so the
+                    # selected flushes are exactly the scalar scan's (see
+                    # _VectorScan).  Faults never reach here, so none of
+                    # the eligibility/stall/outcome guards are needed.
+                    for i in vscan.candidates(location):
+                        if attempted >= capacity:
+                            break
+                        pf = pending[i]
+                        flush = pf.flush
+                        src = flush.src
+                        msgs = flush.messages
+                        if location[msgs[0]] != src:
+                            continue
+                        if any(
+                            location[m] != src or m in moved for m in msgs
+                        ):
+                            continue
+                        dest = flush.dest
+                        park = pf.parking
+                        if not is_leaf[dest]:
+                            projected = (
+                                occupancy[dest]
+                                - departed.get(dest, 0)
+                                + arrived.get(dest, 0)
+                                + park
+                            )
+                            if projected > B:
+                                continue
+                        attempted += 1
+                        ran.append(pf)
+                        pf.done = True
+                        vscan.done[i] = True
+                        schedule.add(t, flush)
+                        moved.update(msgs)
+                        if journal is not None:
+                            journal.record_flush(t, flush)
+                        if src != root and not is_leaf[src]:
+                            departed[src] = departed.get(src, 0) + flush.size
+                        if not is_leaf[dest]:
+                            arrived[dest] = arrived.get(dest, 0) + park
+                        for m in msgs:
+                            location[m] = dest
+                    passes = ()  # the scalar scan below is skipped
                 # Same one-pass priority scan as GatedExecutor.run; the
                 # extra guards (eligibility, stalls, outcomes) all no-op
                 # when injector is None, keeping the fault-free path
@@ -428,6 +572,8 @@ class ResilientExecutor(GatedExecutor):
                         n_pending = len(pending)
                         replans += 1
                         idle = 0
+                        if vscan is not None:
+                            vscan.rebuild(pending)
                         continue
                     t -= 1
                     continue
@@ -441,6 +587,8 @@ class ResilientExecutor(GatedExecutor):
                     journal.end_step(t, location)
                 if n_pending and len(pending) > 2 * n_pending:
                     pending = [pf for pf in pending if not pf.done]
+                    if vscan is not None:
+                        vscan.rebuild(pending)
                 if budget_exhausted and n_pending:
                     pending = self._replan_or_raise(
                         t, location, pending, replans,
@@ -449,15 +597,44 @@ class ResilientExecutor(GatedExecutor):
                     )
                     n_pending = len(pending)
                     replans += 1
+                    if vscan is not None:
+                        vscan.rebuild(pending)
         except ExecutionStalledError:
             if journal is not None:
                 journal.abort()
+            span.set("stalled", True)
+            span.finish()
             raise
         if injector is not None:
             self.stats.fault_events = list(injector.events)
         schedule = schedule.trim()
         if journal is not None:
             journal.finish(schedule.n_steps, location)
+        if obs.enabled:
+            obs.profiler.add(PHASE_EXECUTE, obs.profiler.clock() - t_wall)
+            span.set_steps(1, schedule.n_steps)
+            record_run_metrics(obs.metrics, schedule)
+            stats = self.stats
+            metrics = obs.metrics
+            metrics.counter(
+                "executor_retries_total", "failed flush attempts retried"
+            ).inc(stats.failed_attempts)
+            metrics.counter(
+                "executor_partial_deliveries_total",
+                "flushes that delivered a strict subset",
+            ).inc(stats.partial_deliveries)
+            metrics.counter(
+                "executor_replans_total", "mid-run re-planning rounds"
+            ).inc(stats.replans)
+            metrics.counter(
+                "executor_wait_steps_total",
+                "steps idled waiting out fault windows/backoff",
+            ).inc(stats.wait_steps)
+            metrics.counter(
+                "executor_stalled_skips_total",
+                "flushes skipped because a node was observed stalled",
+            ).inc(stats.stalled_skips)
+        span.finish()
         return schedule
 
     # ------------------------------------------------------------------
@@ -485,13 +662,21 @@ class ResilientExecutor(GatedExecutor):
             for m in range(self.instance.n_messages)
             if location[m] != int(targets[m])
         ]
-        try:
-            new_flushes = self.replanner(self.instance, remaining, location)
-        except ReproError as exc:
-            raise self._stalled(
-                f"resilient executor stalled ({reason}; replan failed: {exc})",
-                t, location, pending,
-            ) from exc
+        obs = current_obs()
+        with obs.tracer.span(
+            "executor.replan", category="executor",
+            reason=reason, remaining=len(remaining), step=t,
+        ):
+            try:
+                new_flushes = self.replanner(
+                    self.instance, remaining, location
+                )
+            except ReproError as exc:
+                raise self._stalled(
+                    f"resilient executor stalled ({reason}; "
+                    f"replan failed: {exc})",
+                    t, location, pending,
+                ) from exc
         if not new_flushes and remaining:
             raise self._stalled(
                 f"resilient executor stalled ({reason}; replanner returned "

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.hooks import current_obs
 from repro.serve.router import ShardEngine
 from repro.util.errors import InvalidInstanceError
 
@@ -79,6 +80,13 @@ class AdmissionController:
             self.stats.shed += 1
             by = self.stats.shed_by_shard
             by[shard_id] = by.get(shard_id, 0) + 1
+            obs = current_obs()  # rare event: look up at the site
+            if obs.enabled:
+                shed = obs.metrics.counter(
+                    "serve_shed_total", "arrivals shed by admission"
+                )
+                shed.inc()
+                shed.labels(shard=shard_id).inc()
             return False
         q.append((msg_id, target_leaf))
         if len(q) > self.stats.max_queue_depth:
@@ -98,6 +106,14 @@ class AdmissionController:
         admitted: "list[tuple[int, int, int | None]]" = []
         if q and engine.root_stalled(step):
             self.stats.stall_holds += 1
+            obs = current_obs()  # rare event: look up at the site
+            if obs.enabled:
+                holds = obs.metrics.counter(
+                    "serve_stall_holds_total",
+                    "drain steps held for a stalled shard root",
+                )
+                holds.inc()
+                holds.labels(shard=shard_id).inc()
         else:
             while q and engine.root_backlog < self.max_root_backlog:
                 msg_id, leaf = q.popleft()

@@ -37,6 +37,8 @@ from repro.dam.journal import (
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_EXECUTE, PHASE_RECOVER
 from repro.policies.executor import MAX_IDLE_STEPS
 from repro.serve.admission import AdmissionController, AdmissionStats
 from repro.serve.arrivals import (
@@ -317,6 +319,16 @@ class ServiceLoop:
         planner = self.planner
         metrics = self.metrics
         engines = self.engines
+        # Observability is bound once per run (see repro.obs.hooks); with
+        # the disabled default every step below is allocation-identical
+        # to the uninstrumented loop.
+        obs = current_obs()
+        enabled = obs.enabled
+        run_span = obs.tracer.span(
+            "serve.run", category="serve",
+            shards=len(engines), messages=config.messages,
+        )
+        clock = obs.profiler.clock
         journal = self._open_journal()
         max_steps = config.max_steps or max(
             1000, 50 * config.messages * (config.height + 2)
@@ -379,10 +391,13 @@ class ServiceLoop:
                         if force:
                             replans_left[sid] -= 1
                 # 4. One DAM step per shard.
+                t_exec = clock() if enabled else 0.0
                 for sid, engine in enumerate(engines):
                     for gid, step in engine.step(t, journal):
                         metrics.note_completion(gid, step)
                         arrivals.notify_completion(gid, step)
+                if enabled:
+                    obs.profiler.add(PHASE_EXECUTE, clock() - t_exec)
                 # 5. Metering + durability.
                 metrics.note_step(
                     [admission.queue_depth(s) for s in range(len(engines))],
@@ -396,11 +411,43 @@ class ServiceLoop:
         except ExecutionStalledError:
             if journal is not None:
                 journal.abort()
+            run_span.set("stalled", True)
+            run_span.finish()
             raise
         for engine in engines:
             engine.schedule.trim()
         if journal is not None:
             journal.finish(t, next_gid, len(metrics.completion_step))
+        if enabled:
+            run_span.set_steps(1, t)
+            reg = obs.metrics
+            reg.counter("serve_runs_total", "serving runs completed").inc()
+            reg.counter("serve_steps_total", "serving DAM steps").inc(t)
+            reg.counter(
+                "serve_arrivals_total", "messages that arrived"
+            ).inc(next_gid)
+            reg.counter(
+                "serve_admitted_total", "messages admitted past the queues"
+            ).inc(admission.stats.admitted)
+            reg.counter(
+                "serve_completions_total", "messages delivered to leaves"
+            ).inc(len(metrics.completion_step))
+            reg.counter(
+                "serve_planned_flushes_total", "flushes emitted by planning"
+            ).inc(planner.stats.planned_flushes)
+            flush_counter = reg.counter(
+                "serve_flushes_total", "flushes realized by shard engines"
+            )
+            retry_counter = reg.counter(
+                "serve_retries_total", "failed flush attempts across shards"
+            )
+            for engine in engines:
+                flush_counter.inc(engine.stats.flushes)
+                flush_counter.labels(shard=engine.shard_id).inc(
+                    engine.stats.flushes
+                )
+                retry_counter.inc(engine.stats.failed_attempts)
+        run_span.finish()
         return ServeReport(
             config=config,
             n_steps=t,
@@ -436,6 +483,11 @@ def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
     recovery.  Returns the re-derived report (completion times identical
     to an uninterrupted run) plus what the journal contributed.
     """
+    obs = current_obs()
+    span = obs.tracer.span(
+        "serve.recover", category="serve", path=str(path)
+    )
+    t_wall = obs.profiler.clock() if obs.enabled else 0.0
     manager = RecoveryManager(path)
     scan = manager.scan()
     meta = manager.meta
@@ -475,6 +527,15 @@ def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
                 reason="schedule-mismatch",
             )
         replayed += 1
+    if obs.enabled:
+        obs.profiler.add(PHASE_RECOVER, obs.profiler.clock() - t_wall)
+        span.set("resumed_from_step", durable)
+        span.set("replayed_flushes", replayed)
+        span.set("torn_bytes", torn_bytes)
+        obs.metrics.counter(
+            "serve_recoveries_total", "serving runs recovered from journals"
+        ).inc()
+    span.finish()
     return ServeRecoveryReport(
         report=report,
         resumed_from_step=durable,

@@ -33,6 +33,8 @@ from repro.core.reduction import reduce_to_scheduling
 from repro.core.task_to_flush import task_schedule_to_flush_schedule
 from repro.core.worms import WORMSInstance
 from repro.dam.schedule import Flush
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_PLAN
 from repro.policies.online import online_density_schedule
 from repro.scheduling.mphtf import mphtf_schedule
 from repro.serve.router import ShardEngine
@@ -127,15 +129,46 @@ class EpochPlanner:
         new_msgs: "list[int]",
         *,
         force_full: bool = False,
-    ) -> None:
-        """Update ``engine.pending`` for this epoch (see module docstring)."""
+    ) -> str:
+        """Update ``engine.pending`` for this epoch (see module docstring).
+
+        Returns the planning mode used: ``"noop"``, ``"incremental"``,
+        ``"full"``, or ``"forced"`` (observability reads it; the stats
+        counters are unchanged).
+        """
+        obs = current_obs()
+        if not obs.enabled:
+            return self._plan(engine, new_msgs, force_full=force_full)
+        planned_before = self.stats.planned_flushes
+        with obs.tracer.span(
+            "serve.plan", category="serve",
+            shard=engine.shard_id, arrivals=len(new_msgs),
+        ) as span:
+            with obs.profiler.phase(PHASE_PLAN):
+                mode = self._plan(engine, new_msgs, force_full=force_full)
+            span.set("mode", mode)
+            span.set(
+                "planned_flushes", self.stats.planned_flushes - planned_before
+            )
+        obs.metrics.counter(
+            "serve_plans_total", "epoch planning decisions"
+        ).labels(mode=mode).inc()
+        return mode
+
+    def _plan(
+        self,
+        engine: ShardEngine,
+        new_msgs: "list[int]",
+        *,
+        force_full: bool = False,
+    ) -> str:
         topo = engine.topology
         root = topo.root
         if force_full:
             self.stats.forced_replans += 1
         elif not new_msgs:
             self.stats.noop_epochs += 1
-            return
+            return "noop"
         if not force_full:
             dirty = {
                 self._top_ancestor(topo, v)
@@ -156,7 +189,7 @@ class EpochPlanner:
                 engine.append_plan(flushes)
                 self.stats.incremental_plans += 1
                 self.stats.planned_flushes += len(flushes)
-                return
+                return "incremental"
         # Full re-plan of everything still in flight from current state.
         residual = sorted(engine.location)
         flushes = plan_flushes(
@@ -168,3 +201,4 @@ class EpochPlanner:
         if not force_full:
             self.stats.full_replans += 1
         self.stats.planned_flushes += len(flushes)
+        return "forced" if force_full else "full"

@@ -1,0 +1,34 @@
+"""Shared fixtures for the observability suite.
+
+The obs context is process-global (``repro.obs.hooks._current``); every
+test here must leave the process in the disabled default state or it
+would leak instrumentation into unrelated tests.
+"""
+
+import pytest
+
+from repro.obs import disable_obs
+
+
+@pytest.fixture(autouse=True)
+def obs_reset():
+    """Restore the disabled default context after every test."""
+    disable_obs()
+    yield
+    disable_obs()
+
+
+@pytest.fixture
+def fake_clock():
+    """A deterministic monotone ns clock: 0, 1000, 2000, ..."""
+
+    class _Clock:
+        def __init__(self):
+            self.t = 0
+
+        def __call__(self):
+            v = self.t
+            self.t += 1000
+            return v
+
+    return _Clock()

@@ -1,0 +1,92 @@
+"""Exporter tests: Chrome Trace Event validity and the text span tree."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    chrome_trace_events,
+    span_tree,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("serve.run", category="serve", shards=2) as run:
+        with tracer.span("serve.plan", category="serve", shard=0) as plan:
+            plan.set("mode", "full")
+        with tracer.span("executor.run", category="executor") as ex:
+            ex.set_steps(1, 12)
+        run.set_steps(1, 40)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_complete_events_with_relative_microseconds(self, fake_clock):
+        events = chrome_trace_events(_sample_tracer(fake_clock))
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3
+        assert min(e["ts"] for e in slices) == 0.0
+        for e in slices:
+            assert e["dur"] >= 0
+            assert isinstance(e["args"], dict)
+
+    def test_one_named_track_per_category(self, fake_clock):
+        events = chrome_trace_events(_sample_tracer(fake_clock))
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"serve", "executor"}
+        tids = {e["tid"] for e in meta}
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in slices} <= tids
+
+    def test_step_range_and_attrs_land_in_args(self, fake_clock):
+        events = chrome_trace_events(_sample_tracer(fake_clock))
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["serve.run"]["args"]["step_lo"] == 1
+        assert by_name["serve.run"]["args"]["step_hi"] == 40
+        assert by_name["serve.plan"]["args"]["mode"] == "full"
+
+    def test_empty_tracer_exports_no_events(self):
+        assert chrome_trace_events(Tracer()) == []
+
+    def test_document_shape_and_metrics_payload(self, fake_clock):
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc()
+        doc = chrome_trace(_sample_tracer(fake_clock), reg)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["metrics"]["counters"]["runs_total"] == 1
+
+    def test_write_chrome_trace_roundtrips_json(self, fake_clock, tmp_path):
+        path = tmp_path / "run.trace.json"
+        out = write_chrome_trace(path, _sample_tracer(fake_clock))
+        assert out == str(path)
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"} == {
+            "serve.run", "serve.plan", "executor.run"
+        }
+
+
+class TestSpanTree:
+    def test_tree_indents_children_under_parents(self, fake_clock):
+        text = span_tree(_sample_tracer(fake_clock))
+        lines = text.splitlines()
+        assert lines[0].startswith("serve.run")
+        assert lines[1].startswith("  serve.plan")
+        assert lines[2].startswith("  executor.run")
+        assert "mode=full" in lines[1]
+        assert "[steps 1..40]" in lines[0]
+
+    def test_orphans_promote_to_roots(self):
+        tracer = Tracer()
+        parent = tracer.span("never.finished")
+        child = tracer.span("child")
+        child.finish()
+        del parent  # left open: absent from the record
+        text = span_tree(tracer)
+        assert text.splitlines()[0].startswith("child")
+
+    def test_empty_tracer_renders_empty(self):
+        assert span_tree(Tracer()) == ""

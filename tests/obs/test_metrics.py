@@ -1,0 +1,123 @@
+"""Metrics registry unit tests: typing, labels, snapshot determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.util.errors import InvalidInstanceError
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.help == "help text"
+
+    def test_negative_inc_raises(self):
+        c = MetricsRegistry().counter("events_total")
+        with pytest.raises(InvalidInstanceError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(InvalidInstanceError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_tracks_max(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.snapshot_value() == {"value": 2, "max": 7}
+
+
+class TestHistogram:
+    def test_snapshot_uses_nearest_rank(self):
+        h = MetricsRegistry().histogram("sizes")
+        for v in range(1, 101):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["count"] == 100
+        assert snap["sum"] == 5050
+        assert snap["p50"] == 50
+        assert snap["p95"] == 95
+        assert snap["p99"] == 99
+        assert snap["max"] == 100
+
+    def test_empty_histogram_snapshots_zeros(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.snapshot_value()["count"] == 0
+
+
+class TestLabels:
+    def test_labels_create_named_children(self):
+        reg = MetricsRegistry()
+        shed = reg.counter("serve_shed_total")
+        shed.labels(shard=3).inc(2)
+        shed.inc()
+        snap = reg.snapshot()["counters"]
+        assert snap["serve_shed_total"] == 1
+        assert snap["serve_shed_total{shard=3}"] == 2
+
+    def test_label_keys_are_sorted(self):
+        c = MetricsRegistry().counter("c")
+        child = c.labels(b=2, a=1)
+        assert child.name == "c{a=1,b=2}"
+        assert c.labels(a=1, b=2) is child
+
+    def test_empty_labels_return_parent(self):
+        c = MetricsRegistry().counter("c")
+        assert c.labels() is c
+
+
+class TestSnapshot:
+    def test_sections_by_kind_sorted_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc()
+        reg.counter("a_total").inc(2)
+        reg.gauge("depth").set(4)
+        reg.histogram("sizes").observe(1)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a_total", "b_total"]
+        assert snap["gauges"]["depth"] == {"value": 4, "max": 4}
+        assert snap["histograms"]["sizes"]["count"] == 1
+
+    def test_to_json_is_valid_and_carries_extra(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total").inc()
+        doc = json.loads(reg.to_json(command=["serve", "--seed", "1"]))
+        assert doc["counters"]["runs_total"] == 1
+        assert doc["command"] == ["serve", "--seed", "1"]
+
+    def test_identical_recordings_snapshot_identically(self):
+        def record():
+            reg = MetricsRegistry()
+            c = reg.counter("flushes_total")
+            for i in range(10):
+                c.inc(i)
+                c.labels(shard=i % 2).inc(i)
+            reg.histogram("sizes").observe(3)
+            return reg.to_json()
+
+        assert record() == record()
+
+    def test_reset_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        assert reg.get("x") is None

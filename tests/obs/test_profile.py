@@ -1,0 +1,72 @@
+"""Phase profiler tests: sampling, summaries, and the text report."""
+
+from repro.obs import PHASE_EXECUTE, PHASE_PLAN, PhaseProfiler
+
+
+def counting_clock():
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 0.5
+        return state["t"]
+
+    return clock
+
+
+class TestSampling:
+    def test_add_buckets_by_phase(self):
+        prof = PhaseProfiler()
+        prof.add(PHASE_PLAN, 0.1)
+        prof.add(PHASE_PLAN, 0.2)
+        prof.add(PHASE_EXECUTE, 0.3)
+        assert prof.samples[PHASE_PLAN] == [0.1, 0.2]
+        assert prof.samples[PHASE_EXECUTE] == [0.3]
+
+    def test_phase_context_manager_times_block(self):
+        prof = PhaseProfiler(clock=counting_clock())
+        with prof.phase("work"):
+            pass
+        assert prof.samples["work"] == [0.5]
+
+    def test_phase_records_even_on_exception(self):
+        prof = PhaseProfiler(clock=counting_clock())
+        try:
+            with prof.phase("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert len(prof.samples["boom"]) == 1
+
+
+class TestSummary:
+    def test_summary_reports_ms_percentiles(self):
+        prof = PhaseProfiler()
+        for i in range(1, 101):
+            prof.add("execute", i / 1000.0)  # 1..100 ms
+        s = prof.summary()["execute"]
+        assert s["n"] == 100
+        assert round(s["total_ms"]) == 5050
+        assert round(s["p50_ms"]) == 50
+        assert round(s["p95_ms"]) == 95
+        assert round(s["p99_ms"]) == 99
+        assert round(s["max_ms"]) == 100
+
+    def test_summary_sorted_by_phase_name(self):
+        prof = PhaseProfiler()
+        prof.add("zeta", 0.1)
+        prof.add("alpha", 0.1)
+        assert list(prof.summary()) == ["alpha", "zeta"]
+
+    def test_empty_profiler_summary_and_report(self):
+        prof = PhaseProfiler()
+        assert prof.summary() == {}
+        assert "(no samples)" in prof.report()
+
+    def test_report_is_a_table_with_all_phases(self):
+        prof = PhaseProfiler()
+        prof.add("plan", 0.002)
+        prof.add("execute", 0.004)
+        text = prof.report(title="smoke")
+        assert text.startswith("== smoke ==")
+        assert "plan" in text and "execute" in text
+        assert "p99" in text

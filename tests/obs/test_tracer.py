@@ -1,0 +1,131 @@
+"""Tracer unit tests: span structure, nesting, and the no-op fast path."""
+
+from repro.obs import NOOP_SPAN, Tracer
+from repro.obs.tracer import _NoopSpan
+
+
+class TestSpanBasics:
+    def test_span_records_name_category_attrs(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("work", category="test", shard=3) as sp:
+            sp.set("mode", "full")
+        assert tracer.n_spans == 1
+        span = tracer.spans[0]
+        assert span.name == "work"
+        assert span.category == "test"
+        assert span.attrs == {"shard": 3, "mode": "full"}
+
+    def test_duration_from_injected_clock(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        span = tracer.span("tick")
+        span.finish()
+        assert span.duration_ns == 1000
+
+    def test_open_span_reports_zero_duration(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        span = tracer.span("open")
+        assert span.end_ns is None
+        assert span.duration_ns == 0
+
+    def test_finish_is_idempotent(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        span = tracer.span("once")
+        span.finish()
+        end = span.end_ns
+        span.finish()
+        assert span.end_ns == end
+        assert tracer.n_spans == 1
+
+    def test_set_steps_records_inclusive_range(self):
+        tracer = Tracer()
+        with tracer.span("run") as sp:
+            sp.set_steps(1, 40)
+        assert (tracer.spans[0].step_lo, tracer.spans[0].step_hi) == (1, 40)
+
+    def test_set_chains(self):
+        tracer = Tracer()
+        sp = tracer.span("chain")
+        assert sp.set("a", 1).set("b", 2) is sp
+        sp.finish()
+
+
+class TestNesting:
+    def test_children_get_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            a = tracer.span("a")
+            a.finish()
+            b = tracer.span("b")
+            b.finish()
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_span_ids_are_deterministic_creation_order(self):
+        def collect():
+            tracer = Tracer()
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            return [(s.span_id, s.name, s.parent_id) for s in tracer.spans]
+
+        assert collect() == collect()
+
+    def test_out_of_order_finish_does_not_corrupt_stack(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("abandoned")  # never finished explicitly
+        outer.finish()
+        # After the defensive pop, new spans are roots again.
+        root = tracer.span("next")
+        root.finish()
+        assert root.parent_id is None
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_returns_noop_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", category="x", attr=1) is NOOP_SPAN
+        assert tracer.span("other") is NOOP_SPAN
+        assert tracer.n_spans == 0
+
+    def test_noop_span_supports_full_api(self):
+        sp = NOOP_SPAN
+        assert sp.set("k", "v") is sp
+        assert sp.set_steps(0, 9) is sp
+        with sp as inner:
+            assert inner is sp
+        sp.finish()
+
+    def test_noop_span_is_the_only_instance(self):
+        assert isinstance(NOOP_SPAN, _NoopSpan)
+        assert _NoopSpan.__slots__ == ()
+
+    def test_disabled_tracer_never_reads_clock(self):
+        calls = []
+
+        def clock():
+            calls.append(1)
+            return 0
+
+        tracer = Tracer(enabled=False, clock=clock)
+        tracer.span("hot")
+        assert calls == []
+
+
+class TestClear:
+    def test_clear_drops_spans_but_keeps_id_counter(self):
+        tracer = Tracer()
+        tracer.span("a").finish()
+        first_id = tracer.spans[0].span_id
+        tracer.clear()
+        assert tracer.n_spans == 0
+        tracer.span("b").finish()
+        assert tracer.spans[0].span_id > first_id

@@ -1,0 +1,106 @@
+"""The vectorized readiness scan must be invisible: byte-identical output.
+
+``ResilientExecutor(scan="vector")`` prefilters the priority scan with
+numpy but re-checks every candidate with the exact scalar gate, so the
+realized schedule must match the scalar scan — and the gated executor —
+flush for flush, step for step, on every input the scalar path accepts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.worms import WORMSInstance
+from repro.dam import validate_valid
+from repro.dam.schedule import Flush
+from repro.faults import FaultInjector, FaultPlan
+from repro.policies import GatedExecutor, ResilientExecutor, WormsPolicy
+from repro.policies.resilient import VECTOR_SCAN_AUTO_THRESHOLD
+from repro.tree import Message, balanced_tree, path_tree
+from repro.util.errors import InvalidInstanceError
+from tests.conftest import make_uniform
+
+
+def ordered_flushes(schedule):
+    return [f for _t, f in schedule.iter_timed()]
+
+
+def run_with(inst, ordered, scan):
+    return ResilientExecutor(inst, scan=scan).run(list(ordered))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_vector_scan_byte_identical_to_scalar(seed):
+    inst = make_uniform(balanced_tree(3, 3), n_messages=200, P=3, B=16,
+                        seed=seed)
+    ordered = ordered_flushes(WormsPolicy().schedule(inst))
+    scalar = run_with(inst, ordered, "scalar")
+    vector = run_with(inst, ordered, "vector")
+    assert vector.steps == scalar.steps
+    assert vector.steps == GatedExecutor(inst).run(list(ordered)).steps
+
+
+def test_vector_scan_identical_on_skewed_instances():
+    """Deep path tree: front-blocked rejects dominate the scan."""
+    topo = path_tree(5)
+    inst = make_uniform(topo, n_messages=80, P=1, B=8, seed=9)
+    ordered = ordered_flushes(WormsPolicy().schedule(inst))
+    assert run_with(inst, ordered, "vector").steps \
+        == run_with(inst, ordered, "scalar").steps
+
+
+def test_vector_scan_survives_replans():
+    """Non-laminar input forces a mid-run re-plan (arrays rebuilt)."""
+    topo = path_tree(2)
+    inst = WORMSInstance(topo, [Message(0, 2)], P=1, B=4)
+    bad = [Flush(1, 2, (0,))]  # first hop missing: deadlock -> replan
+    scalar = ResilientExecutor(inst, max_replans=1, scan="scalar")
+    vector = ResilientExecutor(inst, max_replans=1, scan="vector")
+    s = scalar.run(list(bad))
+    v = vector.run(list(bad))
+    assert v.steps == s.steps
+    assert vector.stats.replans == scalar.stats.replans == 1
+    assert validate_valid(inst, v).completion_times.tolist() == [2]
+
+
+def test_vector_scan_identical_through_pending_compaction():
+    """Enough flushes that the lazy pending-list compaction triggers."""
+    inst = make_uniform(balanced_tree(2, 4), n_messages=400, P=2, B=8,
+                        seed=13)
+    ordered = ordered_flushes(WormsPolicy().schedule(inst))
+    assert run_with(inst, ordered, "vector").steps \
+        == run_with(inst, ordered, "scalar").steps
+
+
+def test_faulty_runs_ignore_the_vector_request():
+    """With an injector the scalar path's bookkeeping is load-bearing;
+    scan="vector" must not change a faulty run."""
+    inst = make_uniform(balanced_tree(3, 3), n_messages=150, P=2, B=12,
+                        seed=5)
+    ordered = ordered_flushes(WormsPolicy().schedule(inst))
+
+    def faulty(scan):
+        injector = FaultInjector(FaultPlan.uniform(0.25), seed=11)
+        return ResilientExecutor(
+            inst, injector, retry_budget=4, max_replans=4, scan=scan
+        ).run(list(ordered))
+
+    assert faulty("vector").steps == faulty("scalar").steps
+
+
+def test_auto_mode_thresholds_on_pending_size():
+    assert VECTOR_SCAN_AUTO_THRESHOLD > 0
+    # Small fault-free instances stay scalar under "auto" but the result
+    # is identical either way — auto is a performance switch only.
+    inst = make_uniform(balanced_tree(3, 2), n_messages=60, P=2, B=12,
+                        seed=2)
+    ordered = ordered_flushes(WormsPolicy().schedule(inst))
+    assert run_with(inst, ordered, "auto").steps \
+        == run_with(inst, ordered, "scalar").steps
+
+
+def test_unknown_scan_mode_rejected():
+    inst = make_uniform(balanced_tree(3, 2), n_messages=10, P=2, B=12,
+                        seed=0)
+    with pytest.raises(InvalidInstanceError):
+        ResilientExecutor(inst, scan="simd")
