@@ -17,7 +17,10 @@ Nine subcommands cover the common workflows without writing code:
   both batch ``run`` journals and ``serve`` journals);
 * ``serve``   — online serving: seeded arrival processes over sharded
   B^ε-trees with epoch re-planning, admission control, and per-message
-  p50/p95/p99 sojourn-time reporting;
+  p50/p95/p99 sojourn-time reporting; ``--supervised`` adds per-shard
+  health tracking, circuit breakers, and live restart-from-journal, and
+  ``--chaos`` drills that machinery with a seeded whole-shard
+  kill/stall/corrupt scenario;
 * ``compact`` — drop sealed journal records a later checkpoint
   supersedes (recovery stays exact; see :mod:`repro.dam.compaction`);
 * ``trace``   — run any other subcommand under :mod:`repro.obs`
@@ -36,6 +39,7 @@ Examples::
     python -m repro run --messages 5000 --journal /tmp/worms.journal
     python -m repro recover /tmp/worms.journal
     python -m repro serve --arrivals poisson --rate 8 --shards 4 --seed 1
+    python -m repro serve --supervised --chaos --seed 3 --messages 400
     python -m repro compact /tmp/serve.journal
     python -m repro trace --out /tmp/t serve --messages 200 --seed 1
 """
@@ -63,7 +67,13 @@ from repro.dam.compaction import compact_journal
 from repro.dam.journal import JournalWriter, RecoveryManager
 from repro.dam.trace import record_trace
 from repro.obs import observed, span_tree, write_chrome_trace
-from repro.faults import BurstInjector, BurstPlan, FaultInjector, FaultPlan
+from repro.faults import (
+    BurstInjector,
+    BurstPlan,
+    ChaosPlan,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.policies import (
     EagerPolicy,
     GreedyBatchPolicy,
@@ -76,6 +86,8 @@ from repro.serve import (
     SERVE_POLICY,
     ServeConfig,
     ServiceLoop,
+    SupervisedLoop,
+    SupervisorConfig,
     format_serve_report,
     recover_serve,
 )
@@ -226,6 +238,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if not (0.0 <= args.rate <= 1.0):
         print("--rate must be in [0, 1]", file=sys.stderr)
         return 2
+    if args.compact_every < 0:
+        print("--compact-every must be >= 0", file=sys.stderr)
+        return 2
     inst = _make_instance(args)
     print(f"instance: {inst!r}")
     ordered = [f for _t, f in WormsPolicy().schedule(inst).iter_timed()]
@@ -239,7 +254,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         "retry_budget": args.retry_budget,
         "checkpoint_every": args.checkpoint_every,
     }
-    writer = JournalWriter(args.journal, meta=meta, sync=args.sync)
+    writer = JournalWriter(
+        args.journal, meta=meta, sync=args.sync,
+        max_segment_bytes=args.max_segment_bytes,
+        compact_every_rotations=args.compact_every,
+    )
     try:
         executor = _executor_for(inst, meta, journal=writer)
         try:
@@ -289,17 +308,58 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
     )
 
 
+def _chaos_from_args(
+    args: argparse.Namespace, config: ServeConfig
+) -> "ChaosPlan | None":
+    """The seeded chaos drill ``--chaos`` asks for (None without it)."""
+    if not args.chaos:
+        return None
+    horizon = args.chaos_horizon or max(
+        4 * config.epoch, int(config.messages / max(config.rate, 1.0))
+    )
+    return ChaosPlan.draw(
+        shards=config.shards,
+        horizon=horizon,
+        seed=config.seed,
+        kills=args.chaos_kills,
+        stalls=args.chaos_stalls,
+        corrupts=args.chaos_corrupts,
+        stall_duration=args.chaos_stall_duration,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the `serve` subcommand (online sharded serving loop)."""
+    supervised = args.supervised or args.chaos
     try:
         config = _config_from_args(args)
+        if supervised:
+            loop = SupervisedLoop(
+                config,
+                supervisor=SupervisorConfig(
+                    trip_after=args.trip_after,
+                    probe_backoff=args.probe_backoff,
+                    max_backoff=args.max_backoff,
+                    spill_capacity=args.spill_capacity,
+                    restart_budget=args.restart_budget,
+                    watchdog_deadline=args.watchdog_deadline,
+                    watchdog_budget=args.watchdog_budget,
+                ),
+                chaos=_chaos_from_args(args, config),
+                workers=args.workers,
+                journal=args.journal, sync=args.sync,
+                max_segment_bytes=args.max_segment_bytes,
+                compact_every_rotations=args.compact_every,
+            )
+        else:
+            loop = ServiceLoop(
+                config, journal=args.journal, sync=args.sync,
+                max_segment_bytes=args.max_segment_bytes,
+                compact_every_rotations=args.compact_every,
+            )
     except Exception as exc:  # surfaced as a clean CLI error
         print(f"invalid serve configuration: {exc}", file=sys.stderr)
         return 2
-    loop = ServiceLoop(
-        config, journal=args.journal, sync=args.sync,
-        max_segment_bytes=args.max_segment_bytes,
-    )
     try:
         report = loop.run()
     except ExecutionStalledError as exc:
@@ -320,6 +380,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"admission: {ad.admitted}/{ad.offered} admitted, {ad.shed} shed, "
         f"max queue depth {ad.max_queue_depth}, {ad.stall_holds} stall holds"
     )
+    sup = getattr(report, "supervisor", None)
+    if sup is not None:
+        print(
+            f"supervisor: {sup.trips} breaker trips, {sup.probes} probes, "
+            f"{sup.restarts} restarts ({sup.replayed_flushes} flushes "
+            f"replayed), {sup.quarantine_epochs} quarantine epochs, "
+            f"{sup.spilled} spilled, {sup.spill_overflow_shed} overflow "
+            f"shed, {sup.abandoned_shards} shards abandoned"
+        )
+    chaos = getattr(report, "chaos", None)
+    if chaos is not None and not chaos.is_zero:
+        drawn = ", ".join(
+            f"{e.kind}@{e.step}->shard{e.shard}"
+            + (f" x{e.duration}" if e.duration else "")
+            for e in chaos.events
+        )
+        print(f"chaos plan ({len(chaos.events)} events): {drawn}")
     if args.journal:
         print(f"journal: {args.journal}")
     if args.json:
@@ -591,6 +668,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync the journal at every checkpoint (real durability)",
     )
     p_run.add_argument(
+        "--max-segment-bytes", type=int, default=None,
+        help="rotate the journal into segments of at most this many bytes",
+    )
+    p_run.add_argument(
+        "--compact-every", type=int, default=0,
+        help="auto-compact sealed segments every N rotations (0 = never)",
+    )
+    p_run.add_argument(
         "--rate", type=float, default=0.0,
         help="fault rate to execute under (0 = fault-free)",
     )
@@ -686,6 +771,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-segment-bytes", type=int, default=None,
                          help="rotate the journal into segments of at most "
                          "this many bytes")
+    p_serve.add_argument("--compact-every", type=int, default=0,
+                         help="auto-compact sealed segments every N journal "
+                         "rotations (0 = never)")
+    p_serve.add_argument("--supervised", action="store_true",
+                         help="run under shard supervision: per-epoch health "
+                         "tracking, circuit breakers, live restart-from-"
+                         "journal (single-shard fault-free runs stay "
+                         "byte-identical to the plain loop)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="supervised worker threads (0 = one per shard, "
+                         "1 = sequential)")
+    p_serve.add_argument("--chaos", action="store_true",
+                         help="draw a seeded whole-shard chaos drill "
+                         "(implies --supervised; composition is a pure "
+                         "function of --seed)")
+    p_serve.add_argument("--chaos-kills", type=int, default=1,
+                         help="shard-kill events in the drill")
+    p_serve.add_argument("--chaos-stalls", type=int, default=1,
+                         help="whole-shard stall windows in the drill")
+    p_serve.add_argument("--chaos-corrupts", type=int, default=0,
+                         help="restart-source corruptions in the drill")
+    p_serve.add_argument("--chaos-stall-duration", type=int, default=8,
+                         help="steps each stall window lasts")
+    p_serve.add_argument("--chaos-horizon", type=int, default=0,
+                         help="latest step a chaos event may fire "
+                         "(0 = derived from the workload)")
+    p_serve.add_argument("--trip-after", type=int, default=2,
+                         help="consecutive stalled epochs that trip a "
+                         "shard's circuit breaker")
+    p_serve.add_argument("--probe-backoff", type=int, default=1,
+                         help="epochs an open breaker waits before its "
+                         "first half-open probe (doubles per trip)")
+    p_serve.add_argument("--max-backoff", type=int, default=8,
+                         help="cap on the probe backoff in epochs")
+    p_serve.add_argument("--spill-capacity", type=int, default=0,
+                         help="arrivals held per quarantined shard before "
+                         "counted shedding (0 = 16*B)")
+    p_serve.add_argument("--restart-budget", type=int, default=3,
+                         help="live restarts per shard before abandonment")
+    p_serve.add_argument("--watchdog-deadline", type=float, default=30.0,
+                         help="seconds per shard-step before the "
+                         "multi-worker watchdog counts a miss")
+    p_serve.add_argument("--watchdog-budget", type=int, default=3,
+                         help="consecutive watchdog misses before the run "
+                         "fails with a stall diagnosis")
     p_serve.add_argument("--json", type=str, default=None,
                          help="also write the metrics snapshot to this file")
     p_serve.set_defaults(func=cmd_serve)

@@ -152,11 +152,20 @@ class JournalWriter:
     never span segments.  (A single record larger than the limit still
     gets written — into a fresh segment of its own — so rotation can
     delay but never lose a record.)
+
+    With ``compact_every_rotations=N`` (N >= 1) the writer additionally
+    runs :func:`repro.dam.compaction.compact_journal` over its own chain
+    every ``N`` rotations, right after sealing a segment.  Compaction
+    only ever rewrites *sealed* segments — the freshly opened tail this
+    writer keeps appending to is untouched — and recovery is provably
+    unchanged (the compaction module's safety rules), so the background
+    trigger is invisible to everything but disk usage.
     """
 
     def __init__(self, path: "str | os.PathLike", *,
                  meta: "dict | None" = None, sync: bool = False,
-                 max_segment_bytes: "int | None" = None) -> None:
+                 max_segment_bytes: "int | None" = None,
+                 compact_every_rotations: int = 0) -> None:
         if max_segment_bytes is not None and (
             max_segment_bytes < MIN_SEGMENT_BYTES
         ):
@@ -164,9 +173,16 @@ class JournalWriter:
                 f"max_segment_bytes must be >= {MIN_SEGMENT_BYTES}, "
                 f"got {max_segment_bytes}"
             )
+        if compact_every_rotations < 0:
+            raise InvalidInstanceError(
+                "compact_every_rotations must be >= 0, "
+                f"got {compact_every_rotations}"
+            )
         self.path = Path(path)
         self.sync = bool(sync)
         self.max_segment_bytes = max_segment_bytes
+        self.compact_every_rotations = int(compact_every_rotations)
+        self._rotations_since_compaction = 0
         self._segment_index = 0
         # Observability is bound at open: a writer created under the
         # disabled default does zero instrumentation work per record.
@@ -202,6 +218,17 @@ class JournalWriter:
             self._metrics.counter(
                 "journal_rotations_total", "journal segments sealed"
             ).inc()
+        if self.compact_every_rotations:
+            self._rotations_since_compaction += 1
+            if (
+                self._rotations_since_compaction
+                >= self.compact_every_rotations
+            ):
+                self._rotations_since_compaction = 0
+                # Local import: repro.dam.compaction imports this module.
+                from repro.dam.compaction import compact_journal
+
+                compact_journal(self.path)
 
     def append(self, record: dict) -> None:
         """Buffer one record (see :meth:`flush` for durability)."""

@@ -21,6 +21,15 @@ from repro.faults.bursts import (
     PHASE_PARTIAL,
     PHASE_STALL,
 )
+from repro.faults.chaos import (
+    CHAOS_CORRUPT,
+    CHAOS_KILL,
+    CHAOS_KINDS,
+    CHAOS_STALL,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosPlan,
+)
 from repro.faults.crashes import (
     CrashInjector,
     flip_byte,
@@ -53,6 +62,13 @@ __all__ = [
     "PHASE_STALL",
     "PHASE_PARTIAL",
     "PHASE_FAILED",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosPlan",
+    "CHAOS_KILL",
+    "CHAOS_STALL",
+    "CHAOS_CORRUPT",
+    "CHAOS_KINDS",
     "CrashInjector",
     "truncate_at",
     "tear_last_record",

@@ -1,0 +1,276 @@
+"""Whole-shard chaos scenarios for the supervised serving loop.
+
+The iid injector (:mod:`repro.faults.injector`) and the burst chain
+(:mod:`repro.faults.bursts`) model *device*-granularity trouble: a node
+stalls, a flush tears.  Supervision needs the next blast radius up — a
+whole shard wedging, dying, or corrupting its journal — which is what a
+chaos drill exercises.  This module composes the existing injectors into
+that shape:
+
+* :class:`ChaosPlan` — a deterministic timeline of :class:`ChaosEvent`
+  values (``kill`` / ``stall`` / ``corrupt``, each aimed at one shard at
+  one step), drawn once from a seed by :meth:`ChaosPlan.draw` and
+  JSON-round-trippable so a supervised journal can embed the scenario in
+  its ``meta`` and recovery can re-derive the identical run;
+* :class:`ChaosInjector` — a per-shard fault injector that layers the
+  plan's whole-shard stall windows over any base injector: during a
+  window *every* node of the shard is stalled (the signature the
+  supervisor's heartbeats classify as a stalled epoch), outside it the
+  base injector answers unchanged.
+
+``kill`` and ``corrupt`` events are *not* injector queries — the
+supervised loop applies them directly (wiping the shard engine,
+poisoning its restart source) because they model failures of the machine
+running the shard, not of the shard's IOs.  The injector only carries
+the stall windows, which is what keeps every chaos decision a pure
+function of ``(seed, step, shard)`` with the same replay stability as
+the rest of the fault stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.injector import (
+    FaultEvent,
+    FaultInjector,
+    OUTCOME_FAILED,
+    _KIND_IDS,
+)
+from repro.faults.plan import FaultPlan
+from repro.util.errors import InvalidInstanceError
+
+#: Chaos event kinds.
+CHAOS_KILL = "kill"
+CHAOS_STALL = "stall"
+CHAOS_CORRUPT = "corrupt"
+CHAOS_KINDS = (CHAOS_KILL, CHAOS_STALL, CHAOS_CORRUPT)
+
+#: FaultEvent kind for a whole-shard stall window (see _KIND_IDS).
+_CHAOS_STALL_EVENT = "chaos_stall"
+_KIND_IDS.setdefault(_CHAOS_STALL_EVENT, 7)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosEvent:
+    """One scheduled shard-level failure.
+
+    Attributes
+    ----------
+    step:
+        1-based DAM step at which the event fires.
+    kind:
+        ``kill`` (the shard loses all in-memory state and must restart
+        from its journal), ``stall`` (every node of the shard freezes
+        for ``duration`` steps), or ``corrupt`` (the shard's restart
+        source is poisoned, so the next restart attempt raises a typed
+        :class:`~repro.util.errors.JournalCorruptionError`).
+    shard:
+        Target shard id.
+    duration:
+        Window length in steps (meaningful for ``stall``; 0 otherwise).
+    """
+
+    step: int
+    kind: str
+    shard: int
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise InvalidInstanceError(
+                f"unknown chaos event kind {self.kind!r}"
+            )
+        if self.step < 1:
+            raise InvalidInstanceError(
+                f"chaos events fire at steps >= 1, got {self.step}"
+            )
+        if self.shard < 0:
+            raise InvalidInstanceError(
+                f"shard must be >= 0, got {self.shard}"
+            )
+        if self.kind == CHAOS_STALL and self.duration < 1:
+            raise InvalidInstanceError(
+                f"stall events need duration >= 1, got {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic, JSON-round-trippable chaos timeline."""
+
+    events: "tuple[ChaosEvent, ...]" = ()
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.events
+
+    def events_at(self, step: int) -> "list[ChaosEvent]":
+        """Events firing at 1-based ``step`` (shard order, kills first)."""
+        hits = [e for e in self.events if e.step == step]
+        hits.sort(key=lambda e: (e.shard, CHAOS_KINDS.index(e.kind)))
+        return hits
+
+    def stall_windows(self, shard: int) -> "list[tuple[int, int]]":
+        """Inclusive ``(start, end)`` stall windows aimed at ``shard``."""
+        return sorted(
+            (e.step, e.step + e.duration - 1)
+            for e in self.events
+            if e.kind == CHAOS_STALL and e.shard == shard
+        )
+
+    @classmethod
+    def draw(
+        cls,
+        *,
+        shards: int,
+        horizon: int,
+        seed: int = 0,
+        kills: int = 1,
+        stalls: int = 1,
+        corrupts: int = 0,
+        stall_duration: int = 8,
+    ) -> "ChaosPlan":
+        """Draw a scenario: all placement is a pure function of ``seed``.
+
+        ``horizon`` bounds the steps events may land on (they are drawn
+        uniformly from ``[2, horizon]`` so step 1 always runs clean and
+        the first arrivals are routed before anything breaks).
+        """
+        if shards < 1:
+            raise InvalidInstanceError(f"shards must be >= 1, got {shards}")
+        if horizon < 2:
+            raise InvalidInstanceError(
+                f"horizon must be >= 2, got {horizon}"
+            )
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=(int(seed) & 0xFFFFFFFF, 0x5EED_C4A05)
+            )
+        )
+        events = []
+        for kind, count in (
+            (CHAOS_KILL, kills),
+            (CHAOS_STALL, stalls),
+            (CHAOS_CORRUPT, corrupts),
+        ):
+            for _ in range(int(count)):
+                events.append(ChaosEvent(
+                    step=int(rng.integers(2, horizon + 1)),
+                    kind=kind,
+                    shard=int(rng.integers(0, shards)),
+                    duration=(
+                        int(stall_duration) if kind == CHAOS_STALL else 0
+                    ),
+                ))
+        events.sort(key=lambda e: (e.step, e.shard, CHAOS_KINDS.index(e.kind)))
+        return cls(tuple(events))
+
+    # -- meta round trip ----------------------------------------------
+    def to_meta(self) -> "list[list]":
+        """JSON-ready form for a journal ``meta`` payload."""
+        return [
+            [e.step, e.kind, e.shard, e.duration] for e in self.events
+        ]
+
+    @classmethod
+    def from_meta(cls, payload: "list[list]") -> "ChaosPlan":
+        """Inverse of :meth:`to_meta`."""
+        return cls(tuple(
+            ChaosEvent(int(s), str(kind), int(shard), int(dur))
+            for s, kind, shard, dur in payload
+        ))
+
+
+class ChaosInjector(FaultInjector):
+    """Whole-shard stall windows layered over an optional base injector.
+
+    Built per shard by the supervised loop from
+    ``ChaosPlan.stall_windows(shard)``.  Inside a window every node is
+    stalled and :meth:`stall_window_end` reports the window's end (so
+    fault-aware admission parks arrivals instead of re-probing); outside
+    a window every query falls through to ``base`` — which may be the
+    config-derived iid injector, a :class:`~repro.faults.bursts.
+    BurstInjector`, or ``None`` for chaos-only runs.
+    """
+
+    def __init__(
+        self,
+        windows: "list[tuple[int, int]]",
+        *,
+        base: "FaultInjector | None" = None,
+        shard_id: int = -1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            base.plan if base is not None else FaultPlan.none(), seed
+        )
+        self.base = base
+        self.shard_id = int(shard_id)
+        self.windows = sorted(
+            (int(a), int(b)) for a, b in windows
+        )
+        for a, b in self.windows:
+            if b < a:
+                raise InvalidInstanceError(
+                    f"stall window ({a}, {b}) ends before it starts"
+                )
+
+    @property
+    def is_zero_plan(self) -> bool:
+        base_zero = self.base is None or self.base.is_zero_plan
+        return base_zero and not self.windows
+
+    def _window_end(self, t: int) -> "int | None":
+        """End of the window covering ``t`` (max over overlaps), or None."""
+        end = None
+        for a, b in self.windows:
+            if a <= t <= b and (end is None or b > end):
+                end = b
+        return end
+
+    # -- queries: windows first, base second ---------------------------
+    def is_stalled(self, t: int, node: int) -> bool:
+        end = self._window_end(t)
+        if end is not None:
+            self._log(
+                FaultEvent(
+                    _CHAOS_STALL_EVENT, t, node=node,
+                    detail=(
+                        f"shard {self.shard_id} stalled whole "
+                        f"(window ends step {end})"
+                    ),
+                ),
+                (_CHAOS_STALL_EVENT, self.shard_id, end),
+            )
+            return True
+        return self.base.is_stalled(t, node) if self.base else False
+
+    def stall_window_end(self, t: int, node: int) -> "int | None":
+        end = self._window_end(t)
+        base_end = (
+            self.base.stall_window_end(t, node) if self.base else None
+        )
+        if end is None:
+            return base_end
+        return end if base_end is None else max(end, base_end)
+
+    def effective_p(self, t: int, P: int) -> int:
+        return self.base.effective_p(t, P) if self.base else P
+
+    def flush_outcome(self, t, src, dest, messages):
+        if self._window_end(t) is not None:
+            # Belt and braces: the gate never attempts IOs on stalled
+            # nodes, but a direct query during a window must still no-op.
+            return OUTCOME_FAILED, ()
+        if self.base is not None:
+            return self.base.flush_outcome(t, src, dest, messages)
+        return super().flush_outcome(t, src, dest, messages)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosInjector(shard={self.shard_id}, "
+            f"windows={self.windows!r}, base={self.base!r})"
+        )

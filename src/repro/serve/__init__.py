@@ -8,6 +8,8 @@ door under backpressure (:mod:`~repro.serve.admission`), re-planned in
 epochs with the paper pipeline (:mod:`~repro.serve.planner`), and
 metered per-message (:mod:`~repro.serve.metrics`) — all driven by the
 deterministic, journal-capable :class:`~repro.serve.loop.ServiceLoop`.
+:mod:`~repro.serve.supervisor` layers per-shard health tracking, circuit
+breakers, and live restart-from-journal on top of the loop.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionStats
@@ -39,6 +41,19 @@ from repro.serve.router import (
     ShardSpec,
     ShardStats,
 )
+from repro.serve.supervisor import (
+    CircuitBreaker,
+    DEGRADED,
+    HEALTHY,
+    Heartbeat,
+    QUARANTINED,
+    RECOVERING,
+    SupervisedLoop,
+    SupervisedReport,
+    SupervisorConfig,
+    SupervisorStats,
+    rebuild_shard_state,
+)
 
 __all__ = [
     "AdmissionController",
@@ -61,8 +76,19 @@ __all__ = [
     "ShardRouter",
     "ShardSpec",
     "ShardStats",
+    "SupervisedLoop",
+    "SupervisedReport",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "CircuitBreaker",
+    "Heartbeat",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
+    "RECOVERING",
     "TraceArrivals",
     "format_serve_report",
     "plan_flushes",
+    "rebuild_shard_state",
     "recover_serve",
 ]

@@ -93,6 +93,29 @@ class AdmissionController:
             self.stats.max_queue_depth = len(q)
         return True
 
+    def requeue(
+        self, shard_id: int, items: "list[tuple[int, int]]"
+    ) -> int:
+        """Re-enqueue spilled ``(msg_id, target_leaf)`` pairs after recovery.
+
+        Used by the supervisor when a shard leaves quarantine: arrivals
+        that were parked in the spill queue while the breaker was open go
+        back in front of admission.  They were already counted in
+        ``stats.offered`` at arrival, so this does *not* re-offer them;
+        it only appends up to the queue bound and returns how many fit.
+        The caller sheds the remainder (and counts that shedding itself).
+        """
+        q = self.queues[shard_id]
+        accepted = 0
+        for msg_id, leaf in items:
+            if len(q) >= self.max_queue:
+                break
+            q.append((msg_id, leaf))
+            accepted += 1
+        if len(q) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(q)
+        return accepted
+
     def drain(
         self, shard_id: int, engine: ShardEngine, step: int
     ) -> "list[tuple[int, int, int | None]]":

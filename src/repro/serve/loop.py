@@ -24,6 +24,7 @@ recovered, exactly like a batch run.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 
 import numpy as np
 
@@ -141,8 +142,15 @@ class ServeConfig:
 
     @classmethod
     def from_meta(cls, meta: dict) -> "ServeConfig":
-        """Inverse of :meth:`to_meta` (ignores the ``policy`` tag)."""
-        fields = {k: v for k, v in meta.items() if k != "policy"}
+        """Inverse of :meth:`to_meta`.
+
+        Ignores the ``policy`` tag and any non-config keys a richer
+        driver journaled alongside the config (e.g. the supervised
+        loop's ``supervisor``/``chaos`` payloads) so old readers stay
+        forward-compatible with new journals.
+        """
+        names = {f.name for f in dataclass_fields(cls)}
+        fields = {k: v for k, v in meta.items() if k in names}
         if fields.get("trace") is not None:
             fields["trace"] = tuple(
                 (int(s), int(k)) for s, k in fields["trace"]
@@ -175,6 +183,9 @@ class _ServeJournal:
         self.writer = writer
         self.owned = owned
         self.every = int(checkpoint_every)
+        #: newest step sealed by a checkpoint+flush (the durable-step
+        #: rule); 0 until the first checkpoint lands.
+        self.last_durable_step = 0
 
     def record_flush(self, t: int, shard: int, flush: Flush) -> None:
         rec = flush_record(t, flush)
@@ -197,6 +208,7 @@ class _ServeJournal:
             "arrived": int(arrived), "completed": int(completed),
         })
         self.writer.flush()
+        self.last_durable_step = int(t)
 
     def finish(self, t: int, arrived: int, completed: int) -> None:
         self.checkpoint(t, arrived, completed)
@@ -229,7 +241,8 @@ class ServiceLoop:
 
     def __init__(self, config: ServeConfig, *, journal=None,
                  sync: bool = False,
-                 max_segment_bytes: "int | None" = None) -> None:
+                 max_segment_bytes: "int | None" = None,
+                 compact_every_rotations: int = 0) -> None:
         self.config = config
         self.router = ShardRouter(
             config.shards,
@@ -264,7 +277,19 @@ class ServiceLoop:
         self._journal_arg = journal
         self._sync = bool(sync)
         self._max_segment_bytes = max_segment_bytes
+        self._compact_every = int(compact_every_rotations)
+        if self._compact_every < 0:
+            raise InvalidInstanceError(
+                "compact_every_rotations must be >= 0, "
+                f"got {compact_every_rotations}"
+            )
         self._ran = False
+        # Per-run state, (re)initialized by run(); declared here so the
+        # overridable phase methods have stable attributes to reference.
+        self._journal: "_ServeJournal | None" = None
+        self._fresh: "list[list[int]]" = [[] for _ in self.engines]
+        self._replans_left = [MAX_FORCED_REPLANS] * len(self.engines)
+        self._next_gid = 0
 
     @staticmethod
     def _derived_key_space(config: ServeConfig) -> int:
@@ -304,8 +329,134 @@ class ServiceLoop:
         writer = JournalWriter(
             self._journal_arg, meta=self.config.to_meta(), sync=self._sync,
             max_segment_bytes=self._max_segment_bytes,
+            compact_every_rotations=self._compact_every,
         )
         return _ServeJournal(writer, True, self.config.checkpoint_every)
+
+    # -- overridable step phases ---------------------------------------
+    # run() drives these in order each step; SupervisedLoop overrides
+    # individual phases (spill-instead-of-shed, quarantine skips,
+    # threaded execution) without re-stating the loop.  With the base
+    # implementations the step is behavior-identical to the historical
+    # inline loop.
+
+    def _durable_step(self) -> int:
+        """Newest journal-durable step (-1 when no journal is attached)."""
+        return -1 if self._journal is None else self._journal.last_durable_step
+
+    def _finished(self) -> bool:
+        """True when no work remains anywhere in the system."""
+        return (
+            self.arrivals.exhausted
+            and all(len(q) == 0 for q in self.admission.queues)
+            and all(e.in_flight == 0 for e in self.engines)
+        )
+
+    def _begin_step(self, t: int) -> None:
+        """Hook before phase 1 (supervision: chaos events, probes)."""
+
+    def _complete(self, gid: int, step: int) -> None:
+        self.metrics.note_completion(gid, step)
+        self.arrivals.notify_completion(gid, step)
+
+    def _offer(self, sid: int, gid: int, leaf: int, t: int) -> None:
+        """Phase-1 handoff of one routed arrival to admission."""
+        if not self.admission.offer(sid, gid, leaf):
+            self.metrics.note_shed(gid, t)
+            self.arrivals.notify_shed(gid, t)
+
+    def _route_arrivals(self, t: int) -> None:
+        """Phase 1: pull arrivals, route, meter, offer to admission."""
+        keys = self.arrivals.take(t)
+        gids = list(range(self._next_gid, self._next_gid + len(keys)))
+        self._next_gid += len(keys)
+        for gid, key in zip(gids, keys):
+            sid, leaf = self.router.route(key)
+            self.metrics.note_arrival(gid, sid, t)
+            self._offer(sid, gid, leaf, t)
+        self.arrivals.on_emitted(gids)
+
+    def _drain_shard(self, sid: int, engine: ShardEngine, t: int) -> None:
+        """Phase 2 for one shard: admission queue -> shard root."""
+        for gid, _leaf, done in self.admission.drain(sid, engine, t):
+            self.metrics.note_admit(gid, t)
+            if done is not None:
+                self._complete(gid, done)
+            else:
+                self._fresh[sid].append(gid)
+
+    def _drain_shards(self, t: int) -> None:
+        for sid, engine in enumerate(self.engines):
+            self._drain_shard(sid, engine, t)
+
+    def _on_replans_exhausted(
+        self, sid: int, engine: ShardEngine, t: int
+    ) -> None:
+        """A shard deadlocked with no forced re-plans left.
+
+        The base loop fails the run; the supervised loop trips the
+        shard's breaker instead and keeps the other shards serving.
+        """
+        raise ExecutionStalledError(
+            f"shard {sid} deadlocked at step {t} with no "
+            f"re-plans left ({engine.pending_flushes} "
+            "flush(es) pending)",
+            step=t,
+            shard_id=sid,
+            epoch=self.planner.epoch_of(t),
+            last_durable_step=self._durable_step(),
+        )
+
+    def _plan_shard(
+        self, sid: int, engine: ShardEngine, t: int, boundary: bool
+    ) -> None:
+        """Phase 3 for one shard: epoch / forced planning."""
+        force = engine.idle_streak > MAX_IDLE_STEPS
+        if force and self._replans_left[sid] <= 0:
+            self._on_replans_exhausted(sid, engine, t)
+            return
+        if force or (boundary and self._fresh[sid]):
+            self.planner.plan(engine, self._fresh[sid], force_full=force)
+            self._fresh[sid] = []
+            if force:
+                self._replans_left[sid] -= 1
+
+    def _plan_shards(self, t: int) -> None:
+        boundary = self.planner.is_boundary(t)
+        for sid, engine in enumerate(self.engines):
+            self._plan_shard(sid, engine, t, boundary)
+
+    def _execute_shards(self, t: int) -> None:
+        """Phase 4: one DAM step per shard, in shard order."""
+        for engine in self.engines:
+            for gid, step in engine.step(t, self._journal):
+                self._complete(gid, step)
+
+    def _queue_depth(self, sid: int) -> int:
+        """Arrivals waiting in front of ``sid`` (admission + overlays)."""
+        return self.admission.queue_depth(sid)
+
+    def _meter(self, t: int) -> None:
+        """Phase 5: per-step depth metering."""
+        n = len(self.engines)
+        self.metrics.note_step(
+            [self._queue_depth(s) for s in range(n)],
+            [e.root_backlog for e in self.engines],
+            [e.in_flight for e in self.engines],
+        )
+
+    def _build_report(self, t: int) -> ServeReport:
+        return ServeReport(
+            config=self.config,
+            n_steps=t,
+            snapshot=self.metrics.snapshot(t),
+            completions=dict(self.metrics.completion_step),
+            shard_schedules=[e.schedule for e in self.engines],
+            planner_stats=self.planner.stats,
+            admission_stats=self.admission.stats,
+            shard_stats=[e.stats for e in self.engines],
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> ServeReport:
@@ -314,9 +465,6 @@ class ServiceLoop:
             raise InvalidInstanceError("a ServiceLoop runs exactly once")
         self._ran = True
         config = self.config
-        arrivals = self.arrivals
-        admission = self.admission
-        planner = self.planner
         metrics = self.metrics
         engines = self.engines
         # Observability is bound once per run (see repro.obs.hooks); with
@@ -329,22 +477,18 @@ class ServiceLoop:
             shards=len(engines), messages=config.messages,
         )
         clock = obs.profiler.clock
-        journal = self._open_journal()
+        self._journal = journal = self._open_journal()
         max_steps = config.max_steps or max(
             1000, 50 * config.messages * (config.height + 2)
         )
         #: per-shard admissions since that shard's last plan.
-        fresh: "list[list[int]]" = [[] for _ in engines]
-        replans_left = [MAX_FORCED_REPLANS] * len(engines)
-        next_gid = 0
+        self._fresh = [[] for _ in engines]
+        self._replans_left = [MAX_FORCED_REPLANS] * len(engines)
+        self._next_gid = 0
         t = 0
         try:
             while True:
-                if (
-                    arrivals.exhausted
-                    and all(len(q) == 0 for q in admission.queues)
-                    and all(e.in_flight == 0 for e in engines)
-                ):
+                if self._finished():
                     break
                 t += 1
                 if t > max_steps:
@@ -353,60 +497,21 @@ class ServiceLoop:
                         f"(in flight: "
                         f"{sum(e.in_flight for e in engines)})",
                         step=t,
+                        epoch=self.planner.epoch_of(t),
+                        last_durable_step=self._durable_step(),
                     )
-                # 1. Arrivals: route, meter, offer to admission.
-                keys = arrivals.take(t)
-                gids = list(range(next_gid, next_gid + len(keys)))
-                next_gid += len(keys)
-                for gid, key in zip(gids, keys):
-                    sid, leaf = self.router.route(key)
-                    metrics.note_arrival(gid, sid, t)
-                    if not admission.offer(sid, gid, leaf):
-                        metrics.note_shed(gid, t)
-                        arrivals.notify_shed(gid, t)
-                arrivals.on_emitted(gids)
-                # 2. Backpressure drain: queue -> shard roots.
-                for sid, engine in enumerate(engines):
-                    for gid, _leaf, done in admission.drain(sid, engine, t):
-                        metrics.note_admit(gid, t)
-                        if done is not None:
-                            metrics.note_completion(gid, done)
-                            arrivals.notify_completion(gid, done)
-                        else:
-                            fresh[sid].append(gid)
-                # 3. Epoch planning (plus forced re-plans on deadlock).
-                boundary = planner.is_boundary(t)
-                for sid, engine in enumerate(engines):
-                    force = engine.idle_streak > MAX_IDLE_STEPS
-                    if force and replans_left[sid] <= 0:
-                        raise ExecutionStalledError(
-                            f"shard {sid} deadlocked at step {t} with no "
-                            f"re-plans left ({engine.pending_flushes} "
-                            "flush(es) pending)",
-                            step=t,
-                        )
-                    if force or (boundary and fresh[sid]):
-                        planner.plan(engine, fresh[sid], force_full=force)
-                        fresh[sid] = []
-                        if force:
-                            replans_left[sid] -= 1
-                # 4. One DAM step per shard.
+                self._begin_step(t)
+                self._route_arrivals(t)
+                self._drain_shards(t)
+                self._plan_shards(t)
                 t_exec = clock() if enabled else 0.0
-                for sid, engine in enumerate(engines):
-                    for gid, step in engine.step(t, journal):
-                        metrics.note_completion(gid, step)
-                        arrivals.notify_completion(gid, step)
+                self._execute_shards(t)
                 if enabled:
                     obs.profiler.add(PHASE_EXECUTE, clock() - t_exec)
-                # 5. Metering + durability.
-                metrics.note_step(
-                    [admission.queue_depth(s) for s in range(len(engines))],
-                    [e.root_backlog for e in engines],
-                    [e.in_flight for e in engines],
-                )
+                self._meter(t)
                 if journal is not None:
                     journal.end_step(
-                        t, next_gid, len(metrics.completion_step)
+                        t, self._next_gid, len(metrics.completion_step)
                     )
         except ExecutionStalledError:
             if journal is not None:
@@ -417,7 +522,7 @@ class ServiceLoop:
         for engine in engines:
             engine.schedule.trim()
         if journal is not None:
-            journal.finish(t, next_gid, len(metrics.completion_step))
+            journal.finish(t, self._next_gid, len(metrics.completion_step))
         if enabled:
             run_span.set_steps(1, t)
             reg = obs.metrics
@@ -425,16 +530,16 @@ class ServiceLoop:
             reg.counter("serve_steps_total", "serving DAM steps").inc(t)
             reg.counter(
                 "serve_arrivals_total", "messages that arrived"
-            ).inc(next_gid)
+            ).inc(self._next_gid)
             reg.counter(
                 "serve_admitted_total", "messages admitted past the queues"
-            ).inc(admission.stats.admitted)
+            ).inc(self.admission.stats.admitted)
             reg.counter(
                 "serve_completions_total", "messages delivered to leaves"
             ).inc(len(metrics.completion_step))
             reg.counter(
                 "serve_planned_flushes_total", "flushes emitted by planning"
-            ).inc(planner.stats.planned_flushes)
+            ).inc(self.planner.stats.planned_flushes)
             flush_counter = reg.counter(
                 "serve_flushes_total", "flushes realized by shard engines"
             )
@@ -448,17 +553,7 @@ class ServiceLoop:
                 )
                 retry_counter.inc(engine.stats.failed_attempts)
         run_span.finish()
-        return ServeReport(
-            config=config,
-            n_steps=t,
-            snapshot=metrics.snapshot(t),
-            completions=dict(metrics.completion_step),
-            shard_schedules=[e.schedule for e in engines],
-            planner_stats=planner.stats,
-            admission_stats=admission.stats,
-            shard_stats=[e.stats for e in engines],
-            metrics=metrics,
-        )
+        return self._build_report(t)
 
 
 @dataclass(frozen=True)
@@ -507,7 +602,27 @@ def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
     if repair:
         manager.repair()
     config = ServeConfig.from_meta(meta)
-    report = ServiceLoop(config).run()
+    if "chaos" in meta or "supervisor" in meta:
+        # A supervised run journaled its scenario: re-derive through the
+        # supervised loop so breaker trips, quarantines, and restarts
+        # replay identically (they are seeded from the same config).
+        # Local import: repro.serve.supervisor imports this module.
+        from repro.faults.chaos import ChaosPlan
+        from repro.serve.supervisor import SupervisedLoop, SupervisorConfig
+        report = SupervisedLoop(
+            config,
+            supervisor=(
+                SupervisorConfig.from_meta(meta["supervisor"])
+                if "supervisor" in meta else None
+            ),
+            chaos=(
+                ChaosPlan.from_meta(meta["chaos"])
+                if "chaos" in meta else None
+            ),
+            workers=1,
+        ).run()
+    else:
+        report = ServiceLoop(config).run()
     durable = manager.last_durable_step()
     replayed = 0
     for rec in manager.scan().records:

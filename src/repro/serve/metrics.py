@@ -85,6 +85,9 @@ class ServeMetrics:
         self.completion_step: "dict[int, int]" = {}
         self.shard_of: "dict[int, int]" = {}
         self.shed_ids: "set[int]" = set()
+        #: messages that passed through a supervisor spill queue (held
+        #: while their shard's circuit breaker was open, never dropped).
+        self.spilled_ids: "set[int]" = set()
         self.timelines = [ShardTimeline() for _ in range(self.n_shards)]
 
     # ------------------------------------------------------------------
@@ -94,6 +97,10 @@ class ServeMetrics:
 
     def note_shed(self, msg_id: int, step: int) -> None:
         self.shed_ids.add(msg_id)
+
+    def note_spill(self, msg_id: int, step: int) -> None:
+        """``msg_id`` was held in a spill queue at ``step`` (supervisor)."""
+        self.spilled_ids.add(msg_id)
 
     def note_admit(self, msg_id: int, step: int) -> None:
         self.admit_step[msg_id] = step
@@ -148,6 +155,9 @@ class ServeMetrics:
                 "shed": sum(
                     1 for m in self.shed_ids if self.shard_of[m] == s
                 ),
+                "spilled": sum(
+                    1 for m in self.spilled_ids if self.shard_of[m] == s
+                ),
                 "throughput": round(completed / n_steps, 4) if n_steps else 0.0,
                 "sojourn": LatencyStats.of(done).row(),
                 "max_queue_depth": max(tl.queue_depth, default=0),
@@ -161,6 +171,7 @@ class ServeMetrics:
             "admitted": len(self.admit_step),
             "completed": completed,
             "shed": len(self.shed_ids),
+            "spilled": len(self.spilled_ids),
             "in_flight": arrived - completed - len(self.shed_ids),
             "throughput": round(completed / n_steps, 4) if n_steps else 0.0,
             "sojourn": sojourn.row(),

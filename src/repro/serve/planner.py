@@ -113,6 +113,10 @@ class EpochPlanner:
         """True iff planning runs at the start of 1-based ``step``."""
         return (step - 1) % self.epoch_length == 0
 
+    def epoch_of(self, step: int) -> int:
+        """0-based epoch index containing 1-based ``step``."""
+        return (step - 1) // self.epoch_length
+
     @staticmethod
     def _top_ancestor(topo: TreeTopology, v: int) -> int:
         """The child-of-root ancestor of non-root node ``v`` (or v itself)."""

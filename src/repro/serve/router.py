@@ -153,6 +153,61 @@ class ShardEngine:
             return True
         return self.injector.is_stalled(step, self._root)
 
+    def wipe(self) -> None:
+        """Lose all in-flight machine state (a simulated shard crash).
+
+        The chaos harness calls this to model a whole-shard kill: every
+        location, target, buffer occupancy, and pending plan is gone, as
+        if the shard process died.  The realized :attr:`schedule` and
+        :attr:`stats` survive — they belong to the run's accounting, not
+        to the shard's memory — and the supervisor is expected to
+        :meth:`restore_state` from the journal before stepping again.
+        """
+        self.location = {}
+        self.targets = {}
+        self.occupancy = [0] * self.topology.n_nodes
+        self.pending = []
+        self.root_backlog = 0
+        self._stall_until = {}
+        self.idle_streak = 0
+
+    def restore_state(
+        self,
+        locations: "dict[int, int]",
+        targets: "dict[int, int]",
+        *,
+        schedule: "FlushSchedule | None" = None,
+    ) -> None:
+        """Rebuild in-flight state from a recovered snapshot.
+
+        ``locations`` maps every in-flight global message id to its
+        current node; ``targets`` must cover at least those ids.  Buffer
+        occupancy and the root backlog are re-derived from the locations
+        (the journal replay in :mod:`repro.serve.supervisor` produces
+        them), the pending plan is cleared — the caller re-plans from
+        the restored locations — and, when given, ``schedule`` replaces
+        the realized schedule (restarts rebuild it from the journal so
+        the report stays complete across a kill).
+        """
+        root = self._root
+        is_leaf = self._is_leaf
+        self.location = {int(m): int(v) for m, v in locations.items()}
+        self.targets = {int(m): int(targets[m]) for m in locations}
+        occupancy = [0] * self.topology.n_nodes
+        backlog = 0
+        for v in self.location.values():
+            if v == root:
+                backlog += 1
+            elif not is_leaf[v]:
+                occupancy[v] += 1
+        self.occupancy = occupancy
+        self.root_backlog = backlog
+        self.pending = []
+        self._stall_until = {}
+        self.idle_streak = 0
+        if schedule is not None:
+            self.schedule = schedule
+
     def set_plan(self, flushes: "list[Flush]") -> None:
         """Replace the pending priority list (epoch full re-plan)."""
         self.pending = self._make_pending(flushes)

@@ -1,0 +1,911 @@
+"""Shard supervision: health tracking, circuit breakers, live restart.
+
+The plain :class:`~repro.serve.loop.ServiceLoop` executes every shard
+inline, so one wedged shard — a stall burst, a planner deadlock, a
+killed worker — degrades or halts the whole service.  This module wraps
+each :class:`~repro.serve.router.ShardEngine` in a supervision layer:
+
+**Health state machine.**  Every shard is ``healthy``, ``degraded``,
+``quarantined``, or ``recovering``.  At each epoch boundary the
+supervisor takes a :class:`Heartbeat` from the engine's own counters
+(flushes, completions, failed attempts since the last beat).  An epoch
+with work pending but zero flushes *and* zero completions is a *stalled
+epoch*: one marks the shard degraded, ``trip_after`` consecutive ones
+trip its breaker.
+
+**Circuit breaker.**  Per shard, closed / open / half-open.  It trips on
+consecutive stalled epochs, on forced-replan exhaustion (where the plain
+loop raises :class:`~repro.util.errors.ExecutionStalledError`, the
+supervised loop quarantines the one shard and keeps serving), and on
+chaos ``kill`` events.  While open the shard is skipped entirely —
+no drain, no planning, no stepping — and its arrivals are **held in a
+bounded spill queue** (counted by ``ServeMetrics.note_spill``) or, past
+capacity, **counted-shed**; nothing is ever silently dropped, so
+conservation (arrived = completed + shed + queued + spilled + in-flight)
+reconciles exactly at every step.  Probe scheduling is deterministic
+from ``ServeConfig.seed``: backoff doubles per trip up to
+``max_backoff`` epochs, plus a seeded 0/1-epoch jitter.
+
+**Live restart from the journal.**  When a probe fires, the shard is
+rebuilt from its own durable history: the loop seals durability with a
+checkpoint (every prior step becomes durable under the journal's
+durable-step rule, confirmed through
+:class:`~repro.dam.journal.RecoveryManager`), then
+:func:`rebuild_shard_state` folds the shard-tagged flush records into
+per-message locations, verifying every record against the admitted /
+completed sets — any inconsistency is a typed
+:class:`~repro.util.errors.JournalCorruptionError`, never a silent
+wrong answer.  The fold itself runs over the loop's in-memory mirror of
+the journaled records (byte-for-byte the same fold; the mirror is kept
+precisely so restart composes with segment rotation + auto-compaction,
+which may legitimately drop sealed flush records that a checkpoint
+superseded), while the scan cross-checks that the durable journal holds
+no shard record the mirror doesn't.  A restart consumes one unit of the
+shard's ``restart_budget``; exhaustion (or a corrupt restart source)
+**abandons** the shard: all of its outstanding messages are
+counted-shed and the breaker is locked open.
+
+**Multi-worker driver.**  ``workers > 1`` steps shards concurrently on a
+:class:`~concurrent.futures.ThreadPoolExecutor` (shard-per-worker), with
+a per-step deadline watchdog and bounded miss budget that converts a
+hung worker into a diagnosable ``ExecutionStalledError``.  Engines
+journal into per-shard buffers that the main thread replays in shard-id
+order, so the journal bytes are identical to the sequential loop's — and
+a single-shard, fault-free supervised run is byte-identical to
+:class:`ServiceLoop` (journal bytes and completion times both), which
+the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
+
+import numpy as np
+
+from repro.dam.journal import JournalWriter, REC_FLUSH, RecoveryManager
+from repro.dam.schedule import Flush, FlushSchedule
+from repro.faults.chaos import (
+    CHAOS_CORRUPT,
+    CHAOS_KILL,
+    ChaosInjector,
+    ChaosPlan,
+)
+from repro.obs.hooks import current_obs
+from repro.serve.loop import (
+    MAX_FORCED_REPLANS,
+    ServeConfig,
+    ServeReport,
+    ServiceLoop,
+    _ServeJournal,
+    _spawn_seed,
+)
+from repro.serve.router import ShardEngine
+from repro.tree.topology import TreeTopology
+from repro.util.errors import (
+    ExecutionStalledError,
+    InvalidInstanceError,
+    JournalCorruptionError,
+)
+
+#: Shard health states.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+RECOVERING = "recovering"
+HEALTH_STATES = (HEALTHY, DEGRADED, QUARANTINED, RECOVERING)
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision knobs (separate from :class:`ServeConfig` on purpose:
+    the serve config is the journaled identity of the *run*; supervision
+    parameters shape how faults are survived, and the default-valued
+    supervised journal stays byte-identical to the plain loop's).
+
+    Attributes
+    ----------
+    trip_after:
+        Consecutive stalled epochs that trip a shard's breaker.
+    probe_backoff:
+        Epochs an open breaker waits before its first half-open probe.
+        Doubles per trip (``probe_backoff * 2**(trips-1)``).
+    max_backoff:
+        Cap on the probe backoff, in epochs.
+    spill_capacity:
+        Bound on each shard's spill queue (0 = derived, ``16 * B``).
+        Arrivals past the bound are counted-shed.
+    restart_budget:
+        Live restarts a shard may consume before it is abandoned.
+    watchdog_deadline:
+        Seconds a worker may take for one shard-step before the
+        watchdog counts a miss (multi-worker driver only).
+    watchdog_budget:
+        Consecutive watchdog misses tolerated before the run fails with
+        a diagnosable :class:`ExecutionStalledError`.
+    """
+
+    trip_after: int = 2
+    probe_backoff: int = 1
+    max_backoff: int = 8
+    spill_capacity: int = 0
+    restart_budget: int = 3
+    watchdog_deadline: float = 30.0
+    watchdog_budget: int = 3
+
+    def __post_init__(self) -> None:
+        if self.trip_after < 1:
+            raise InvalidInstanceError(
+                f"trip_after must be >= 1, got {self.trip_after}"
+            )
+        if self.probe_backoff < 1 or self.max_backoff < self.probe_backoff:
+            raise InvalidInstanceError(
+                f"need 1 <= probe_backoff <= max_backoff, got "
+                f"{self.probe_backoff}, {self.max_backoff}"
+            )
+        if self.spill_capacity < 0:
+            raise InvalidInstanceError(
+                f"spill_capacity must be >= 0, got {self.spill_capacity}"
+            )
+        if self.restart_budget < 0:
+            raise InvalidInstanceError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if not self.watchdog_deadline > 0:
+            raise InvalidInstanceError(
+                f"watchdog_deadline must be > 0, got {self.watchdog_deadline}"
+            )
+        if self.watchdog_budget < 1:
+            raise InvalidInstanceError(
+                f"watchdog_budget must be >= 1, got {self.watchdog_budget}"
+            )
+
+    def to_meta(self) -> dict:
+        """JSON-ready form for a journal ``meta`` payload."""
+        return asdict(self)
+
+    @classmethod
+    def from_meta(cls, payload: dict) -> "SupervisorConfig":
+        """Inverse of :meth:`to_meta` (unknown keys ignored)."""
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+class CircuitBreaker:
+    """One shard's closed / open / half-open breaker.
+
+    Probe scheduling is deterministic: backoff doubles per trip (capped)
+    and the jitter draw comes from a per-shard generator seeded from the
+    run seed, so two identical runs probe at identical epochs.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        trip_after: int,
+        probe_backoff: int,
+        max_backoff: int,
+        seed: int,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.trip_after = int(trip_after)
+        self.probe_backoff = int(probe_backoff)
+        self.max_backoff = int(max_backoff)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=int(seed) & 0xFFFFFFFF)
+        )
+        self.state = BREAKER_CLOSED
+        self.consecutive_stalls = 0
+        self.trips = 0
+        #: epoch of the next half-open probe (-1 while closed/permanent).
+        self.probe_at = -1
+        #: abandoned shards lock their breaker open forever.
+        self.permanent = False
+
+    def note_ok(self) -> None:
+        """A closed-state epoch made progress (or had nothing to do)."""
+        self.consecutive_stalls = 0
+
+    def note_stall(self) -> bool:
+        """Count a stalled epoch; True when the trip threshold is hit."""
+        self.consecutive_stalls += 1
+        return self.consecutive_stalls >= self.trip_after
+
+    def trip(self, epoch: int) -> None:
+        """Open (from closed or half-open) and schedule the next probe."""
+        if self.state == BREAKER_OPEN:
+            return
+        self.state = BREAKER_OPEN
+        self.trips += 1
+        self.consecutive_stalls = 0
+        backoff = min(
+            self.max_backoff, self.probe_backoff << (self.trips - 1)
+        )
+        jitter = int(self._rng.integers(0, 2))
+        self.probe_at = int(epoch) + backoff + jitter
+
+    def probe_due(self, epoch: int) -> bool:
+        """True when an open breaker should go half-open at ``epoch``."""
+        return (
+            self.state == BREAKER_OPEN
+            and not self.permanent
+            and self.probe_at >= 0
+            and int(epoch) >= self.probe_at
+        )
+
+    def half_open(self) -> None:
+        self.state = BREAKER_HALF_OPEN
+
+    def close(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.consecutive_stalls = 0
+        self.probe_at = -1
+
+    def lock_open(self) -> None:
+        """Open permanently (abandoned shard): probes never fire again."""
+        self.state = BREAKER_OPEN
+        self.permanent = True
+        self.probe_at = -1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(shard={self.shard_id}, {self.state}, "
+            f"trips={self.trips}, probe_at={self.probe_at})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """One shard's per-epoch vital signs (deltas since the last beat)."""
+
+    epoch: int
+    shard: int
+    state: str
+    flushes: int
+    completions: int
+    failed_attempts: int
+    in_flight: int
+    queued: int
+    spilled: int
+    stalled: bool
+
+
+@dataclass
+class SupervisorStats:
+    """Everything the supervision layer did, countable and JSON-ready."""
+
+    trips: int = 0
+    probes: int = 0
+    quarantine_epochs: int = 0
+    spilled: int = 0
+    spill_overflow_shed: int = 0
+    restarts: int = 0
+    replayed_flushes: int = 0
+    corrupt_restarts: int = 0
+    abandoned_shards: int = 0
+    abandoned_messages: int = 0
+    watchdog_timeouts: int = 0
+    trips_by_shard: dict = field(default_factory=dict)
+    quarantine_epochs_by_shard: dict = field(default_factory=dict)
+    restarts_by_shard: dict = field(default_factory=dict)
+    spilled_by_shard: dict = field(default_factory=dict)
+
+    def _bump(self, by_shard: dict, shard: int, n: int = 1) -> None:
+        by_shard[int(shard)] = by_shard.get(int(shard), 0) + n
+
+    def snapshot(self) -> dict:
+        """Plain-dict form (stable key order under ``sort_keys``)."""
+        snap = asdict(self)
+        for key in (
+            "trips_by_shard", "quarantine_epochs_by_shard",
+            "restarts_by_shard", "spilled_by_shard",
+        ):
+            snap[key] = {str(s): n for s, n in sorted(snap[key].items())}
+        return snap
+
+
+@dataclass
+class SupervisedReport(ServeReport):
+    """A :class:`ServeReport` plus what supervision did to produce it."""
+
+    supervisor: "SupervisorStats | None" = None
+    health_log: "tuple[Heartbeat, ...]" = ()
+    chaos: "ChaosPlan | None" = None
+
+
+def rebuild_shard_state(
+    flush_records: "list[tuple[int, int, int, tuple[int, ...]]]",
+    *,
+    admitted: "set[int]",
+    completed: "set[int]",
+    targets: "dict[int, int]",
+    topology: TreeTopology,
+) -> "tuple[dict[int, int], FlushSchedule]":
+    """Fold one shard's journaled flushes back into machine state.
+
+    ``flush_records`` is the shard's durable flush history in journal
+    order, as ``(t, src, dest, msgs)`` tuples.  ``admitted`` is the set
+    of global ids admitted to the shard and still outstanding;
+    ``completed`` the ids the shard already delivered.  Every admitted
+    message starts at the root and moves along its records; a record
+    referencing an unknown message, or moving a message from a node it
+    is not at, or a completed message whose delivery the fold never saw,
+    raises a typed :class:`JournalCorruptionError` — restart is exact or
+    it is a detected failure, never silently wrong.
+
+    Returns ``(locations, schedule)``: the outstanding messages' current
+    nodes (root-resident ones included) and the realized
+    :class:`FlushSchedule` rebuilt from the records.
+    """
+    root = topology.root
+    known = admitted | completed
+    locations: "dict[int, int]" = {}
+    for m in known:
+        target = targets.get(m)
+        if target is None:
+            raise JournalCorruptionError(
+                f"message {m} has no recorded target leaf",
+                reason="schedule-mismatch",
+            )
+        if target != root:
+            locations[m] = root
+    schedule = FlushSchedule()
+    for t, src, dest, msgs in flush_records:
+        schedule.add(int(t), Flush(int(src), int(dest), tuple(msgs)))
+        for m in msgs:
+            if m not in known:
+                raise JournalCorruptionError(
+                    f"journaled flush at step {t} references message {m}, "
+                    "which was never admitted to this shard",
+                    reason="schedule-mismatch",
+                )
+            if locations.get(m) != src:
+                raise JournalCorruptionError(
+                    f"journaled flush at step {t} moves message {m} from "
+                    f"node {src}, but the fold places it at "
+                    f"{locations.get(m)}",
+                    reason="schedule-mismatch",
+                )
+            if dest == targets[m]:
+                del locations[m]
+            else:
+                locations[m] = dest
+    for m in completed:
+        if m in locations:
+            raise JournalCorruptionError(
+                f"message {m} completed but its delivery flush is missing "
+                "from the durable journal prefix",
+                reason="schedule-mismatch",
+            )
+    return locations, schedule
+
+
+class _ShardJournalBuffer:
+    """Per-shard record buffer for one step of (possibly threaded)
+    execution.  Presents the ``record_flush`` / ``record_fault`` face of
+    :class:`_ServeJournal`; the main thread replays buffers in shard-id
+    order so journal bytes match the sequential loop exactly."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: "list[tuple]" = []
+
+    def record_flush(self, t: int, shard: int, flush: Flush) -> None:
+        self.records.append((REC_FLUSH, t, shard, flush))
+
+    def record_fault(self, t: int, shard: int, kind: str, src: int,
+                     dest: int, detail: str) -> None:
+        self.records.append(("fault", t, shard, (kind, src, dest, detail)))
+
+    def replay(self, journal: "_ServeJournal | None",
+               shadow: "list[tuple[int, int, Flush]]") -> None:
+        for rtype, t, shard, payload in self.records:
+            if rtype == REC_FLUSH:
+                if journal is not None:
+                    journal.record_flush(t, shard, payload)
+                shadow.append((t, shard, payload))
+            elif journal is not None:
+                journal.record_fault(t, shard, *payload)
+
+
+class SupervisedLoop(ServiceLoop):
+    """:class:`ServiceLoop` under supervision (see module docstring).
+
+    ``workers=0`` means shard-per-worker; ``workers=1`` forces the
+    sequential path (which a single-shard run always takes).  ``chaos``
+    drives the scenario; ``supervisor`` tunes the breaker/restart
+    policy.  Journal meta carries the chaos plan and any non-default
+    supervisor config, so :func:`~repro.serve.loop.recover_serve`
+    re-derives the identical supervised run.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        supervisor: "SupervisorConfig | None" = None,
+        chaos: "ChaosPlan | None" = None,
+        workers: int = 0,
+        journal=None,
+        sync: bool = False,
+        max_segment_bytes: "int | None" = None,
+        compact_every_rotations: int = 0,
+    ) -> None:
+        super().__init__(
+            config, journal=journal, sync=sync,
+            max_segment_bytes=max_segment_bytes,
+            compact_every_rotations=compact_every_rotations,
+        )
+        self.supervisor_config = (
+            supervisor if supervisor is not None else SupervisorConfig()
+        )
+        self.chaos = chaos if chaos is not None else ChaosPlan()
+        n = len(self.engines)
+        self.workers = min(int(workers), n) if workers else n
+        sup = self.supervisor_config
+        self._spill_capacity = sup.spill_capacity or 16 * config.B
+        self._breakers = [
+            CircuitBreaker(
+                s,
+                trip_after=sup.trip_after,
+                probe_backoff=sup.probe_backoff,
+                max_backoff=sup.max_backoff,
+                seed=_spawn_seed(config.seed, 97, s),
+            )
+            for s in range(n)
+        ]
+        self._health = [HEALTHY] * n
+        self._spill: "list[deque]" = [deque() for _ in range(n)]
+        self._restarts_left = [sup.restart_budget] * n
+        self._abandoned = [False] * n
+        self._corrupted = [False] * n
+        #: every routed message's target leaf (restart folds need the
+        #: targets of completed messages too, which metrics drop).
+        self._leaf_of: "dict[int, int]" = {}
+        #: in-memory mirror of journaled flush records (t, shard, flush);
+        #: the restart fold runs on this (see module docstring).
+        self._shadow: "list[tuple[int, int, Flush]]" = []
+        self._last_hb = [(0, 0, 0)] * n
+        self.sup_stats = SupervisorStats()
+        self.health_log: "list[Heartbeat]" = []
+        self._pool: "ThreadPoolExecutor | None" = None
+        # Chaos stall windows wrap the target shards' injectors; kills
+        # and corruptions are applied by _begin_step.
+        for s, eng in enumerate(self.engines):
+            windows = self.chaos.stall_windows(s)
+            if windows:
+                eng.injector = ChaosInjector(
+                    windows, base=eng.injector, shard_id=s,
+                    seed=_spawn_seed(config.seed, 98, s),
+                )
+                eng.fault_aware = bool(config.fault_aware)
+
+    # -- journal meta / lifecycle --------------------------------------
+    def _open_journal(self) -> "_ServeJournal | None":
+        if self._journal_arg is None:
+            return None
+        if isinstance(self._journal_arg, JournalWriter):
+            return _ServeJournal(self._journal_arg, False,
+                                 self.config.checkpoint_every)
+        meta = self.config.to_meta()
+        # Only non-default supervision state goes into meta: the default
+        # supervised journal stays byte-identical to ServiceLoop's.
+        if not self.chaos.is_zero:
+            meta["chaos"] = self.chaos.to_meta()
+        if self.supervisor_config != SupervisorConfig():
+            meta["supervisor"] = self.supervisor_config.to_meta()
+        writer = JournalWriter(
+            self._journal_arg, meta=meta, sync=self._sync,
+            max_segment_bytes=self._max_segment_bytes,
+            compact_every_rotations=self._compact_every,
+        )
+        return _ServeJournal(writer, True, self.config.checkpoint_every)
+
+    def run(self) -> "SupervisedReport":
+        try:
+            return super().run()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+    # -- small helpers -------------------------------------------------
+    def _count(self, name: str, desc: str, *, shard: "int | None" = None,
+               n: int = 1) -> None:
+        obs = current_obs()
+        if not obs.enabled:
+            return
+        counter = obs.metrics.counter(name, desc)
+        counter.inc(n)
+        if shard is not None:
+            counter.labels(shard=shard).inc(n)
+
+    def _shed(self, gid: int, t: int) -> None:
+        self.metrics.note_shed(gid, t)
+        self.arrivals.notify_shed(gid, t)
+
+    def _open_breaker(self, sid: int, epoch: int) -> None:
+        self._breakers[sid].trip(epoch)
+        self._health[sid] = QUARANTINED
+        self.sup_stats.trips += 1
+        self.sup_stats._bump(self.sup_stats.trips_by_shard, sid)
+        self._count(
+            "serve_breaker_trips_total", "shard circuit breakers tripped",
+            shard=sid,
+        )
+
+    # -- phase overrides -----------------------------------------------
+    def _finished(self) -> bool:
+        if not super()._finished():
+            return False
+        if any(self._spill):
+            return False
+        m = self.metrics
+        outstanding = (
+            len(m.arrival_step) - len(m.completion_step) - len(m.shed_ids)
+        )
+        # Outstanding messages with every queue empty live only in a
+        # killed shard's lost state: the run isn't over until a probe
+        # restores them (or abandonment sheds them).
+        return outstanding == 0
+
+    def _begin_step(self, t: int) -> None:
+        if self.planner.is_boundary(t) and t > 1:
+            self._heartbeat(t)
+        for event in self.chaos.events_at(t):
+            if event.shard >= len(self.engines):
+                continue
+            if event.kind == CHAOS_KILL:
+                self._kill_shard(event.shard, t)
+            elif event.kind == CHAOS_CORRUPT:
+                self._corrupted[event.shard] = True
+
+    def _offer(self, sid: int, gid: int, leaf: int, t: int) -> None:
+        self._leaf_of[gid] = leaf
+        if self._abandoned[sid]:
+            # Still an offer at the door — the shard just cannot take it.
+            self.admission.stats.offered += 1
+            self.admission.stats.shed += 1
+            by = self.admission.stats.shed_by_shard
+            by[sid] = by.get(sid, 0) + 1
+            self._shed(gid, t)
+            self.sup_stats.abandoned_messages += 1
+            return
+        if self._health[sid] == QUARANTINED:
+            self.admission.stats.offered += 1
+            if len(self._spill[sid]) < self._spill_capacity:
+                self._spill[sid].append((gid, leaf))
+                self.metrics.note_spill(gid, t)
+                self.sup_stats.spilled += 1
+                self.sup_stats._bump(self.sup_stats.spilled_by_shard, sid)
+                self._count(
+                    "serve_spilled_total",
+                    "arrivals held in supervisor spill queues",
+                    shard=sid,
+                )
+            else:
+                self.admission.stats.shed += 1
+                by = self.admission.stats.shed_by_shard
+                by[sid] = by.get(sid, 0) + 1
+                self._shed(gid, t)
+                self.sup_stats.spill_overflow_shed += 1
+            return
+        super()._offer(sid, gid, leaf, t)
+
+    def _drain_shard(self, sid: int, engine: ShardEngine, t: int) -> None:
+        if self._health[sid] == QUARANTINED:
+            return
+        super()._drain_shard(sid, engine, t)
+
+    def _plan_shard(self, sid: int, engine: ShardEngine, t: int,
+                    boundary: bool) -> None:
+        if self._health[sid] == QUARANTINED:
+            return
+        super()._plan_shard(sid, engine, t, boundary)
+
+    def _on_replans_exhausted(self, sid: int, engine: ShardEngine,
+                              t: int) -> None:
+        # Where the plain loop raises, the supervised loop quarantines
+        # the one deadlocked shard and keeps the rest serving; the probe
+        # path restarts it from the journal with a fresh plan.
+        self._open_breaker(sid, self.planner.epoch_of(t))
+
+    def _queue_depth(self, sid: int) -> int:
+        return super()._queue_depth(sid) + len(self._spill[sid])
+
+    def _execute_shards(self, t: int) -> None:
+        active = [
+            s for s in range(len(self.engines))
+            if self._health[s] != QUARANTINED
+        ]
+        buffers = {s: _ShardJournalBuffer() for s in active}
+        if self.workers > 1 and len(active) > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="shard-worker",
+                )
+            futures = {
+                s: self._pool.submit(self.engines[s].step, t, buffers[s])
+                for s in active
+            }
+            results = {s: self._await(s, futures[s], t) for s in active}
+        else:
+            results = {
+                s: self.engines[s].step(t, buffers[s]) for s in active
+            }
+        for s in active:
+            buffers[s].replay(self._journal, self._shadow)
+            for gid, step in results[s]:
+                self._complete(gid, step)
+
+    def _await(self, sid: int, future, t: int):
+        """Deadline-watchdogged result collection for one shard step."""
+        sup = self.supervisor_config
+        misses = 0
+        while True:
+            try:
+                return future.result(timeout=sup.watchdog_deadline)
+            except FutureTimeoutError:
+                misses += 1
+                self.sup_stats.watchdog_timeouts += 1
+                self._count(
+                    "serve_watchdog_timeouts_total",
+                    "shard-step watchdog deadline misses",
+                    shard=sid,
+                )
+                if misses >= sup.watchdog_budget:
+                    raise ExecutionStalledError(
+                        f"shard {sid} missed {misses} watchdog "
+                        f"deadline(s) of {sup.watchdog_deadline}s at "
+                        f"step {t}",
+                        step=t,
+                        shard_id=sid,
+                        epoch=self.planner.epoch_of(t),
+                        last_durable_step=self._durable_step(),
+                    ) from None
+
+    # -- supervision proper --------------------------------------------
+    def _heartbeat(self, t: int) -> None:
+        """Evaluate the epoch that ended at step ``t - 1``."""
+        epoch = self.planner.epoch_of(t - 1)
+        stats = self.sup_stats
+        for sid, engine in enumerate(self.engines):
+            es = engine.stats
+            prev = self._last_hb[sid]
+            d_flush = es.flushes - prev[0]
+            d_done = es.completed - prev[1]
+            d_failed = es.failed_attempts - prev[2]
+            self._last_hb[sid] = (es.flushes, es.completed,
+                                  es.failed_attempts)
+            queued = self.admission.queue_depth(sid)
+            spilled = len(self._spill[sid])
+            pending = engine.in_flight > 0 or queued > 0
+            stalled = pending and d_flush == 0 and d_done == 0
+            state = self._health[sid]
+            self.health_log.append(Heartbeat(
+                epoch=epoch, shard=sid, state=state,
+                flushes=d_flush, completions=d_done,
+                failed_attempts=d_failed, in_flight=engine.in_flight,
+                queued=queued, spilled=spilled, stalled=stalled,
+            ))
+            if self._abandoned[sid]:
+                continue
+            breaker = self._breakers[sid]
+            if state == QUARANTINED:
+                stats.quarantine_epochs += 1
+                stats._bump(stats.quarantine_epochs_by_shard, sid)
+                self._count(
+                    "serve_quarantine_epochs_total",
+                    "epochs shards spent quarantined",
+                    shard=sid,
+                )
+                if breaker.probe_due(epoch):
+                    breaker.half_open()
+                    self._health[sid] = RECOVERING
+                    stats.probes += 1
+                    self._count(
+                        "serve_breaker_probes_total",
+                        "half-open breaker probes",
+                        shard=sid,
+                    )
+                    self._restart_shard(sid, t)
+            elif state == RECOVERING:
+                if d_flush > 0 or d_done > 0 or (
+                    engine.in_flight == 0 and queued == 0 and spilled == 0
+                ):
+                    breaker.close()
+                    self._health[sid] = HEALTHY
+                else:
+                    # The probe epoch made no progress: back to open,
+                    # with a deeper backoff.
+                    self._open_breaker(sid, epoch)
+            else:
+                if stalled:
+                    self._health[sid] = DEGRADED
+                    if breaker.note_stall():
+                        self._open_breaker(sid, epoch)
+                else:
+                    breaker.note_ok()
+                    self._health[sid] = HEALTHY
+
+    def _kill_shard(self, sid: int, t: int) -> None:
+        """Chaos kill: the shard loses all in-memory state right now."""
+        self.engines[sid].wipe()
+        self._fresh[sid] = []
+        if self._breakers[sid].state != BREAKER_OPEN:
+            self._open_breaker(sid, self.planner.epoch_of(t))
+
+    def _outstanding(self, sid: int) -> "list[int]":
+        m = self.metrics
+        return sorted(
+            g for g, s in m.shard_of.items()
+            if s == sid
+            and g not in m.completion_step
+            and g not in m.shed_ids
+        )
+
+    def _restart_records(
+        self, sid: int, t: int
+    ) -> "list[tuple[int, int, int, tuple[int, ...]]]":
+        """The shard's durable flush history for the restart fold.
+
+        With a journal attached, durability is sealed first (checkpoint
+        + flush: every record through step ``t - 1`` becomes durable)
+        and the scan cross-checks that the durable journal holds no
+        record for this shard that the in-memory mirror doesn't — the
+        detection half of the exact-or-typed-error contract.  The fold
+        itself always runs on the mirror, which survives rotation +
+        compaction dropping sealed records a checkpoint superseded.
+        """
+        mirror = [
+            (t0, f.src, f.dest, tuple(f.messages))
+            for t0, s, f in self._shadow if s == sid
+        ]
+        if self._journal is not None:
+            self._journal.checkpoint(
+                t - 1, self._next_gid, len(self.metrics.completion_step)
+            )
+            manager = RecoveryManager(self._journal.writer.path)
+            scan = manager.scan(refresh=True)
+            durable = manager.last_durable_step()
+            mirrored = set(mirror)
+            for rec in scan.records:
+                if rec["type"] != REC_FLUSH or int(rec.get("shard", 0)) != sid:
+                    continue
+                if int(rec["t"]) > durable:
+                    continue
+                key = (int(rec["t"]), int(rec["src"]), int(rec["dest"]),
+                       tuple(int(m) for m in rec["msgs"]))
+                if key not in mirrored:
+                    raise JournalCorruptionError(
+                        f"shard {sid}: durable journal holds flush "
+                        f"{key!r} that this run never executed",
+                        reason="schedule-mismatch",
+                    )
+        return mirror
+
+    def _restart_shard(self, sid: int, t: int) -> bool:
+        """Rebuild a quarantined shard from its durable history."""
+        engine = self.engines[sid]
+        stats = self.sup_stats
+        if self._restarts_left[sid] <= 0:
+            self._abandon(sid, t)
+            return False
+        self._restarts_left[sid] -= 1
+        try:
+            if self._corrupted[sid]:
+                raise JournalCorruptionError(
+                    f"shard {sid}: restart source poisoned by a chaos "
+                    "corrupt event",
+                    reason="bad-payload",
+                )
+            records = self._restart_records(sid, t)
+            admitted = {
+                m for m in self.metrics.admit_step
+                if self.metrics.shard_of[m] == sid
+                and m not in self.metrics.completion_step
+            }
+            completed = {
+                m for m in self.metrics.completion_step
+                if self.metrics.shard_of[m] == sid
+            }
+            locations, _schedule = rebuild_shard_state(
+                records,
+                admitted=admitted,
+                completed=completed,
+                targets=self._leaf_of,
+                topology=engine.topology,
+            )
+        except JournalCorruptionError:
+            stats.corrupt_restarts += 1
+            self._abandon(sid, t)
+            return False
+        # The engine's realized schedule and counters survived the wipe
+        # (they belong to the run's accounting); only machine state is
+        # rebuilt.
+        engine.wipe()
+        engine.restore_state(locations, self._leaf_of)
+        self._fresh[sid] = []
+        self._replans_left[sid] = MAX_FORCED_REPLANS
+        if engine.location:
+            self.planner.plan(engine, [], force_full=True)
+        stats.restarts += 1
+        stats._bump(stats.restarts_by_shard, sid)
+        stats.replayed_flushes += len(records)
+        self._count(
+            "serve_shard_restarts_total",
+            "live shard restarts from the journal",
+            shard=sid,
+        )
+        self._count(
+            "serve_restart_replayed_flushes_total",
+            "journaled flushes folded during shard restarts",
+            shard=sid,
+            n=len(records),
+        )
+        # Spilled arrivals go back in front of admission; any the queue
+        # bound rejects are counted-shed, never dropped.
+        items = list(self._spill[sid])
+        self._spill[sid].clear()
+        accepted = self.admission.requeue(sid, items)
+        for gid, _leaf in items[accepted:]:
+            self._shed(gid, t)
+            stats.spill_overflow_shed += 1
+        return True
+
+    def _abandon(self, sid: int, t: int) -> None:
+        """Permanent quarantine: counted-shed everything and lock open."""
+        if self._abandoned[sid]:
+            return
+        self._abandoned[sid] = True
+        self._health[sid] = QUARANTINED
+        self._breakers[sid].lock_open()
+        stats = self.sup_stats
+        stats.abandoned_shards += 1
+        shed_here = 0
+        for gid in self._outstanding(sid):
+            self._shed(gid, t)
+            stats.abandoned_messages += 1
+            shed_here += 1
+        self._spill[sid].clear()
+        self.admission.queues[sid].clear()
+        self.engines[sid].wipe()
+        self._fresh[sid] = []
+        if shed_here:
+            self._count(
+                "serve_abandoned_total",
+                "messages counted-shed by shard abandonment",
+                shard=sid,
+                n=shed_here,
+            )
+
+    # -- reporting -----------------------------------------------------
+    def _build_report(self, t: int) -> "SupervisedReport":
+        base = super()._build_report(t)
+        snapshot = dict(base.snapshot)
+        snapshot["supervisor"] = self.sup_stats.snapshot()
+        return SupervisedReport(
+            config=base.config,
+            n_steps=base.n_steps,
+            snapshot=snapshot,
+            completions=base.completions,
+            shard_schedules=base.shard_schedules,
+            planner_stats=base.planner_stats,
+            admission_stats=base.admission_stats,
+            shard_stats=base.shard_stats,
+            metrics=base.metrics,
+            supervisor=self.sup_stats,
+            health_log=tuple(self.health_log),
+            chaos=self.chaos,
+        )

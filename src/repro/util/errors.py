@@ -85,6 +85,16 @@ class ExecutionStalledError(InvalidScheduleError):
     pending_flushes:
         All flushes still pending when execution stalled, in priority
         order.
+    shard_id:
+        The serving shard that stalled (None outside the serve stack or
+        when the stall is not attributable to one shard).
+    epoch:
+        0-based planning epoch in which the stall was detected (-1 when
+        not raised from an epoch-driven loop).
+    last_durable_step:
+        The newest journal-durable step at the time of the stall (-1
+        when no journal was attached), so supervision and the CLI can
+        report how much of the run is recoverable without re-scanning.
     """
 
     def __init__(
@@ -95,9 +105,15 @@ class ExecutionStalledError(InvalidScheduleError):
         parked_messages: "tuple[tuple[int, int], ...]" = (),
         blocking_flush: object = None,
         pending_flushes: tuple = (),
+        shard_id: "int | None" = None,
+        epoch: int = -1,
+        last_durable_step: int = -1,
     ) -> None:
         super().__init__(message)
         self.step = step
         self.parked_messages = tuple(parked_messages)
         self.blocking_flush = blocking_flush
         self.pending_flushes = tuple(pending_flushes)
+        self.shard_id = shard_id
+        self.epoch = epoch
+        self.last_durable_step = last_durable_step

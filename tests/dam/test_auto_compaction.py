@@ -1,0 +1,124 @@
+"""JournalWriter auto-compaction at rotation boundaries.
+
+``compact_every_rotations=N`` makes the writer run the offline
+compactor over its own sealed chain every N rotations.  The contracts:
+it fires exactly at rotation boundaries, it only rewrites sealed
+segments (the live tail is untouched), it reclaims bytes, and recovery
+from the compacted chain is identical to recovery from a chain written
+without it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dam.journal import (
+    REC_FLUSH,
+    JournalWriter,
+    journal_segments,
+    scan_journal,
+)
+from repro.serve import ServeConfig, ServiceLoop, recover_serve
+from repro.util.errors import InvalidInstanceError
+
+
+def write_run(path, *, compact_every: int):
+    """One journaled, rotated serving run; returns its report."""
+    cfg = ServeConfig(arrivals="poisson", rate=8.0, messages=200, shards=2,
+                      seed=13, P=3, B=8, checkpoint_every=4)
+    return ServiceLoop(
+        cfg, journal=path, max_segment_bytes=2048,
+        compact_every_rotations=compact_every,
+    ).run()
+
+
+def chain_bytes(path) -> int:
+    return sum(p.stat().st_size for p in journal_segments(path))
+
+
+class TestWriterTrigger:
+    def test_rejects_negative(self, tmp_path):
+        with pytest.raises(InvalidInstanceError):
+            JournalWriter(tmp_path / "j", compact_every_rotations=-1)
+
+    def test_compacts_every_n_rotations(self, tmp_path):
+        """The sealed prefix shrinks while the writer is still running."""
+        path = tmp_path / "j"
+        w = JournalWriter(path, meta={"policy": "worms"},
+                          max_segment_bytes=512,
+                          compact_every_rotations=1)
+        with w:
+            t = 0
+            while w.n_segments < 4:
+                t += 1
+                for m in range(3):
+                    w.append({"type": REC_FLUSH, "t": t, "src": 0,
+                              "dest": 1, "msgs": [t * 10 + m]})
+                w.append({"type": "checkpoint", "t": t, "cursor": t,
+                          "n_delivered": 0})
+        # Every sealed segment was compacted as soon as it was sealed:
+        # flushes superseded by a later sealed checkpoint are gone.
+        assert len(journal_segments(path)) > 1, "run was too small to rotate"
+        kept = [
+            r for r in scan_journal(path).records
+            if r["type"] == REC_FLUSH
+        ]
+        # An uncompacted copy of the same appends keeps every flush.
+        raw = tmp_path / "raw"
+        w2 = JournalWriter(raw, meta={"policy": "worms"},
+                           max_segment_bytes=512)
+        with w2:
+            t = 0
+            while w2.n_segments < 4:
+                t += 1
+                for m in range(3):
+                    w2.append({"type": REC_FLUSH, "t": t, "src": 0,
+                               "dest": 1, "msgs": [t * 10 + m]})
+                w2.append({"type": "checkpoint", "t": t, "cursor": t,
+                           "n_delivered": 0})
+        raw_kept = [
+            r for r in scan_journal(raw).records
+            if r["type"] == REC_FLUSH
+        ]
+        assert len(kept) < len(raw_kept)
+
+    def test_zero_means_never(self, tmp_path):
+        path = tmp_path / "j"
+        w = JournalWriter(path, meta={"policy": "worms"},
+                          max_segment_bytes=512)
+        with w:
+            for t in range(1, 40):
+                w.append({"type": REC_FLUSH, "t": t, "src": 0, "dest": 1,
+                          "msgs": [t]})
+                w.append({"type": "checkpoint", "t": t, "cursor": t,
+                          "n_delivered": 0})
+        flushes = [
+            r for r in scan_journal(path).records
+            if r["type"] == REC_FLUSH
+        ]
+        assert len(flushes) == 39
+
+
+class TestServeRecoveryUnchanged:
+    def test_compacted_serve_chain_recovers_identically(self, tmp_path):
+        plain = tmp_path / "plain.journal"
+        auto = tmp_path / "auto.journal"
+        r_plain = write_run(plain, compact_every=0)
+        r_auto = write_run(auto, compact_every=2)
+        assert r_auto.completions == r_plain.completions
+        assert len(journal_segments(auto)) > 2
+        assert chain_bytes(auto) < chain_bytes(plain)
+        rec = recover_serve(auto)
+        assert rec.run_completed
+        assert rec.report.completions == r_plain.completions
+
+    def test_tail_segment_is_never_rewritten(self, tmp_path):
+        """Compaction must leave the live tail byte-identical."""
+        plain = tmp_path / "plain.journal"
+        auto = tmp_path / "auto.journal"
+        write_run(plain, compact_every=0)
+        write_run(auto, compact_every=2)
+        tail_plain = journal_segments(plain)[-1]
+        tail_auto = journal_segments(auto)[-1]
+        assert tail_auto.name.endswith(tail_plain.name.split("journal")[-1])
+        assert tail_auto.read_bytes() == tail_plain.read_bytes()
