@@ -84,6 +84,7 @@ from repro.policies import (
 from repro.policies.executor import DEFAULT_CHECKPOINT_EVERY
 from repro.serve import (
     SERVE_POLICY,
+    ProcPoolLoop,
     ServeConfig,
     ServiceLoop,
     SupervisedLoop,
@@ -324,33 +325,47 @@ def _chaos_from_args(
         kills=args.chaos_kills,
         stalls=args.chaos_stalls,
         corrupts=args.chaos_corrupts,
+        kill_workers=args.chaos_kill_workers,
         stall_duration=args.chaos_stall_duration,
     )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the `serve` subcommand (online sharded serving loop)."""
-    supervised = args.supervised or args.chaos
+    supervised = args.supervised or args.chaos or args.processes is not None
     try:
         config = _config_from_args(args)
         if supervised:
-            loop = SupervisedLoop(
-                config,
-                supervisor=SupervisorConfig(
-                    trip_after=args.trip_after,
-                    probe_backoff=args.probe_backoff,
-                    max_backoff=args.max_backoff,
-                    spill_capacity=args.spill_capacity,
-                    restart_budget=args.restart_budget,
-                    watchdog_deadline=args.watchdog_deadline,
-                    watchdog_budget=args.watchdog_budget,
-                ),
-                chaos=_chaos_from_args(args, config),
-                workers=args.workers,
-                journal=args.journal, sync=args.sync,
-                max_segment_bytes=args.max_segment_bytes,
-                compact_every_rotations=args.compact_every,
+            sup_config = SupervisorConfig(
+                trip_after=args.trip_after,
+                probe_backoff=args.probe_backoff,
+                max_backoff=args.max_backoff,
+                spill_capacity=args.spill_capacity,
+                restart_budget=args.restart_budget,
+                watchdog_deadline=args.watchdog_deadline,
+                watchdog_budget=args.watchdog_budget,
+                divert=args.divert,
             )
+            if args.processes is not None:
+                loop = ProcPoolLoop(
+                    config,
+                    supervisor=sup_config,
+                    chaos=_chaos_from_args(args, config),
+                    processes=args.processes,
+                    journal=args.journal, sync=args.sync,
+                    max_segment_bytes=args.max_segment_bytes,
+                    compact_every_rotations=args.compact_every,
+                )
+            else:
+                loop = SupervisedLoop(
+                    config,
+                    supervisor=sup_config,
+                    chaos=_chaos_from_args(args, config),
+                    workers=args.workers,
+                    journal=args.journal, sync=args.sync,
+                    max_segment_bytes=args.max_segment_bytes,
+                    compact_every_rotations=args.compact_every,
+                )
         else:
             loop = ServiceLoop(
                 config, journal=args.journal, sync=args.sync,
@@ -389,6 +404,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{sup.spilled} spilled, {sup.spill_overflow_shed} overflow "
             f"shed, {sup.abandoned_shards} shards abandoned"
         )
+        if sup.worker_deaths or sup.worker_respawns:
+            # Deterministic counts only; real pids stay in worker_log.
+            print(
+                f"processes: {sup.worker_deaths} worker death(s), "
+                f"{sup.worker_respawns} restarted on a fresh process, "
+                f"watchdog {sup.watchdog_cancels} cancel / "
+                f"{sup.watchdog_terminates} terminate / "
+                f"{sup.watchdog_kills} kill"
+            )
+        if sup.diversions or sup.merge_backs:
+            print(
+                f"diversions: {sup.diversions} key-range diversion(s), "
+                f"{sup.divert_handoff_msgs} message(s) handed off, "
+                f"{sup.merge_backs} merged back"
+            )
     chaos = getattr(report, "chaos", None)
     if chaos is not None and not chaos.is_zero:
         drawn = ", ".join(
@@ -782,6 +812,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=0,
                          help="supervised worker threads (0 = one per shard, "
                          "1 = sequential)")
+    p_serve.add_argument("--processes", type=int, default=None,
+                         help="shard-per-process driver: run shards in this "
+                         "many shared-nothing worker processes (0 = one per "
+                         "shard; implies --supervised; fault-free journals "
+                         "stay byte-identical to the plain loop)")
+    p_serve.add_argument("--divert", action="store_true",
+                         help="while a shard's breaker is open, divert its "
+                         "key range to a healthy neighbor via a journal-"
+                         "checkpointed spill handoff, merging back on probe "
+                         "success")
     p_serve.add_argument("--chaos", action="store_true",
                          help="draw a seeded whole-shard chaos drill "
                          "(implies --supervised; composition is a pure "
@@ -792,6 +832,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="whole-shard stall windows in the drill")
     p_serve.add_argument("--chaos-corrupts", type=int, default=0,
                          help="restart-source corruptions in the drill")
+    p_serve.add_argument("--chaos-kill-workers", type=int, default=0,
+                         help="worker-process SIGKILL events in the drill "
+                         "(a state-loss kill under the thread driver)")
     p_serve.add_argument("--chaos-stall-duration", type=int, default=8,
                          help="steps each stall window lasts")
     p_serve.add_argument("--chaos-horizon", type=int, default=0,

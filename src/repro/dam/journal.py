@@ -82,6 +82,14 @@ REC_FLUSH = "flush"
 REC_FAULT = "fault"
 REC_CHECKPOINT = "checkpoint"
 REC_END = "end"
+#: A supervised key-range diversion (breaker-open handoff to a neighbor
+#: shard) or its merge-back.  Informational for recovery — replaying the
+#: run re-derives the same diversions — but the record makes the handoff
+#: durable *at the moment it happened*, which is what lets an operator
+#: audit where a message's ownership moved.  Scanning, compaction, and
+#: ``last_durable_step`` all pass unknown-to-them types through, so old
+#: readers tolerate these records.
+REC_DIVERT = "divert"
 
 
 #: Smallest permitted rotation threshold: a header plus a tiny record.
@@ -134,6 +142,19 @@ def fault_record(t: int, kind: str, src: int, dest: int, detail: str) -> dict:
     """The journal record for one fault decision the executor observed."""
     return {"type": REC_FAULT, "t": int(t), "kind": kind, "src": int(src),
             "dest": int(dest), "detail": detail}
+
+
+def divert_record(t: int, src_shard: int, dst_shard: int,
+                  msgs: "list[int] | tuple[int, ...]" = ()) -> dict:
+    """The journal record for a key-range diversion (or its merge-back).
+
+    ``src_shard == dst_shard`` records a merge-back (the overlay was
+    removed); otherwise arrivals for ``src_shard``'s range now land on
+    ``dst_shard`` and ``msgs`` lists the spill-queue messages handed
+    over with the switch.
+    """
+    return {"type": REC_DIVERT, "t": int(t), "from": int(src_shard),
+            "to": int(dst_shard), "msgs": [int(m) for m in msgs]}
 
 
 class JournalWriter:

@@ -24,6 +24,7 @@ from repro.faults.bursts import (
 from repro.faults.chaos import (
     CHAOS_CORRUPT,
     CHAOS_KILL,
+    CHAOS_KILL_WORKER,
     CHAOS_KINDS,
     CHAOS_STALL,
     ChaosEvent,
@@ -68,6 +69,7 @@ __all__ = [
     "CHAOS_KILL",
     "CHAOS_STALL",
     "CHAOS_CORRUPT",
+    "CHAOS_KILL_WORKER",
     "CHAOS_KINDS",
     "CrashInjector",
     "truncate_at",

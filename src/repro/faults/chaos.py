@@ -46,7 +46,12 @@ from repro.util.errors import InvalidInstanceError
 CHAOS_KILL = "kill"
 CHAOS_STALL = "stall"
 CHAOS_CORRUPT = "corrupt"
-CHAOS_KINDS = (CHAOS_KILL, CHAOS_STALL, CHAOS_CORRUPT)
+#: Kill the worker *process* hosting the shard (a real SIGKILL under the
+#: multi-process driver; thread/sequential drivers degrade it to a
+#: simulated ``kill``).  Appended last so the sort index of the original
+#: kinds — and therefore every existing drill's event order — is stable.
+CHAOS_KILL_WORKER = "kill-worker"
+CHAOS_KINDS = (CHAOS_KILL, CHAOS_STALL, CHAOS_CORRUPT, CHAOS_KILL_WORKER)
 
 #: FaultEvent kind for a whole-shard stall window (see _KIND_IDS).
 _CHAOS_STALL_EVENT = "chaos_stall"
@@ -64,9 +69,11 @@ class ChaosEvent:
     kind:
         ``kill`` (the shard loses all in-memory state and must restart
         from its journal), ``stall`` (every node of the shard freezes
-        for ``duration`` steps), or ``corrupt`` (the shard's restart
+        for ``duration`` steps), ``corrupt`` (the shard's restart
         source is poisoned, so the next restart attempt raises a typed
-        :class:`~repro.util.errors.JournalCorruptionError`).
+        :class:`~repro.util.errors.JournalCorruptionError`), or
+        ``kill-worker`` (the OS process hosting the shard is SIGKILLed;
+        under a threads-only driver this degrades to ``kill``).
     shard:
         Target shard id.
     duration:
@@ -131,6 +138,7 @@ class ChaosPlan:
         kills: int = 1,
         stalls: int = 1,
         corrupts: int = 0,
+        kill_workers: int = 0,
         stall_duration: int = 8,
     ) -> "ChaosPlan":
         """Draw a scenario: all placement is a pure function of ``seed``.
@@ -155,6 +163,7 @@ class ChaosPlan:
             (CHAOS_KILL, kills),
             (CHAOS_STALL, stalls),
             (CHAOS_CORRUPT, corrupts),
+            (CHAOS_KILL_WORKER, kill_workers),
         ):
             for _ in range(int(count)):
                 events.append(ChaosEvent(

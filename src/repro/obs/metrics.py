@@ -25,6 +25,22 @@ Labeled children::
 
 The registry is plain Python with no locks: the execution layers are
 single-threaded, and the obs context owns exactly one registry per run.
+The shard-per-process driver keeps that true across processes by
+construction: workers never touch the parent's registry — they report
+counter deltas over the result pipe and the parent folds them in — so
+the **process-supervisor family** below is recorded parent-side only
+and stays deterministic for seeded drills (real pids never enter the
+registry; they live in the report's ``worker_log``):
+
+* ``serve_worker_deaths_total{shard}`` — worker processes lost
+  (SIGKILL chaos, crashes, watchdog escalation), per hosted shard;
+* ``serve_worker_respawns_total{shard}`` — fresh processes spawned to
+  restart a quarantined shard from its journal;
+* ``serve_watchdog_escalations_total{stage}`` — escalation-ladder
+  outcomes (``cancel`` -> ``terminate`` -> ``kill``);
+* ``serve_diversions_total{shard}`` / ``serve_merge_backs_total{shard}``
+  / ``serve_divert_handoff_msgs_total`` — breaker-open key-range
+  diversions, their merge-backs, and the spill messages handed off.
 """
 
 from __future__ import annotations

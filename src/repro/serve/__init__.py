@@ -9,7 +9,9 @@ epochs with the paper pipeline (:mod:`~repro.serve.planner`), and
 metered per-message (:mod:`~repro.serve.metrics`) — all driven by the
 deterministic, journal-capable :class:`~repro.serve.loop.ServiceLoop`.
 :mod:`~repro.serve.supervisor` layers per-shard health tracking, circuit
-breakers, and live restart-from-journal on top of the loop.
+breakers, and live restart-from-journal on top of the loop;
+:mod:`~repro.serve.procpool` runs the same supervised loop over
+shard-per-process workers with real SIGKILL recovery.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionStats
@@ -35,6 +37,7 @@ from repro.serve.metrics import (
     format_serve_report,
 )
 from repro.serve.planner import EpochPlanner, PlannerStats, plan_flushes
+from repro.serve.procpool import ProcPoolLoop
 from repro.serve.router import (
     ShardEngine,
     ShardRouter,
@@ -66,6 +69,7 @@ __all__ = [
     "MMPPArrivals",
     "PlannerStats",
     "PoissonArrivals",
+    "ProcPoolLoop",
     "SERVE_POLICY",
     "ServeConfig",
     "ServeMetrics",

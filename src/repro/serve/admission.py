@@ -39,6 +39,12 @@ class AdmissionStats:
     max_queue_depth: int = 0
     #: steps on which draining held because the shard root was stalled.
     stall_holds: int = 0
+    #: messages handed to a neighbor shard by a breaker-open diversion
+    #: (they stay counted in ``offered`` once; the handoff moves them).
+    handoff_in: int = 0
+    #: handoff messages the receiving queue had no room for (the
+    #: supervisor sheds these and counts the shedding itself).
+    handoff_overflow: int = 0
     shed_by_shard: dict = field(default_factory=dict)
 
 
@@ -114,6 +120,21 @@ class AdmissionController:
             accepted += 1
         if len(q) > self.stats.max_queue_depth:
             self.stats.max_queue_depth = len(q)
+        return accepted
+
+    def handoff(
+        self, to_shard: int, items: "list[tuple[int, int]]"
+    ) -> int:
+        """Hand diverted ``(msg_id, target_leaf)`` pairs to ``to_shard``.
+
+        Same bounded-append discipline as :meth:`requeue` (the messages
+        were already offered once at arrival), but counted separately so
+        reports can distinguish a recovery requeue from a breaker-open
+        handoff.  Returns how many fit; the caller sheds the rest.
+        """
+        accepted = self.requeue(to_shard, items)
+        self.stats.handoff_in += accepted
+        self.stats.handoff_overflow += len(items) - accepted
         return accepted
 
     def drain(

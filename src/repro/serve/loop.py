@@ -32,6 +32,7 @@ from repro.dam.journal import (
     JournalWriter,
     RecoveryManager,
     REC_FLUSH,
+    divert_record,
     flush_record,
     fault_record,
 )
@@ -198,6 +199,10 @@ class _ServeJournal:
         rec["shard"] = int(shard)
         self.writer.append(rec)
 
+    def record_divert(self, t: int, src_shard: int, dst_shard: int,
+                      msgs: "list[int] | tuple[int, ...]" = ()) -> None:
+        self.writer.append(divert_record(t, src_shard, dst_shard, msgs))
+
     def end_step(self, t: int, arrived: int, completed: int) -> None:
         if t % self.every == 0:
             self.checkpoint(t, arrived, completed)
@@ -231,6 +236,28 @@ def _spawn_seed(*coords: int) -> int:
     )
 
 
+def build_shard_engine(config: "ServeConfig", spec) -> ShardEngine:
+    """Construct the engine for one shard, exactly as the loop would.
+
+    Factored out so a shared-nothing worker process can rebuild its
+    shard's engine from ``(config, spec)`` alone and land on the same
+    deterministic object the in-process drivers use: fault decisions are
+    pure functions of the derived seed, so an engine rebuilt in another
+    process answers every injector query identically.
+    """
+    injector = None
+    if config.fault_rate > 0:
+        injector = FaultInjector(
+            FaultPlan.uniform(config.fault_rate),
+            seed=_spawn_seed(config.fault_seed, spec.shard_id),
+        )
+    return ShardEngine(
+        spec.shard_id, spec.topology, config.P, config.B,
+        injector=injector, fault_aware=config.fault_aware,
+        retry_budget=config.retry_budget,
+    )
+
+
 class ServiceLoop:
     """One serving run.  Construct, then :meth:`run` exactly once.
 
@@ -253,19 +280,9 @@ class ServiceLoop:
             leaves=config.leaves,
             eps=config.eps,
         )
-        self.engines: "list[ShardEngine]" = []
-        for spec in self.router.shards:
-            injector = None
-            if config.fault_rate > 0:
-                injector = FaultInjector(
-                    FaultPlan.uniform(config.fault_rate),
-                    seed=_spawn_seed(config.fault_seed, spec.shard_id),
-                )
-            self.engines.append(ShardEngine(
-                spec.shard_id, spec.topology, config.P, config.B,
-                injector=injector, fault_aware=config.fault_aware,
-                retry_budget=config.retry_budget,
-            ))
+        self.engines: "list[ShardEngine]" = [
+            build_shard_engine(config, spec) for spec in self.router.shards
+        ]
         self.arrivals = self._build_arrivals(config)
         self.planner = EpochPlanner(config.epoch)
         self.admission = AdmissionController(
@@ -603,24 +620,33 @@ def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
         manager.repair()
     config = ServeConfig.from_meta(meta)
     if "chaos" in meta or "supervisor" in meta:
-        # A supervised run journaled its scenario: re-derive through the
-        # supervised loop so breaker trips, quarantines, and restarts
-        # replay identically (they are seeded from the same config).
+        # A supervised run journaled its scenario and driver topology:
+        # re-derive through the same driver so breaker trips,
+        # quarantines, restarts, and worker respawns replay identically
+        # (they are seeded from the same config).
         # Local import: repro.serve.supervisor imports this module.
         from repro.faults.chaos import ChaosPlan
         from repro.serve.supervisor import SupervisedLoop, SupervisorConfig
-        report = SupervisedLoop(
-            config,
-            supervisor=(
-                SupervisorConfig.from_meta(meta["supervisor"])
-                if "supervisor" in meta else None
-            ),
-            chaos=(
-                ChaosPlan.from_meta(meta["chaos"])
-                if "chaos" in meta else None
-            ),
-            workers=1,
-        ).run()
+        supervisor = (
+            SupervisorConfig.from_meta(meta["supervisor"])
+            if "supervisor" in meta else None
+        )
+        chaos = (
+            ChaosPlan.from_meta(meta["chaos"])
+            if "chaos" in meta else None
+        )
+        driver = meta.get("driver") or {}
+        if driver.get("kind") == "procpool":
+            from repro.serve.procpool import ProcPoolLoop
+            report = ProcPoolLoop(
+                config, supervisor=supervisor, chaos=chaos,
+                processes=int(driver.get("processes", 1)),
+            ).run()
+        else:
+            report = SupervisedLoop(
+                config, supervisor=supervisor, chaos=chaos,
+                workers=int(driver.get("workers", 1) or 1),
+            ).run()
     else:
         report = ServiceLoop(config).run()
     durable = manager.last_durable_step()

@@ -1,0 +1,936 @@
+"""Shard-per-process serving: shared-nothing workers behind the
+supervised loop.
+
+:class:`ProcPoolLoop` drives the same run :class:`~repro.serve.supervisor.
+SupervisedLoop` does, but shard engines live in separate **processes**.
+The parent keeps everything global — arrivals, routing, metrics, the
+journal, the supervision state machine — and ships each worker per-epoch
+batches of pre-routed arrivals over a pipe; workers own only their
+shards' engines, admission queues, and a planner, and answer with
+per-step results (admits, completions, sheds, buffered journal records,
+depth samples) plus counter deltas.
+
+The determinism story is the same one that makes the threaded driver
+byte-identical to the sequential loop, pushed across a process boundary:
+
+* every per-shard decision is a pure function of ``(config, spec)`` —
+  :func:`~repro.serve.loop.build_shard_engine` and
+  :func:`~repro.serve.supervisor.apply_chaos_windows` rebuild the exact
+  engine in the worker, and fault draws are memoized pure functions of
+  the derived seed, so a worker answers every injector query exactly as
+  the in-process engine would;
+* the parent pre-draws arrivals for the whole chunk (arrival RNG state
+  only ever advances by ``take`` calls in step order) and merges worker
+  results **per (step, shard) in ascending order**, so journal records,
+  checkpoints, and metrics land byte-identically to the sequential loop;
+* chunks end at epoch boundaries and split at chaos-event steps, so
+  every supervision transition (heartbeat, breaker trip, kill) happens
+  at a barrier where the parent's view of the world is complete.
+  Closed-loop arrivals force one-step chunks (completions feed the
+  arrival process).
+
+A fault-free ``--processes N`` journal is therefore byte-identical to a
+``ServiceLoop`` journal for every N — pinned by test.
+
+Three behaviors exist only here:
+
+* **dead workers**: a worker that exits (SIGKILL from
+  ``kill-worker`` chaos, a crash, or watchdog escalation) quarantines
+  every shard it hosted; the probe path restarts each shard **on a
+  fresh process** from the journal fold, under the normal
+  ``restart_budget``;
+* **watchdog escalation**: a chunk that misses the soft deadline gets a
+  cooperative cancel (an :class:`multiprocessing.Event` the worker
+  polls between steps), then ``terminate()`` (SIGTERM), then ``kill()``
+  (SIGKILL).  Every rung ends with the worker dead and the standard
+  dead-worker path taking over; un-merged chunk results are discarded —
+  the journal and the parent's shadow are the only truth;
+* **queue mirroring**: the parent mirrors every worker admission queue
+  (insert on dispatch, remove on reported admit/shed), so a dead
+  worker's queue is reconstructed exactly when its shard restarts.
+
+Known (chaos-only) divergences from the thread driver, all conservation
+-exact: a shard that deadlocks mid-chunk is quarantined at the next
+barrier rather than mid-step, its unconsumed chunk arrivals spilling at
+the barrier; depth timelines meter the spill one barrier late.  Fault-
+free runs have none of these.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from dataclasses import asdict
+
+from repro.dam.journal import REC_FLUSH
+from repro.dam.schedule import FlushSchedule
+from repro.obs.hooks import current_obs
+from repro.obs.profile import PHASE_EXECUTE
+from repro.policies.executor import MAX_IDLE_STEPS
+from repro.serve.admission import AdmissionController
+from repro.serve.loop import MAX_FORCED_REPLANS, build_shard_engine
+from repro.serve.planner import EpochPlanner
+from repro.serve.router import ShardStats
+from repro.serve.supervisor import (
+    BREAKER_OPEN,
+    QUARANTINED,
+    SupervisedLoop,
+    _ShardJournalBuffer,
+    apply_chaos_windows,
+)
+from repro.util.errors import ExecutionStalledError, InvalidInstanceError
+
+#: seconds each escalation rung waits before climbing to the next.
+ESCALATION_GRACE = 1.0
+
+
+# ---------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------
+class _WorkerShard:
+    """One shard's per-process loop state (mirrors the parent's
+    ``_fresh`` / ``_replans_left`` bookkeeping)."""
+
+    __slots__ = ("engine", "fresh", "replans_left", "frozen_at",
+                 "unconsumed")
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.fresh: "list[int]" = []
+        self.replans_left = MAX_FORCED_REPLANS
+        #: step at which this shard deadlocked with no re-plans left
+        #: (the parent quarantines it at the barrier), else None.
+        self.frozen_at: "int | None" = None
+        #: arrivals the freeze left unoffered, returned to the parent.
+        self.unconsumed: "list[tuple[int, int, int]]" = []
+
+
+class _ShardWorker:
+    """Everything one worker process owns."""
+
+    def __init__(self, config, chaos, specs, cancel,
+                 debug_hang=None) -> None:
+        self.config = config
+        self.cancel = cancel
+        #: test hook: ``(shard, step, mode)`` hangs the worker at that
+        #: step; mode is ``cancellable`` (honors the cancel event),
+        #: ``stubborn-term`` (dies only to SIGTERM), or ``stubborn-kill``
+        #: (ignores SIGTERM; dies only to SIGKILL).
+        self.debug_hang = debug_hang
+        self.planner = EpochPlanner(config.epoch)
+        self.admission = AdmissionController(
+            config.shards,
+            max_root_backlog=config.max_root_backlog or 4 * config.B,
+            max_queue=config.max_queue or 16 * config.B,
+        )
+        self.shards: "dict[int, _WorkerShard]" = {}
+        for sid in sorted(specs):
+            engine = build_shard_engine(config, specs[sid])
+            apply_chaos_windows(engine, chaos, config, sid)
+            self.shards[sid] = _WorkerShard(engine)
+        # Deltas are taken against the last *reported* totals, not the
+        # chunk start, so counters bumped between chunks (the forced
+        # re-plan a restore issues) reach the parent with the next chunk.
+        self._last_stats = {
+            sid: asdict(ws.engine.stats) for sid, ws in self.shards.items()
+        }
+        self._last_adm = asdict(self.admission.stats)
+        self._last_plan = asdict(self.planner.stats)
+
+    def _maybe_hang(self, t: int) -> None:
+        if self.debug_hang is None:
+            return
+        sid, step, mode = self.debug_hang
+        if sid not in self.shards or t != step:
+            return
+        if mode == "stubborn-kill":
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        if mode == "cancellable":
+            while not self.cancel.is_set():
+                time.sleep(0.005)
+        else:
+            while True:
+                time.sleep(0.05)
+
+    def restore(self, sid, locations, targets, queue_items) -> None:
+        """Install folded restart state shipped by the parent."""
+        ws = self.shards[sid]
+        ws.engine.wipe()
+        ws.engine.restore_state(locations, targets)
+        ws.fresh = []
+        ws.replans_left = MAX_FORCED_REPLANS
+        ws.frozen_at = None
+        ws.unconsumed = []
+        if ws.engine.location:
+            self.planner.plan(ws.engine, [], force_full=True)
+        q = self.admission.queues[sid]
+        q.clear()
+        q.extend((int(g), int(leaf)) for g, leaf in queue_items)
+        if len(q) > self.admission.stats.max_queue_depth:
+            self.admission.stats.max_queue_depth = len(q)
+
+    def run_chunk(self, t0, t1, batch, active):
+        """Execute steps ``t0..t1`` for ``active`` hosted shards.
+
+        Phase order within each step matches ``ServiceLoop.run``
+        exactly; cross-shard state (metrics, arrivals, journal) lives in
+        the parent, so shards on different workers need no ordering."""
+        order = sorted(set(self.shards) & set(active))
+        out = {
+            sid: {"admits": {}, "sheds": {}, "records": {}, "exec": {},
+                  "depths": {}, "frozen_at": None}
+            for sid in order
+        }
+        adm = self.admission
+        for sid in order:
+            items = batch.get(sid, {}).get("requeue", ())
+            if items:
+                q = adm.queues[sid]
+                q.extend((int(g), int(leaf)) for g, leaf in items)
+                if len(q) > adm.stats.max_queue_depth:
+                    adm.stats.max_queue_depth = len(q)
+        for t in range(t0, t1 + 1):
+            if self.cancel.is_set():
+                return None
+            self._maybe_hang(t)
+            if self.cancel.is_set():
+                return None
+            boundary = self.planner.is_boundary(t)
+            for sid in order:  # phase 1: offer routed arrivals
+                ws = self.shards[sid]
+                arrivals = batch.get(sid, {}).get("arrivals", {}).get(t, ())
+                if ws.frozen_at is not None:
+                    ws.unconsumed.extend((t, g, leaf) for g, leaf in arrivals)
+                    continue
+                sheds = [g for g, leaf in arrivals
+                         if not adm.offer(sid, g, leaf)]
+                if sheds:
+                    out[sid]["sheds"][t] = sheds
+            for sid in order:  # phase 2: drain admission -> roots
+                ws = self.shards[sid]
+                if ws.frozen_at is not None:
+                    continue
+                admits = adm.drain(sid, ws.engine, t)
+                if admits:
+                    out[sid]["admits"][t] = [(g, done) for g, _l, done
+                                             in admits]
+                    ws.fresh.extend(g for g, _l, done in admits
+                                    if done is None)
+            for sid in order:  # phase 3: epoch / forced planning
+                ws = self.shards[sid]
+                if ws.frozen_at is not None:
+                    continue
+                force = ws.engine.idle_streak > MAX_IDLE_STEPS
+                if force and ws.replans_left <= 0:
+                    ws.frozen_at = t
+                    out[sid]["frozen_at"] = t
+                    continue
+                if force or (boundary and ws.fresh):
+                    self.planner.plan(ws.engine, ws.fresh, force_full=force)
+                    ws.fresh = []
+                    if force:
+                        ws.replans_left -= 1
+            for sid in order:  # phase 4: one DAM step, records buffered
+                ws = self.shards[sid]
+                if ws.frozen_at is not None:
+                    continue
+                buf = _ShardJournalBuffer()
+                done = ws.engine.step(t, buf)
+                if buf.records:
+                    out[sid]["records"][t] = buf.records
+                if done:
+                    out[sid]["exec"][t] = done
+            for sid in order:  # phase 5: depth samples
+                ws = self.shards[sid]
+                out[sid]["depths"][t] = (
+                    len(adm.queues[sid]),
+                    ws.engine.root_backlog,
+                    ws.engine.in_flight,
+                )
+        for sid in order:
+            ws = self.shards[sid]
+            cur = asdict(ws.engine.stats)
+            prev = self._last_stats[sid]
+            out[sid]["stats"] = {k: cur[k] - prev[k] for k in cur}
+            self._last_stats[sid] = cur
+            out[sid]["unconsumed"] = ws.unconsumed
+            ws.unconsumed = []
+            out[sid]["queue_len"] = len(adm.queues[sid])
+        cur = asdict(adm.stats)
+        prev, self._last_adm = self._last_adm, cur
+        adm_out = {
+            k: cur[k] - prev[k] for k in cur
+            if k not in ("max_queue_depth", "shed_by_shard")
+        }
+        adm_out["max_queue_depth"] = cur["max_queue_depth"]
+        adm_out["shed_by_shard"] = {
+            s: cur["shed_by_shard"][s] - prev["shed_by_shard"].get(s, 0)
+            for s in cur["shed_by_shard"]
+        }
+        cur = asdict(self.planner.stats)
+        prev, self._last_plan = self._last_plan, cur
+        return {
+            "shards": out,
+            "admission": adm_out,
+            "planner": {k: cur[k] - prev[k] for k in cur},
+        }
+
+
+def _worker_main(conn, cancel, config, chaos, specs,
+                 debug_hang=None) -> None:
+    worker = _ShardWorker(config, chaos, specs, cancel, debug_hang)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            cmd = msg[0]
+            try:
+                if cmd == "chunk":
+                    res = worker.run_chunk(*msg[1:])
+                    if res is None:  # cooperative cancel honored
+                        conn.send(("cancelled",))
+                        break
+                    conn.send(("ok", res))
+                elif cmd == "restore":
+                    worker.restore(*msg[1:])
+                    conn.send(("ok", None))
+                elif cmd == "stop":
+                    break
+            except BaseException as exc:  # ship the typed error home
+                try:
+                    conn.send(("err", exc))
+                except Exception:
+                    break
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        # Skip interpreter finalizers: a forked child shares journal
+        # segment descriptors with the parent, and letting GC flush an
+        # inherited buffered writer would double-write its bytes.
+        os._exit(0)
+
+
+# ---------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------
+class _WorkerSlot:
+    """A live worker process and the shards it hosts."""
+
+    __slots__ = ("slot_id", "proc", "conn", "cancel", "shards")
+
+    def __init__(self, slot_id, proc, conn, cancel, shards) -> None:
+        self.slot_id = slot_id
+        self.proc = proc
+        self.conn = conn
+        self.cancel = cancel
+        self.shards = set(shards)
+
+
+class ProcPoolLoop(SupervisedLoop):
+    """:class:`SupervisedLoop` over shard-per-process workers.
+
+    ``processes=0`` means one worker per shard; shards round-robin over
+    fewer slots.  ``debug_hang=(shard, step, mode)`` is a test hook that
+    wedges the hosting worker at that step to exercise the watchdog
+    escalation ladder.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        processes: int = 0,
+        supervisor=None,
+        chaos=None,
+        journal=None,
+        sync: bool = False,
+        max_segment_bytes: "int | None" = None,
+        compact_every_rotations: int = 0,
+        debug_hang=None,
+    ) -> None:
+        if int(processes) < 0:
+            raise InvalidInstanceError(
+                f"processes must be >= 0, got {processes}"
+            )
+        super().__init__(
+            config, supervisor=supervisor, chaos=chaos, workers=1,
+            journal=journal, sync=sync,
+            max_segment_bytes=max_segment_bytes,
+            compact_every_rotations=compact_every_rotations,
+        )
+        n = len(self.engines)
+        self.processes = min(int(processes), n) if processes else n
+        self._ctx = mp.get_context("fork")
+        self._debug_hang = debug_hang
+        self._slots: "dict[int, _WorkerSlot]" = {}
+        self._slot_of: "dict[int, int]" = {}
+        self._next_slot_id = 0
+        #: per-shard mirror of the worker admission queue, gid -> leaf
+        #: in FIFO order (dicts preserve insertion order).
+        self._mirror: "list[dict[int, int]]" = [{} for _ in range(n)]
+        #: diversion handoffs staged for delivery at the next dispatch.
+        self._pending_requeue: "list[list]" = [[] for _ in range(n)]
+        #: merged per-shard counters (worker deltas accumulate here; the
+        #: report reads these, never the parent's inert engines).
+        self._acc_stats = [ShardStats() for _ in range(n)]
+        #: realized schedules rebuilt from merged flush records.
+        self._schedules = [FlushSchedule() for _ in range(n)]
+        self._last_inflight = [0] * n
+        self._last_backlog = [0] * n
+
+    # -- journal meta --------------------------------------------------
+    def _driver_meta(self) -> dict:
+        return {"kind": "procpool", "processes": self.processes}
+
+    # -- worker lifecycle ----------------------------------------------
+    def _start_workers(self) -> None:
+        n = len(self.engines)
+        for w in range(self.processes):
+            sids = set(range(w, n, self.processes))
+            if sids:
+                self._spawn_slot(sids)
+
+    def _spawn_slot(self, sids) -> _WorkerSlot:
+        if self._journal is not None:
+            # Nothing of the parent's journal may sit unflushed in the
+            # child's inherited copy of the buffered writer.
+            self._journal.writer.flush()
+        parent_conn, child_conn = self._ctx.Pipe()
+        cancel = self._ctx.Event()
+        specs = {sid: self.router.shards[sid] for sid in sids}
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, cancel, self.config, self.chaos, specs,
+                  self._debug_hang),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        slot = _WorkerSlot(self._next_slot_id, proc, parent_conn, cancel,
+                           sids)
+        self._next_slot_id += 1
+        self._slots[slot.slot_id] = slot
+        for sid in sids:
+            self._slot_of[sid] = slot.slot_id
+        return slot
+
+    def _stop_workers(self) -> None:
+        for slot in self._slots.values():
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for slot in self._slots.values():
+            slot.proc.join(timeout=2.0)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join()
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        self._slots.clear()
+        self._slot_of.clear()
+
+    def _on_slot_death(self, slot, t: int, reason: str) -> None:
+        """A worker process is gone: quarantine everything it hosted.
+
+        Real pids live only in :attr:`worker_log` — never in metrics or
+        printed drill output, which deterministic byte-diffs cover."""
+        if self._slots.pop(slot.slot_id, None) is None:
+            return
+        slot.proc.join(timeout=5.0)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        self.sup_stats.worker_deaths += 1
+        obs = current_obs()
+        if obs.enabled:
+            deaths = obs.metrics.counter(
+                "serve_worker_deaths_total", "worker processes lost"
+            )
+            deaths.inc()
+        for sid in sorted(slot.shards):
+            self._slot_of.pop(sid, None)
+            self.worker_log.append(
+                ("death", sid, slot.proc.pid, t, reason,
+                 slot.proc.exitcode)
+            )
+            if obs.enabled:
+                deaths.labels(shard=sid).inc()
+            # The worker's machine state for this shard is lost with it.
+            self._last_inflight[sid] = 0
+            self._last_backlog[sid] = 0
+            if self._abandoned[sid]:
+                continue
+            if self._breakers[sid].state != BREAKER_OPEN:
+                self._open_breaker(sid, self.planner.epoch_of(max(t, 1)))
+            else:
+                self._health[sid] = QUARANTINED
+
+    def _escalate(self, slot, t: int) -> None:
+        """Soft deadline missed: cancel -> SIGTERM -> SIGKILL.
+
+        Every rung ends with the worker dead; the dead-worker path then
+        restarts its shards from the journal on fresh processes."""
+        grace = min(ESCALATION_GRACE,
+                    self.supervisor_config.watchdog_deadline)
+        slot.cancel.set()
+        cancelled = False
+        try:
+            if slot.conn.poll(grace):
+                try:
+                    cancelled = slot.conn.recv()[0] == "cancelled"
+                except (EOFError, OSError):
+                    cancelled = True  # died right after cancelling
+        except OSError:
+            pass
+        slot.proc.join(grace)
+        if cancelled and not slot.proc.is_alive():
+            stage = "cancel"
+            self.sup_stats.watchdog_cancels += 1
+        else:
+            slot.proc.terminate()
+            slot.proc.join(grace)
+            if not slot.proc.is_alive():
+                stage = "terminate"
+                self.sup_stats.watchdog_terminates += 1
+            else:
+                slot.proc.kill()
+                slot.proc.join()
+                stage = "kill"
+                self.sup_stats.watchdog_kills += 1
+        obs = current_obs()
+        if obs.enabled:
+            esc = obs.metrics.counter(
+                "serve_watchdog_escalations_total",
+                "watchdog escalation ladder outcomes",
+            )
+            esc.inc()
+            esc.labels(stage=stage).inc()
+        self._on_slot_death(slot, t, f"watchdog-{stage}")
+
+    # -- supervision overrides -----------------------------------------
+    def _dispatchable(self, sid: int) -> bool:
+        return self._health[sid] != QUARANTINED and not self._abandoned[sid]
+
+    def _vitals(self, sid: int):
+        acc = self._acc_stats[sid]
+        return (acc.flushes, acc.completed, acc.failed_attempts,
+                self._last_inflight[sid])
+
+    def _admission_depth(self, sid: int) -> int:
+        return len(self._mirror[sid]) + len(self._pending_requeue[sid])
+
+    def _queue_depth(self, sid: int) -> int:
+        return self._admission_depth(sid) + len(self._spill[sid])
+
+    def _finished(self) -> bool:
+        m = self.metrics
+        outstanding = (
+            len(m.arrival_step) - len(m.completion_step) - len(m.shed_ids)
+        )
+        return self.arrivals.exhausted and outstanding == 0
+
+    def _kill_shard(self, sid: int, t: int) -> None:
+        super()._kill_shard(sid, t)
+        self._last_inflight[sid] = 0
+        self._last_backlog[sid] = 0
+
+    def _kill_worker(self, sid: int, t: int) -> None:
+        """``kill-worker`` chaos: a real SIGKILL to the hosting process,
+        applied at the chunk barrier so the drill stays deterministic."""
+        slot_id = self._slot_of.get(sid)
+        slot = self._slots.get(slot_id) if slot_id is not None else None
+        if slot is None:
+            super()._kill_worker(sid, t)  # host already gone: state loss
+            return
+        os.kill(slot.proc.pid, signal.SIGKILL)
+        slot.proc.join()
+        self._on_slot_death(slot, t, "chaos-kill-worker")
+
+    def _deliver_requeue(self, sid, items, t: int) -> None:
+        room = self.admission.max_queue - self._admission_depth(sid)
+        fit = items[:max(0, room)]
+        self.admission.stats.handoff_in += len(fit)
+        self.admission.stats.handoff_overflow += len(items) - len(fit)
+        self._pending_requeue[sid].extend(fit)
+        for gid, _leaf in items[len(fit):]:
+            self._shed(gid, t)
+            self.sup_stats.spill_overflow_shed += 1
+
+    def _apply_restart(self, sid: int, t: int, locations) -> None:
+        """Ship folded state to the hosting worker — a fresh process
+        when the old one died — and requeue the spill behind the
+        mirrored queue, shedding past the bound."""
+        queue_items = list(self._mirror[sid].items())
+        spill = list(self._spill[sid])
+        self._spill[sid].clear()
+        room = self.admission.max_queue - len(queue_items)
+        fit = spill[:max(0, room)]
+        for gid, leaf in fit:
+            queue_items.append((gid, leaf))
+            self._mirror[sid][gid] = leaf
+        for gid, _leaf in spill[len(fit):]:
+            self._shed(gid, t)
+            self.sup_stats.spill_overflow_shed += 1
+        self._replans_left[sid] = MAX_FORCED_REPLANS
+        slot_id = self._slot_of.get(sid)
+        slot = self._slots.get(slot_id) if slot_id is not None else None
+        if slot is None:
+            slot = self._spawn_slot({sid})
+            self.sup_stats.worker_respawns += 1
+            self.worker_log.append(("respawn", sid, slot.proc.pid, t))
+            obs = current_obs()
+            if obs.enabled:
+                resp = obs.metrics.counter(
+                    "serve_worker_respawns_total",
+                    "fresh worker processes spawned for restarts",
+                )
+                resp.inc()
+                resp.labels(shard=sid).inc()
+        targets = {m: self._leaf_of[m] for m in locations}
+        try:
+            slot.conn.send(("restore", sid, locations, targets,
+                            queue_items))
+            msg = slot.conn.recv()
+            if msg[0] == "err":
+                raise msg[1]
+        except (EOFError, BrokenPipeError, OSError):
+            self._on_slot_death(slot, t, "restore-failed")
+            return
+        self._last_inflight[sid] = len(locations)
+        self._last_backlog[sid] = 0
+
+    def _abandon(self, sid: int, t: int) -> None:
+        if self._abandoned[sid]:
+            return
+        super()._abandon(sid, t)
+        self._mirror[sid].clear()
+        self._pending_requeue[sid].clear()
+        self._last_inflight[sid] = 0
+        self._last_backlog[sid] = 0
+
+    # -- chunked execution ---------------------------------------------
+    def _chunk_end(self, t0: int, max_steps: int) -> int:
+        if self.config.arrivals == "closed":
+            # Completions feed the arrival process step by step.
+            return t0
+        e = self.planner.epoch_length
+        t1 = min(((t0 - 1) // e + 1) * e, max_steps)
+        for ev in self.chaos.events:
+            if t0 < ev.step <= t1:
+                t1 = ev.step - 1
+        return t1
+
+    def _stage_offer(self, sid, gid, leaf, t, batch) -> None:
+        if self._dispatchable(sid):
+            self._leaf_of[gid] = leaf
+            entry = batch.setdefault(sid, {"arrivals": {}, "requeue": []})
+            entry["arrivals"].setdefault(t, []).append((gid, leaf))
+            self._mirror[sid][gid] = leaf
+        else:
+            SupervisedLoop._offer(self, sid, gid, leaf, t)
+
+    def _stage_chunk(self, t0: int, t1: int):
+        """Pre-draw and route the chunk's arrivals; stage handoffs."""
+        batch: dict = {}
+        gid_after: "dict[int, int]" = {}
+        exhausted_after: "dict[int, bool]" = {}
+        for sid in range(len(self.engines)):
+            items = self._pending_requeue[sid]
+            if not items:
+                continue
+            self._pending_requeue[sid] = []
+            if self._dispatchable(sid):
+                entry = batch.setdefault(sid,
+                                         {"arrivals": {}, "requeue": []})
+                entry["requeue"].extend(items)
+                for gid, leaf in items:
+                    self._mirror[sid][gid] = leaf
+            else:
+                # The divert target itself went down before delivery:
+                # park the handoff in its spill, shedding past capacity.
+                for gid, leaf in items:
+                    if self._abandoned[sid] or (
+                        len(self._spill[sid]) >= self._spill_capacity
+                    ):
+                        self._shed(gid, t0)
+                        self.sup_stats.spill_overflow_shed += 1
+                    else:
+                        self._spill[sid].append((gid, leaf))
+                        self.metrics.note_spill(gid, t0)
+                        self.sup_stats.spilled += 1
+                        self.sup_stats._bump(
+                            self.sup_stats.spilled_by_shard, sid
+                        )
+        for t in range(t0, t1 + 1):
+            keys = self.arrivals.take(t)
+            gids = list(range(self._next_gid, self._next_gid + len(keys)))
+            self._next_gid += len(keys)
+            for gid, key in zip(gids, keys):
+                sid, leaf = self.router.route(key)
+                self.metrics.note_arrival(gid, sid, t)
+                self._stage_offer(sid, gid, leaf, t, batch)
+            self.arrivals.on_emitted(gids)
+            gid_after[t] = self._next_gid
+            exhausted_after[t] = self.arrivals.exhausted
+        return batch, gid_after, exhausted_after
+
+    def _dispatch_chunk(self, t0: int, t1: int, batch):
+        by_slot: "dict[int, list[int]]" = {}
+        for sid in range(len(self.engines)):
+            if self._dispatchable(sid):
+                by_slot.setdefault(self._slot_of[sid], []).append(sid)
+        pending = []
+        for slot_id, sids in sorted(by_slot.items()):
+            slot = self._slots[slot_id]
+            payload = {s: batch[s] for s in sids if s in batch}
+            try:
+                slot.conn.send(("chunk", t0, t1, payload, sids))
+                pending.append(slot)
+            except (BrokenPipeError, OSError):
+                self._on_slot_death(slot, t0, "send-failed")
+        results = {}
+        for slot in pending:
+            res = self._collect(slot, t0)
+            if res is not None:
+                results[slot.slot_id] = res
+        return results
+
+    def _collect(self, slot, t: int):
+        sup = self.supervisor_config
+        try:
+            if not slot.conn.poll(sup.watchdog_deadline):
+                self.sup_stats.watchdog_timeouts += 1
+                self._count(
+                    "serve_watchdog_timeouts_total",
+                    "shard-step watchdog deadline misses",
+                    shard=min(slot.shards),
+                )
+                self._escalate(slot, t)
+                return None
+            msg = slot.conn.recv()
+        except (EOFError, OSError):
+            self._on_slot_death(slot, t, "pipe-closed")
+            return None
+        if msg[0] == "ok":
+            return msg[1]
+        if msg[0] == "err":
+            raise msg[1]
+        # An unprompted ("cancelled",) means the worker is going away.
+        self._on_slot_death(slot, t, "cancelled")
+        return None
+
+    def _merge_chunk(self, t0, t1, results, gid_after, exhausted_after):
+        """Fold worker results back in (step, shard) ascending order.
+
+        Returns the finish step if the run completed mid-chunk (steps
+        past it are discarded before any journal write), else None."""
+        journal = self._journal
+        metrics = self.metrics
+        per_shard = {}
+        frozen: "dict[int, int]" = {}
+        unconsumed: "dict[int, list]" = {}
+        for res in results.values():
+            for sid, data in res["shards"].items():
+                per_shard[sid] = data
+                acc = self._acc_stats[sid]
+                for k, v in data["stats"].items():
+                    setattr(acc, k, getattr(acc, k) + v)
+                if data["frozen_at"] is not None:
+                    frozen[sid] = data["frozen_at"]
+                if data["unconsumed"]:
+                    unconsumed[sid] = data["unconsumed"]
+            st = self.admission.stats
+            for k, v in res["admission"].items():
+                if k == "max_queue_depth":
+                    st.max_queue_depth = max(st.max_queue_depth, v)
+                elif k == "shed_by_shard":
+                    for s, d in v.items():
+                        st.shed_by_shard[s] = st.shed_by_shard.get(s, 0) + d
+                else:
+                    setattr(st, k, getattr(st, k) + v)
+            ps = self.planner.stats
+            for k, v in res["planner"].items():
+                setattr(ps, k, getattr(ps, k) + v)
+        order = sorted(per_shard)
+        n = len(self.engines)
+        end_t = None
+        for t in range(t0, t1 + 1):
+            for sid in order:  # phases 1-2: sheds, admits, door completions
+                data = per_shard[sid]
+                for gid in data["sheds"].get(t, ()):
+                    self._mirror[sid].pop(gid, None)
+                    self._shed(gid, t)
+                for gid, done in data["admits"].get(t, ()):
+                    self._mirror[sid].pop(gid, None)
+                    metrics.note_admit(gid, t)
+                    if done is not None:
+                        self._complete(gid, done)
+            for sid in order:  # phase 4: journal replay, then completions
+                data = per_shard[sid]
+                for rec in data["records"].get(t, ()):
+                    rtype, rt, rsid, payload = rec
+                    if rtype == REC_FLUSH:
+                        self._schedules[rsid].add(rt, payload)
+                        if journal is not None:
+                            journal.record_flush(rt, rsid, payload)
+                        self._shadow.append((rt, rsid, payload))
+                    elif journal is not None:
+                        journal.record_fault(rt, rsid, *payload)
+                for gid, step in data["exec"].get(t, ()):
+                    self._complete(gid, step)
+            queues, backs, infl = [], [], []
+            for s in range(n):  # phase 5: metering
+                d = per_shard[s]["depths"].get(t) if s in per_shard else None
+                if d is not None:
+                    q, rb, fl = d
+                    self._last_backlog[s] = rb
+                    self._last_inflight[s] = fl
+                    q += len(self._spill[s])
+                else:
+                    q = self._queue_depth(s)
+                    rb = self._last_backlog[s]
+                    fl = self._last_inflight[s]
+                queues.append(q)
+                backs.append(rb)
+                infl.append(fl)
+            metrics.note_step(queues, backs, infl)
+            if journal is not None:
+                journal.end_step(t, gid_after[t],
+                                 len(metrics.completion_step))
+            outstanding = (
+                len(metrics.arrival_step) - len(metrics.completion_step)
+                - len(metrics.shed_ids)
+            )
+            if exhausted_after[t] and outstanding == 0:
+                end_t = t
+                break
+        # Barrier work: quarantine mid-chunk freezes, spill what their
+        # freeze left unoffered, square the mirror with the workers.
+        self._clock = (end_t if end_t is not None else t1) + 1
+        for sid in sorted(frozen):
+            self._replans_left[sid] = 0
+            self._on_replans_exhausted(sid, self.engines[sid], frozen[sid])
+        for sid in sorted(unconsumed):
+            for ta, gid, leaf in unconsumed[sid]:
+                self._mirror[sid].pop(gid, None)
+                SupervisedLoop._offer(self, sid, gid, leaf, ta)
+        for sid in order:
+            assert len(self._mirror[sid]) == per_shard[sid]["queue_len"], (
+                f"shard {sid}: queue mirror diverged from worker "
+                f"({len(self._mirror[sid])} != "
+                f"{per_shard[sid]['queue_len']})"
+            )
+        if end_t is not None and end_t < t1:
+            # Workers ran the chunk tail after the system drained; those
+            # steps never happened as far as the run is concerned.
+            extra = t1 - end_t
+            for sid in order:
+                if sid not in frozen:
+                    self._acc_stats[sid].idle_steps -= extra
+        return end_t
+
+    # -- the run loop --------------------------------------------------
+    def run(self):
+        if self._ran:
+            raise InvalidInstanceError("a ServiceLoop runs exactly once")
+        self._ran = True
+        config = self.config
+        metrics = self.metrics
+        obs = current_obs()
+        enabled = obs.enabled
+        run_span = obs.tracer.span(
+            "serve.run", category="serve",
+            shards=len(self.engines), messages=config.messages,
+        )
+        clock = obs.profiler.clock
+        self._journal = journal = self._open_journal()
+        max_steps = config.max_steps or max(
+            1000, 50 * config.messages * (config.height + 2)
+        )
+        self._fresh = [[] for _ in self.engines]
+        self._replans_left = [MAX_FORCED_REPLANS] * len(self.engines)
+        self._next_gid = 0
+        self._start_workers()
+        t = 0
+        try:
+            while True:
+                if self._finished():
+                    break
+                t0 = t + 1
+                if t0 > max_steps:
+                    raise ExecutionStalledError(
+                        f"serving loop exceeded max_steps={max_steps} "
+                        f"(in flight: {sum(self._last_inflight)})",
+                        step=t0,
+                        epoch=self.planner.epoch_of(t0),
+                        last_durable_step=self._durable_step(),
+                    )
+                self._begin_step(t0)
+                t1 = self._chunk_end(t0, max_steps)
+                batch, gid_after, exhausted = self._stage_chunk(t0, t1)
+                t_exec = clock() if enabled else 0.0
+                results = self._dispatch_chunk(t0, t1, batch)
+                if enabled:
+                    obs.profiler.add(PHASE_EXECUTE, clock() - t_exec)
+                end_t = self._merge_chunk(t0, t1, results, gid_after,
+                                          exhausted)
+                t = end_t if end_t is not None else t1
+                if end_t is not None:
+                    break
+        except ExecutionStalledError:
+            if journal is not None:
+                journal.abort()
+            run_span.set("stalled", True)
+            run_span.finish()
+            raise
+        finally:
+            self._stop_workers()
+        for s in range(len(self.engines)):
+            self._schedules[s].trim()
+            # The parent's engines never stepped; the report reads the
+            # merged truth through them.
+            self.engines[s].schedule = self._schedules[s]
+            self.engines[s].stats = self._acc_stats[s]
+        if journal is not None:
+            journal.finish(t, self._next_gid, len(metrics.completion_step))
+        if enabled:
+            run_span.set_steps(1, t)
+            reg = obs.metrics
+            reg.counter("serve_runs_total", "serving runs completed").inc()
+            reg.counter("serve_steps_total", "serving DAM steps").inc(t)
+            reg.counter(
+                "serve_arrivals_total", "messages that arrived"
+            ).inc(self._next_gid)
+            reg.counter(
+                "serve_admitted_total", "messages admitted past the queues"
+            ).inc(self.admission.stats.admitted)
+            reg.counter(
+                "serve_completions_total", "messages delivered to leaves"
+            ).inc(len(metrics.completion_step))
+            reg.counter(
+                "serve_planned_flushes_total", "flushes emitted by planning"
+            ).inc(self.planner.stats.planned_flushes)
+            flush_counter = reg.counter(
+                "serve_flushes_total", "flushes realized by shard engines"
+            )
+            retry_counter = reg.counter(
+                "serve_retries_total", "failed flush attempts across shards"
+            )
+            for engine in self.engines:
+                flush_counter.inc(engine.stats.flushes)
+                flush_counter.labels(shard=engine.shard_id).inc(
+                    engine.stats.flushes
+                )
+                retry_counter.inc(engine.stats.failed_attempts)
+        run_span.finish()
+        return self._build_report(t)

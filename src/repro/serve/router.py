@@ -447,6 +447,12 @@ class ShardRouter:
             )
         self.n_shards = int(n_shards)
         self.key_space = int(key_space)
+        #: Breaker-open diversion overlay: ``{src_shard: dst_shard}``.
+        #: While present, arrivals keyed into ``src``'s range are routed
+        #: to ``dst`` (resolved transitively, so a diverted-to shard
+        #: that itself trips forwards the chain).  The base ranges are
+        #: untouched — removing the entry restores normal routing.
+        self.diverted: "dict[int, int]" = {}
         self.shards: "list[ShardSpec]" = []
         for s in range(self.n_shards):
             lo = s * self.key_space // self.n_shards
@@ -475,5 +481,54 @@ class ShardRouter:
             sid -= 1
         while key >= self.shards[sid].key_hi:
             sid += 1
-        shard = self.shards[sid]
-        return sid, shard.leaf_for_key(key)
+        home = self.shards[sid]
+        final = self.resolve(sid)
+        if final == sid:
+            return sid, home.leaf_for_key(key)
+        # Diverted: preserve key order on the host by mapping the key's
+        # position within its *home* range proportionally onto the
+        # host's leaves (the key itself is outside the host's range, so
+        # the host's own leaf_for_key cannot place it).
+        return final, self.divert_leaf(home, self.shards[final], key)
+
+    @staticmethod
+    def divert_leaf(home: ShardSpec, host: ShardSpec, key: int) -> int:
+        """Host-shard leaf for a key diverted away from its home range."""
+        span = home.key_hi - home.key_lo
+        idx = (key - home.key_lo) * len(host.leaves) // span
+        return host.leaves[min(idx, len(host.leaves) - 1)]
+
+    # -- breaker-open diversion overlay --------------------------------
+    def resolve(self, sid: int) -> int:
+        """Follow the diversion overlay from ``sid`` to its current host.
+
+        Transitive with a cycle guard: if following the chain revisits a
+        shard (two shards diverted at each other), routing falls back to
+        the *original* shard — a cycle means no healthy host exists, and
+        the supervisor's spill queue is the right destination.
+        """
+        seen = {sid}
+        cur = sid
+        while cur in self.diverted:
+            cur = self.diverted[cur]
+            if cur in seen:
+                return sid
+            seen.add(cur)
+        return cur
+
+    def divert(self, src: int, dst: int) -> None:
+        """Route ``src``'s key range to ``dst`` until :meth:`undivert`."""
+        if src == dst:
+            raise InvalidInstanceError(
+                f"shard {src} cannot divert to itself"
+            )
+        for s in (src, dst):
+            if not (0 <= s < self.n_shards):
+                raise InvalidInstanceError(
+                    f"shard {s} outside [0, {self.n_shards})"
+                )
+        self.diverted[src] = dst
+
+    def undivert(self, src: int) -> None:
+        """Remove ``src``'s overlay entry (no-op when not diverted)."""
+        self.diverted.pop(src, None)

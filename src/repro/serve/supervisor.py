@@ -71,6 +71,7 @@ from repro.dam.schedule import Flush, FlushSchedule
 from repro.faults.chaos import (
     CHAOS_CORRUPT,
     CHAOS_KILL,
+    CHAOS_KILL_WORKER,
     ChaosInjector,
     ChaosPlan,
 )
@@ -130,7 +131,14 @@ class SupervisorConfig:
         watchdog counts a miss (multi-worker driver only).
     watchdog_budget:
         Consecutive watchdog misses tolerated before the run fails with
-        a diagnosable :class:`ExecutionStalledError`.
+        a diagnosable :class:`ExecutionStalledError` (thread driver; the
+        process driver escalates cancel → terminate → kill instead).
+    divert:
+        Breaker-aware routing: while a shard's breaker is open, route
+        its key range to a healthy neighbor shard (spill queue handed
+        off with the switch, journal-checkpointed) and merge back on
+        probe success.  Off by default — diversion changes which shard
+        serves which key, so it is an explicit opt-in.
     """
 
     trip_after: int = 2
@@ -140,6 +148,7 @@ class SupervisorConfig:
     restart_budget: int = 3
     watchdog_deadline: float = 30.0
     watchdog_budget: int = 3
+    divert: bool = False
 
     def __post_init__(self) -> None:
         if self.trip_after < 1:
@@ -294,6 +303,16 @@ class SupervisorStats:
     abandoned_shards: int = 0
     abandoned_messages: int = 0
     watchdog_timeouts: int = 0
+    #: process-driver supervision (always 0 under the thread driver).
+    worker_deaths: int = 0
+    worker_respawns: int = 0
+    watchdog_cancels: int = 0
+    watchdog_terminates: int = 0
+    watchdog_kills: int = 0
+    #: breaker-aware routing (always 0 unless ``divert`` is enabled).
+    diversions: int = 0
+    merge_backs: int = 0
+    divert_handoff_msgs: int = 0
     trips_by_shard: dict = field(default_factory=dict)
     quarantine_epochs_by_shard: dict = field(default_factory=dict)
     restarts_by_shard: dict = field(default_factory=dict)
@@ -320,6 +339,10 @@ class SupervisedReport(ServeReport):
     supervisor: "SupervisorStats | None" = None
     health_log: "tuple[Heartbeat, ...]" = ()
     chaos: "ChaosPlan | None" = None
+    #: process-driver lifecycle: ``(event, shard, pid, step)`` tuples
+    #: (pids are real and therefore non-deterministic; they live here,
+    #: never in the metrics snapshot that determinism drills diff).
+    worker_log: "tuple[tuple, ...]" = ()
 
 
 def rebuild_shard_state(
@@ -418,6 +441,23 @@ class _ShardJournalBuffer:
                 journal.record_fault(t, shard, *payload)
 
 
+def apply_chaos_windows(engine: ShardEngine, chaos: ChaosPlan,
+                        config: ServeConfig, sid: int) -> None:
+    """Layer a chaos plan's stall windows over one shard's injector.
+
+    Factored out of the loop constructor so a shared-nothing worker
+    process can wrap its rebuilt engine identically (the injector seed
+    is a pure function of the run seed and the shard id).
+    """
+    windows = chaos.stall_windows(sid)
+    if windows:
+        engine.injector = ChaosInjector(
+            windows, base=engine.injector, shard_id=sid,
+            seed=_spawn_seed(config.seed, 98, sid),
+        )
+        engine.fault_aware = bool(config.fault_aware)
+
+
 class SupervisedLoop(ServiceLoop):
     """:class:`ServiceLoop` under supervision (see module docstring).
 
@@ -478,32 +518,42 @@ class SupervisedLoop(ServiceLoop):
         self._last_hb = [(0, 0, 0)] * n
         self.sup_stats = SupervisorStats()
         self.health_log: "list[Heartbeat]" = []
+        self.worker_log: "list[tuple]" = []
         self._pool: "ThreadPoolExecutor | None" = None
+        #: the step currently being supervised (diversion handoffs fire
+        #: from breaker trips, which happen at several call depths).
+        self._clock = 0
         # Chaos stall windows wrap the target shards' injectors; kills
         # and corruptions are applied by _begin_step.
         for s, eng in enumerate(self.engines):
-            windows = self.chaos.stall_windows(s)
-            if windows:
-                eng.injector = ChaosInjector(
-                    windows, base=eng.injector, shard_id=s,
-                    seed=_spawn_seed(config.seed, 98, s),
-                )
-                eng.fault_aware = bool(config.fault_aware)
+            apply_chaos_windows(eng, self.chaos, config, s)
 
     # -- journal meta / lifecycle --------------------------------------
+    def _journal_meta(self) -> dict:
+        """Journal meta for this run.  Only non-default supervision
+        state goes in: the default supervised journal stays
+        byte-identical to ServiceLoop's.  When supervision *is* in
+        play, the driver topology rides along so recovery re-derives
+        the run under the identical driver."""
+        meta = self.config.to_meta()
+        if not self.chaos.is_zero:
+            meta["chaos"] = self.chaos.to_meta()
+        if self.supervisor_config != SupervisorConfig():
+            meta["supervisor"] = self.supervisor_config.to_meta()
+        if "chaos" in meta or "supervisor" in meta:
+            meta["driver"] = self._driver_meta()
+        return meta
+
+    def _driver_meta(self) -> dict:
+        return {"kind": "threads", "workers": self.workers}
+
     def _open_journal(self) -> "_ServeJournal | None":
         if self._journal_arg is None:
             return None
         if isinstance(self._journal_arg, JournalWriter):
             return _ServeJournal(self._journal_arg, False,
                                  self.config.checkpoint_every)
-        meta = self.config.to_meta()
-        # Only non-default supervision state goes into meta: the default
-        # supervised journal stays byte-identical to ServiceLoop's.
-        if not self.chaos.is_zero:
-            meta["chaos"] = self.chaos.to_meta()
-        if self.supervisor_config != SupervisorConfig():
-            meta["supervisor"] = self.supervisor_config.to_meta()
+        meta = self._journal_meta()
         writer = JournalWriter(
             self._journal_arg, meta=meta, sync=self._sync,
             max_segment_bytes=self._max_segment_bytes,
@@ -543,6 +593,98 @@ class SupervisedLoop(ServiceLoop):
             "serve_breaker_trips_total", "shard circuit breakers tripped",
             shard=sid,
         )
+        self._maybe_divert(sid)
+
+    # -- breaker-aware diversion ---------------------------------------
+    def _divert_target(self, sid: int) -> "int | None":
+        """Deterministic neighbor choice: prefer ``sid + 1``, else
+        ``sid - 1``; a candidate must be serving (not quarantined or
+        abandoned) and must still own its own range."""
+        for n in (sid + 1, sid - 1):
+            if not (0 <= n < len(self.engines)) or self._abandoned[n]:
+                continue
+            if self._health[n] in (HEALTHY, DEGRADED) \
+                    and self.router.resolve(n) == n:
+                return n
+        return None
+
+    def _remap_leaf(self, src: int, dst: int, leaf: int) -> int:
+        """Map a src-shard leaf onto dst's leaves, preserving key order."""
+        src_leaves = self.router.shards[src].leaves
+        dst_leaves = self.router.shards[dst].leaves
+        idx = src_leaves.index(leaf) * len(dst_leaves) // len(src_leaves)
+        return dst_leaves[min(idx, len(dst_leaves) - 1)]
+
+    def _maybe_divert(self, sid: int) -> None:
+        """Divert a breaker-open shard's key range to a healthy neighbor.
+
+        The switch is journal-checkpointed: durability is sealed first,
+        then a ``divert`` record names the new host and every spill-queue
+        message handed over with it, so the ownership move is durable at
+        the moment it happened.  Conservation is exact across the
+        handoff — every spilled message is either requeued on the
+        neighbor or counted-shed, and its ``shard_of`` moves with it.
+        """
+        if not self.supervisor_config.divert or self._abandoned[sid]:
+            return
+        if sid in self.router.diverted:
+            return
+        target = self._divert_target(sid)
+        if target is None:
+            return
+        t = self._clock
+        self.router.divert(sid, target)
+        items = [
+            (gid, self._remap_leaf(sid, target, leaf))
+            for gid, leaf in self._spill[sid]
+        ]
+        self._spill[sid].clear()
+        for gid, leaf in items:
+            self._leaf_of[gid] = leaf
+            self.metrics.shard_of[gid] = target
+        if self._journal is not None:
+            if t > 1:
+                self._journal.checkpoint(
+                    t - 1, self._next_gid, len(self.metrics.completion_step)
+                )
+            self._journal.record_divert(t, sid, target,
+                                        [gid for gid, _ in items])
+        self.sup_stats.diversions += 1
+        self.sup_stats.divert_handoff_msgs += len(items)
+        self._count(
+            "serve_diversions_total",
+            "breaker-open key-range diversions", shard=sid,
+        )
+        if items:
+            self._count(
+                "serve_divert_handoff_msgs_total",
+                "spill-queue messages handed off by diversions",
+                n=len(items),
+            )
+        self._deliver_requeue(target, items, t)
+
+    def _merge_back(self, sid: int, t: int) -> None:
+        """Remove ``sid``'s overlay on probe success (messages already
+        diverted stay with the neighbor that admitted them)."""
+        if sid not in self.router.diverted:
+            return
+        self.router.undivert(sid)
+        if self._journal is not None:
+            self._journal.record_divert(t, sid, sid)
+        self.sup_stats.merge_backs += 1
+        self._count(
+            "serve_merge_backs_total",
+            "diverted key ranges merged back", shard=sid,
+        )
+
+    def _deliver_requeue(self, sid: int, items: "list[tuple[int, int]]",
+                         t: int) -> None:
+        """Put handed-off ``(gid, leaf)`` pairs in front of ``sid``'s
+        admission; the queue bound sheds the overflow, counted."""
+        accepted = self.admission.handoff(sid, items)
+        for gid, _leaf in items[accepted:]:
+            self._shed(gid, t)
+            self.sup_stats.spill_overflow_shed += 1
 
     # -- phase overrides -----------------------------------------------
     def _finished(self) -> bool:
@@ -560,6 +702,7 @@ class SupervisedLoop(ServiceLoop):
         return outstanding == 0
 
     def _begin_step(self, t: int) -> None:
+        self._clock = t
         if self.planner.is_boundary(t) and t > 1:
             self._heartbeat(t)
         for event in self.chaos.events_at(t):
@@ -569,6 +712,15 @@ class SupervisedLoop(ServiceLoop):
                 self._kill_shard(event.shard, t)
             elif event.kind == CHAOS_CORRUPT:
                 self._corrupted[event.shard] = True
+            elif event.kind == CHAOS_KILL_WORKER:
+                self._kill_worker(event.shard, t)
+
+    def _kill_worker(self, sid: int, t: int) -> None:
+        """``kill-worker`` under a threads-only driver degrades to a
+        simulated kill: there is no separate process to SIGKILL, but the
+        shard still loses all in-memory state (the process driver
+        overrides this with a real signal)."""
+        self._kill_shard(sid, t)
 
     def _offer(self, sid: int, gid: int, leaf: int, t: int) -> None:
         self._leaf_of[gid] = leaf
@@ -676,27 +828,38 @@ class SupervisedLoop(ServiceLoop):
                     ) from None
 
     # -- supervision proper --------------------------------------------
+    def _vitals(self, sid: int) -> "tuple[int, int, int, int]":
+        """Cumulative ``(flushes, completed, failed_attempts, in_flight)``
+        for one shard.  The thread driver reads the live engine; the
+        process driver overrides this to read its merged mirrors."""
+        es = self.engines[sid].stats
+        return (es.flushes, es.completed, es.failed_attempts,
+                self.engines[sid].in_flight)
+
+    def _admission_depth(self, sid: int) -> int:
+        """Arrivals queued in front of ``sid`` (driver-specific source)."""
+        return self.admission.queue_depth(sid)
+
     def _heartbeat(self, t: int) -> None:
         """Evaluate the epoch that ended at step ``t - 1``."""
         epoch = self.planner.epoch_of(t - 1)
         stats = self.sup_stats
-        for sid, engine in enumerate(self.engines):
-            es = engine.stats
+        for sid in range(len(self.engines)):
+            flushes, completed, failed, in_flight = self._vitals(sid)
             prev = self._last_hb[sid]
-            d_flush = es.flushes - prev[0]
-            d_done = es.completed - prev[1]
-            d_failed = es.failed_attempts - prev[2]
-            self._last_hb[sid] = (es.flushes, es.completed,
-                                  es.failed_attempts)
-            queued = self.admission.queue_depth(sid)
+            d_flush = flushes - prev[0]
+            d_done = completed - prev[1]
+            d_failed = failed - prev[2]
+            self._last_hb[sid] = (flushes, completed, failed)
+            queued = self._admission_depth(sid)
             spilled = len(self._spill[sid])
-            pending = engine.in_flight > 0 or queued > 0
+            pending = in_flight > 0 or queued > 0
             stalled = pending and d_flush == 0 and d_done == 0
             state = self._health[sid]
             self.health_log.append(Heartbeat(
                 epoch=epoch, shard=sid, state=state,
                 flushes=d_flush, completions=d_done,
-                failed_attempts=d_failed, in_flight=engine.in_flight,
+                failed_attempts=d_failed, in_flight=in_flight,
                 queued=queued, spilled=spilled, stalled=stalled,
             ))
             if self._abandoned[sid]:
@@ -710,6 +873,10 @@ class SupervisedLoop(ServiceLoop):
                     "epochs shards spent quarantined",
                     shard=sid,
                 )
+                # A shard that tripped with no healthy neighbor may gain
+                # one later — divert then, handing over whatever spilled
+                # in the meantime.
+                self._maybe_divert(sid)
                 if breaker.probe_due(epoch):
                     breaker.half_open()
                     self._health[sid] = RECOVERING
@@ -722,10 +889,11 @@ class SupervisedLoop(ServiceLoop):
                     self._restart_shard(sid, t)
             elif state == RECOVERING:
                 if d_flush > 0 or d_done > 0 or (
-                    engine.in_flight == 0 and queued == 0 and spilled == 0
+                    in_flight == 0 and queued == 0 and spilled == 0
                 ):
                     breaker.close()
                     self._health[sid] = HEALTHY
+                    self._merge_back(sid, t)
                 else:
                     # The probe epoch made no progress: back to open,
                     # with a deeper backoff.
@@ -831,15 +999,7 @@ class SupervisedLoop(ServiceLoop):
             stats.corrupt_restarts += 1
             self._abandon(sid, t)
             return False
-        # The engine's realized schedule and counters survived the wipe
-        # (they belong to the run's accounting); only machine state is
-        # rebuilt.
-        engine.wipe()
-        engine.restore_state(locations, self._leaf_of)
-        self._fresh[sid] = []
-        self._replans_left[sid] = MAX_FORCED_REPLANS
-        if engine.location:
-            self.planner.plan(engine, [], force_full=True)
+        self._apply_restart(sid, t, locations)
         stats.restarts += 1
         stats._bump(stats.restarts_by_shard, sid)
         stats.replayed_flushes += len(records)
@@ -854,6 +1014,25 @@ class SupervisedLoop(ServiceLoop):
             shard=sid,
             n=len(records),
         )
+        return True
+
+    def _apply_restart(self, sid: int, t: int,
+                       locations: "dict[int, int]") -> None:
+        """Install the folded restart state and requeue the spill.
+
+        The thread driver rebuilds the in-process engine; the process
+        driver overrides this to ship the state to a worker (a fresh
+        process when the old one died).  The engine's realized schedule
+        and counters survive the wipe (they belong to the run's
+        accounting); only machine state is rebuilt.
+        """
+        engine = self.engines[sid]
+        engine.wipe()
+        engine.restore_state(locations, self._leaf_of)
+        self._fresh[sid] = []
+        self._replans_left[sid] = MAX_FORCED_REPLANS
+        if engine.location:
+            self.planner.plan(engine, [], force_full=True)
         # Spilled arrivals go back in front of admission; any the queue
         # bound rejects are counted-shed, never dropped.
         items = list(self._spill[sid])
@@ -861,8 +1040,7 @@ class SupervisedLoop(ServiceLoop):
         accepted = self.admission.requeue(sid, items)
         for gid, _leaf in items[accepted:]:
             self._shed(gid, t)
-            stats.spill_overflow_shed += 1
-        return True
+            self.sup_stats.spill_overflow_shed += 1
 
     def _abandon(self, sid: int, t: int) -> None:
         """Permanent quarantine: counted-shed everything and lock open."""
@@ -908,4 +1086,5 @@ class SupervisedLoop(ServiceLoop):
             supervisor=self.sup_stats,
             health_log=tuple(self.health_log),
             chaos=self.chaos,
+            worker_log=tuple(self.worker_log),
         )

@@ -62,6 +62,13 @@ class JournalCorruptionError(JournalError):
         self.offset = offset
         self.reason = reason
 
+    def __reduce__(self):
+        # Keyword-only attributes ride in the state dict: the 3-tuple
+        # form reconstructs via ``cls(*args)`` (all kwargs default) and
+        # then restores ``__dict__``, so diagnostics survive a process
+        # boundary (multiprocessing pipes pickle raised errors).
+        return (type(self), self.args, dict(self.__dict__))
+
 
 class ExecutionStalledError(InvalidScheduleError):
     """An executor made no progress and exhausted its recovery options.
@@ -117,3 +124,9 @@ class ExecutionStalledError(InvalidScheduleError):
         self.shard_id = shard_id
         self.epoch = epoch
         self.last_durable_step = last_durable_step
+
+    def __reduce__(self):
+        # See JournalCorruptionError.__reduce__: keep the stall state
+        # (step, shard, parked messages, ...) across pickling so a
+        # worker process can report a diagnosable failure to its parent.
+        return (type(self), self.args, dict(self.__dict__))

@@ -52,3 +52,74 @@ def test_execution_stalled_in_hierarchy():
     bare = ExecutionStalledError("stalled")
     assert bare.step == -1 and bare.parked_messages == ()
     assert bare.blocking_flush is None
+
+
+# ----------------------------------------------------------------------
+# Pickle round-trips: typed errors cross process boundaries intact
+# ----------------------------------------------------------------------
+def _roundtrip(err):
+    import pickle
+
+    return pickle.loads(pickle.dumps(err))
+
+
+def _error_cases():
+    from repro.util.errors import (
+        ExecutionStalledError,
+        JournalCorruptionError,
+        JournalError,
+    )
+
+    return [
+        ReproError("base"),
+        InvalidInstanceError("bad instance"),
+        InvalidScheduleError("bad schedule"),
+        InvalidFlushError("bad flush"),
+        ExecutionStalledError(
+            "stalled", step=7, parked_messages=((3, 1),),
+            blocking_flush="f", pending_flushes=("f", "g"),
+            shard_id=2, epoch=4, last_durable_step=6,
+        ),
+        JournalError("journal broke"),
+        JournalCorruptionError("torn", offset=123, reason="bad-crc"),
+    ]
+
+
+@pytest.mark.parametrize(
+    "err", _error_cases(), ids=lambda e: type(e).__name__
+)
+def test_every_typed_error_pickles_round_trip(err):
+    """The process driver ships raised errors over a pipe: every typed
+    error must survive pickling with type, args, and every keyword-only
+    diagnostic attribute intact."""
+    back = _roundtrip(err)
+    assert type(back) is type(err)
+    assert back.args == err.args
+    assert str(back) == str(err)
+    assert back.__dict__ == err.__dict__
+
+
+def test_error_cases_cover_the_whole_hierarchy():
+    """If a new typed error appears, it must join the round-trip list."""
+    import repro.util.errors as mod
+
+    public = {
+        obj for name in dir(mod)
+        if isinstance(obj := getattr(mod, name), type)
+        and issubclass(obj, Exception)
+        and obj.__module__ == "repro.util.errors"
+    }
+    covered = {type(e) for e in _error_cases()}
+    assert public == covered, public.symmetric_difference(covered)
+
+
+def test_pickled_stall_keeps_supervision_diagnostics():
+    from repro.util.errors import ExecutionStalledError
+
+    err = _roundtrip(
+        ExecutionStalledError("x", shard_id=1, epoch=3,
+                              last_durable_step=12)
+    )
+    assert err.shard_id == 1
+    assert err.epoch == 3
+    assert err.last_durable_step == 12
