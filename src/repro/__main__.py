@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands cover the common workflows without writing code:
+Ten subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
@@ -23,6 +23,11 @@ Nine subcommands cover the common workflows without writing code:
   kill/stall/corrupt scenario;
 * ``compact`` — drop sealed journal records a later checkpoint
   supersedes (recovery stays exact; see :mod:`repro.dam.compaction`);
+* ``kv``      — operate the durable on-disk KV engine directly
+  (:mod:`repro.lsm.disk`): seeded ingest with an optional mid-stream
+  SIGKILL, exact read-back verification, checksum scrub-and-repair,
+  compaction, stats (``serve --engine lsm`` runs the same engine under
+  the serving loop);
 * ``trace``   — run any other subcommand under :mod:`repro.obs`
   observability and write a Perfetto-loadable trace, a deterministic
   metrics snapshot, and a span tree (see ``docs/OBSERVABILITY.md``).
@@ -41,6 +46,10 @@ Examples::
     python -m repro serve --arrivals poisson --rate 8 --shards 4 --seed 1
     python -m repro serve --supervised --chaos --seed 3 --messages 400
     python -m repro compact /tmp/serve.journal
+    python -m repro serve --engine lsm --data-dir /tmp/kv --messages 500
+    python -m repro kv ingest --dir /tmp/kv2 --n 2000 --crash-after 1200
+    python -m repro kv check-ingest --dir /tmp/kv2 --n 2000
+    python -m repro kv scrub --dir /tmp/kv2
     python -m repro trace --out /tmp/t serve --messages 200 --seed 1
 """
 
@@ -306,6 +315,8 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         retry_budget=args.retry_budget,
         seed=args.seed,
         checkpoint_every=args.checkpoint_every,
+        engine=args.engine,
+        data_dir=args.data_dir or "",
     )
 
 
@@ -395,6 +406,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"admission: {ad.admitted}/{ad.offered} admitted, {ad.shed} shed, "
         f"max queue depth {ad.max_queue_depth}, {ad.stall_holds} stall holds"
     )
+    if config.engine == "lsm" and loop.store is not None:
+        st = loop.store.stats()
+        level_runs = "/".join(str(lv["runs"]) for lv in st["levels"]) or "0"
+        print(
+            f"store: {config.data_dir} — {st['seq']} op(s) acknowledged, "
+            f"manifest v{st['manifest_version']}, wal gen {st['wal_gen']}, "
+            f"runs per level {level_runs}"
+        )
     sup = getattr(report, "supervisor", None)
     if sup is not None:
         print(
@@ -570,6 +589,172 @@ def cmd_compact(args: argparse.Namespace) -> int:
         f"({report.bytes_before} -> {report.bytes_after})"
     )
     return 0
+
+
+def _kv_op_stream(seed: int, n: int, key_space: int):
+    """The deterministic op stream ``kv ingest`` writes and ``kv
+    check-ingest`` re-derives: op ``i`` (1-based seq) is a put or a
+    delete over a bounded key universe, all draws from ``seed``."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for i in range(1, n + 1):
+        key = f"k{int(rng.integers(0, key_space)):06d}"
+        if rng.random() < 0.2:
+            yield i, "del", key, None
+        else:
+            yield i, "put", key, {"seq": i, "payload": i * 7919 % 100003}
+
+
+def cmd_kv(args: argparse.Namespace) -> int:
+    """Run the `kv` subcommand (durable on-disk KV engine)."""
+    import json as _json
+    import os as _os
+    import signal as _signal
+
+    from repro.lsm.disk import KVStore, run_scrub
+    from repro.util.errors import StorageError
+
+    def open_store():
+        return KVStore(args.dir, sync=args.sync,
+                       memtable_capacity=args.memtable_capacity,
+                       size_ratio=args.size_ratio)
+
+    try:
+        if args.action == "ingest":
+            store = open_store()
+            for i, op, key, value in _kv_op_stream(
+                args.seed, args.n, args.key_space
+            ):
+                if op == "put":
+                    store.put(key, value)
+                else:
+                    store.delete(key)
+                if args.crash_after and i >= args.crash_after:
+                    # The acknowledged prefix is on disk; prove it by
+                    # dying the hard way (no atexit, no flush).
+                    _os.kill(_os.getpid(), _signal.SIGKILL)
+            store.close()
+            print(f"ingested {args.n} op(s) into {args.dir}")
+            return 0
+        if args.action == "check-ingest":
+            store = open_store()
+            frontier = store.stats()["seq"]
+            expected: "dict[str, object]" = {}
+            for i, op, key, value in _kv_op_stream(
+                args.seed, args.n, args.key_space
+            ):
+                if i > frontier:
+                    break
+                if op == "put":
+                    expected[key] = value
+                else:
+                    expected.pop(key, None)
+            got = dict(store.items())
+            store.close()
+            if got != expected:
+                missing = sorted(set(expected) - set(got))
+                extra = sorted(set(got) - set(expected))
+                wrong = sorted(
+                    k for k in set(got) & set(expected)
+                    if got[k] != expected[k]
+                )
+                print(
+                    f"ACKNOWLEDGED STATE LOST: frontier seq {frontier}, "
+                    f"{len(missing)} missing, {len(extra)} extra, "
+                    f"{len(wrong)} wrong value(s)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"exact: all {frontier} acknowledged op(s) recovered "
+                f"({len(expected)} live key(s))"
+            )
+            return 0
+        if args.action == "get":
+            store = open_store()
+            sentinel = object()
+            value = store.get(args.key, sentinel)
+            store.close()
+            if value is sentinel:
+                print(f"{args.key}: not found", file=sys.stderr)
+                return 1
+            print(_json.dumps(value, sort_keys=True))
+            return 0
+        if args.action == "put":
+            store = open_store()
+            seq = store.put(args.key, _json.loads(args.value))
+            store.close()
+            print(f"seq {seq}")
+            return 0
+        if args.action == "del":
+            store = open_store()
+            seq = store.delete(args.key)
+            store.close()
+            print(f"seq {seq}")
+            return 0
+        if args.action in ("verify", "scrub"):
+            store = open_store()
+            store.check_invariants()
+            report = run_scrub(store, repair=args.action == "scrub")
+            store.close()
+            payload = report.to_payload()
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as f:
+                    _json.dump(payload, f, indent=2, sort_keys=True)
+            if report.clean:
+                print(
+                    f"clean: {report.files_checked} file(s), "
+                    f"{report.blocks_checked} block(s), "
+                    f"{report.wal_generations_checked} WAL generation(s) "
+                    "verified"
+                )
+                return 0
+            for f in report.findings:
+                print(
+                    f"finding: {f.path} block {f.block} offset "
+                    f"{f.offset} ({f.reason})"
+                )
+            if args.action == "scrub":
+                print(
+                    f"repaired: {len(report.quarantined)} file(s) "
+                    f"quarantined, {report.salvaged_entries} entry(ies) "
+                    f"salvaged; lost ranges: "
+                    + (", ".join(
+                        f"[{r.first_key}..{r.last_key}] "
+                        f"({r.classification}, {r.entries_lost} entries)"
+                        for r in report.lost
+                    ) or "none")
+                )
+            return 1
+        if args.action == "compact":
+            store = open_store()
+            tasks = (
+                store.drain_backlog()
+                if args.drain else len(store.maintain(args.budget))
+            )
+            store.check_invariants()
+            stats = store.stats()
+            store.close()
+            runs = "/".join(str(lv["runs"]) for lv in stats["levels"])
+            print(f"{tasks} compaction task(s) run; runs per level {runs}")
+            return 0
+        if args.action == "stats":
+            store = open_store()
+            stats = store.stats()
+            store.close()
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as f:
+                    _json.dump(stats, f, indent=2, sort_keys=True)
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"unknown kv action {args.action!r}", file=sys.stderr)
+        return 2
+    except StorageError as exc:
+        reason = getattr(exc, "reason", "")
+        tag = f" [{reason}]" if reason else ""
+        print(f"storage error{tag}: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -792,6 +977,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fault-aware", action="store_true")
     p_serve.add_argument("--retry-budget", type=int, default=5)
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--engine", choices=("sim", "lsm"), default="sim",
+                         help="storage engine behind completions: 'sim' "
+                         "(in-memory) or 'lsm' (durable on-disk KV store; "
+                         "needs --data-dir).  The engine is a passive "
+                         "sink, so schedules are identical either way")
+    p_serve.add_argument("--data-dir", type=str, default=None,
+                         help="directory for the 'lsm' engine's store")
     p_serve.add_argument("--journal", type=str, default=None,
                          help="stream a crash-recoverable journal here")
     p_serve.add_argument("--checkpoint-every", type=int, default=32,
@@ -868,6 +1060,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compact.add_argument("journal", type=str)
     p_compact.set_defaults(func=cmd_compact)
+
+    p_kv = sub.add_parser(
+        "kv", help="durable on-disk KV engine (WAL + SSTables + manifest)",
+        description="Operate one repro.lsm.disk store directly: seeded "
+        "ingest (optionally SIGKILLing itself mid-stream), exact "
+        "read-back verification of the acknowledged prefix, point "
+        "get/put/del, checksum verify/scrub, compaction, and stats.",
+    )
+    p_kv.add_argument(
+        "action",
+        choices=("ingest", "check-ingest", "get", "put", "del",
+                 "verify", "scrub", "compact", "stats"),
+    )
+    p_kv.add_argument("key", nargs="?", default=None,
+                      help="key for get/put/del")
+    p_kv.add_argument("value", nargs="?", default=None,
+                      help="JSON value for put")
+    p_kv.add_argument("--dir", type=str, required=True,
+                      help="the store's directory")
+    p_kv.add_argument("--n", type=int, default=1000,
+                      help="ops in the seeded ingest stream")
+    p_kv.add_argument("--seed", type=int, default=0)
+    p_kv.add_argument("--key-space", type=int, default=256,
+                      help="key universe of the ingest stream")
+    p_kv.add_argument("--crash-after", type=int, default=0,
+                      help="SIGKILL the ingest after this many "
+                      "acknowledged ops (0 = run to completion)")
+    p_kv.add_argument("--sync", action="store_true",
+                      help="fsync the WAL at every acknowledged op")
+    p_kv.add_argument("--memtable-capacity", type=int, default=256)
+    p_kv.add_argument("--size-ratio", type=int, default=4)
+    p_kv.add_argument("--budget", type=int, default=1,
+                      help="compaction tasks per `kv compact`")
+    p_kv.add_argument("--drain", action="store_true",
+                      help="compact until the scheduler is satisfied")
+    p_kv.add_argument("--json", type=str, default=None,
+                      help="also write the report/stats JSON here")
+    p_kv.set_defaults(func=cmd_kv)
 
     p_trace = sub.add_parser(
         "trace", help="run any subcommand under observability",

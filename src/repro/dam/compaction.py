@@ -25,10 +25,10 @@ regression in ``tests/dam/test_compaction.py``):
   (``t <= C``) could never have been replayed and a dropped checkpoint
   (``t < C``) could never have been the base.  The ``meta`` record and
   the bar checkpoint itself always survive.
-* **Rewrites are atomic.**  Each compacted segment is rewritten to a
-  temporary file, fsynced, and ``os.replace``\\ d over the original, so
-  a crash mid-compaction leaves either the old or the new bytes — both
-  valid journals.  Segments left empty keep their header so
+* **Rewrites are atomic.**  Each compacted segment is rewritten through
+  :func:`repro.util.atomic.atomic_write_bytes` (tmp + fsync + rename),
+  so a crash mid-compaction leaves either the old or the new bytes —
+  both valid journals.  Segments left empty keep their header so
   :func:`~repro.dam.journal.journal_segments` chain enumeration (which
   stops at the first gap) still sees an unbroken chain.
 
@@ -51,6 +51,7 @@ from repro.dam.journal import (
     journal_segments,
 )
 from repro.obs.hooks import current_obs
+from repro.util.atomic import atomic_write_bytes
 from repro.util.errors import JournalCorruptionError
 
 
@@ -169,14 +170,9 @@ def _compact(path, segments: "list[Path]") -> CompactionReport:
         if not changed:
             bytes_after += len(data)
             continue
-        tmp = Path(f"{seg}.compact-tmp")
-        with open(tmp, "wb") as f:
-            f.write(_HEADER)
-            for rec in kept:
-                f.write(encode_record(rec))
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, seg)
+        atomic_write_bytes(
+            seg, _HEADER + b"".join(encode_record(rec) for rec in kept)
+        )
         bytes_after += seg.stat().st_size
         compacted += 1
     return CompactionReport(

@@ -1,0 +1,473 @@
+"""The durable KV facade: WAL + memtable + leveled SSTables + manifest.
+
+:class:`KVStore` composes the pieces of :mod:`repro.lsm.disk` into the
+engine the serving stack plugs in: ``put``/``delete`` append to the WAL
+(generation files, WOJ1-framed) and land in an in-memory memtable; a
+full memtable flushes to a level-0 SSTable; leveled compaction is
+*scheduled* by a :class:`~repro.lsm.disk.scheduler.DiskCompactionPolicy`
+and executed one task per :meth:`maintain` call, so maintenance is
+de-amortized exactly like ``LSMTree.maintain(budget=1)`` — a serving
+loop is never stalled behind a full compaction cascade.
+
+**The durability protocol.**  Every multi-file transition follows
+write-new / commit-manifest / delete-old:
+
+1. new SSTables appear atomically (tmp + fsync + rename) but are
+   invisible until referenced;
+2. one atomic manifest swap is the commit point;
+3. files the new manifest no longer references are deleted *after* the
+   swap — a crash between 2 and 3 strands garbage, never state, and the
+   next :meth:`open` collects it.
+
+A memtable flush additionally rotates the WAL *between* steps 1 and 2
+(new generation opened before the manifest that obsoletes the old one
+commits), so there is no interval in which an operation is in neither a
+live WAL generation nor a referenced SSTable.  Recovery is therefore a
+pure function of the surviving files: manifest -> live SSTables ->
+WAL replay (``seq > last_flushed_seq``, contiguity enforced) -> the
+exact acknowledged state, or a typed
+:class:`~repro.util.errors.StorageCorruptionError` — never silence.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.lsm.disk.manifest import (
+    Manifest,
+    commit_manifest,
+    load_or_init_manifest,
+)
+from repro.lsm.disk.scheduler import (
+    CompactionTask,
+    DiskCompactionPolicy,
+    HornDensityPolicy,
+)
+from repro.lsm.disk.sstable import (
+    KIND_PUT,
+    KIND_TOMBSTONE,
+    SSTableMeta,
+    SSTableReader,
+    sstable_name,
+    write_sstable,
+)
+from repro.lsm.disk.wal import (
+    REC_DEL,
+    REC_PUT,
+    delete_record,
+    open_wal,
+    put_record,
+    replay_wal,
+    wal_generations,
+    wal_path,
+)
+from repro.obs.hooks import current_obs
+from repro.util.atomic import remove_stale_tmp
+from repro.util.errors import InvalidInstanceError, StorageError
+
+
+class KVStore:
+    """A crash-safe ordered KV store over one directory.
+
+    Parameters
+    ----------
+    directory:
+        The store's home; created if missing.  One store per directory.
+    memtable_capacity:
+        Operations buffered before an automatic flush to level 0.
+    size_ratio:
+        Growth factor ``T`` between levels (and the L0 run budget).
+    sync:
+        ``True`` fsyncs the WAL at every acknowledged operation —
+        survives OS crashes.  ``False`` leaves durability at the OS
+        page cache (survives process kills, which is the chaos suite's
+        fault model) and is ~an order of magnitude faster.
+    policy:
+        Compaction scheduler; default :class:`HornDensityPolicy`.
+    auto_maintain:
+        Run one scheduled compaction task after each automatic flush.
+    """
+
+    def __init__(
+        self, directory: "str | os.PathLike", *,
+        memtable_capacity: int = 256, size_ratio: int = 4,
+        sync: bool = True, block_entries: int = 64,
+        policy: "DiskCompactionPolicy | None" = None,
+        auto_maintain: bool = True,
+    ) -> None:
+        if memtable_capacity < 1 or size_ratio < 2:
+            raise InvalidInstanceError(
+                "need memtable_capacity >= 1 and size_ratio >= 2, got "
+                f"{memtable_capacity}, {size_ratio}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.memtable_capacity = int(memtable_capacity)
+        self.size_ratio = int(size_ratio)
+        self.sync = bool(sync)
+        self.block_entries = int(block_entries)
+        self.policy = policy if policy is not None else HornDensityPolicy()
+        self.auto_maintain = bool(auto_maintain)
+        obs = current_obs()
+        self._metrics = obs.metrics if obs.enabled else None
+        # -- recovery ---------------------------------------------------
+        remove_stale_tmp(self.directory)
+        self.manifest = load_or_init_manifest(self.directory)
+        self._gc_orphans()
+        self._readers: "dict[int, SSTableReader]" = {}
+        #: key -> (seq, kind, value); replay rebuilds the pre-crash one.
+        self.memtable: "dict" = {}
+        records, torn = replay_wal(
+            self.directory,
+            from_gen=self.manifest.wal_gen,
+            after_seq=self.manifest.last_flushed_seq,
+        )
+        self.recovered_records = len(records)
+        self.recovered_torn_bytes = int(torn)
+        self._seq = self.manifest.last_flushed_seq
+        for rec in records:
+            self._seq = int(rec["seq"])
+            if rec["type"] == REC_PUT:
+                self.memtable[rec["key"]] = (
+                    self._seq, KIND_PUT, rec["value"]
+                )
+            else:
+                self.memtable[rec["key"]] = (self._seq, KIND_TOMBSTONE, None)
+        # Never append to a replayed generation (JournalWriter truncates
+        # at open): writing continues in a fresh generation.  The
+        # manifest still points at the old one, so a second crash
+        # replays both, in order — contiguity carries across.
+        gens = wal_generations(self.directory)
+        self._wal_gen = (gens[-1][0] + 1) if gens else self.manifest.wal_gen
+        self._wal = open_wal(self.directory, self._wal_gen, sync=self.sync)
+        self._closed = False
+        if self._metrics is not None and self.recovered_records:
+            self._metrics.counter(
+                "kv_recovered_records_total",
+                "WAL records replayed into the memtable at open",
+            ).inc(self.recovered_records)
+
+    # -- recovery helpers ----------------------------------------------
+    def _gc_orphans(self) -> None:
+        """Delete files the manifest does not reference (crash litter)."""
+        live = {meta.name for meta in self.manifest.live_files()}
+        for path in self.directory.glob("sst-*.sst"):
+            if path.name not in live:
+                path.unlink()
+        for gen, path in wal_generations(self.directory):
+            if gen < self.manifest.wal_gen:
+                path.unlink()
+
+    # -- write path -----------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"{self.directory}: store is closed")
+
+    def put(self, key, value) -> int:
+        """Write ``key -> value``; returns the operation's sequence number.
+
+        The operation is durable (to the configured ``sync`` level) when
+        this returns: WAL first, memtable second.
+        """
+        self._require_open()
+        self._seq += 1
+        self._wal.append(put_record(self._seq, key, value))
+        self._wal.flush()
+        self._count("kv_wal_appends_total", "WAL records acknowledged")
+        self.memtable[key] = (self._seq, KIND_PUT, value)
+        self._maybe_flush()
+        return self._seq
+
+    def delete(self, key) -> int:
+        """Write a tombstone for ``key``; returns its sequence number."""
+        self._require_open()
+        self._seq += 1
+        self._wal.append(delete_record(self._seq, key))
+        self._wal.flush()
+        self._count("kv_wal_appends_total", "WAL records acknowledged")
+        self.memtable[key] = (self._seq, KIND_TOMBSTONE, None)
+        self._maybe_flush()
+        return self._seq
+
+    def _maybe_flush(self) -> None:
+        if len(self.memtable) < self.memtable_capacity:
+            return
+        self.flush_memtable()
+        if self.auto_maintain:
+            self.maintain()
+
+    # -- read path ------------------------------------------------------
+    def _reader(self, meta: SSTableMeta) -> SSTableReader:
+        reader = self._readers.get(meta.file_id)
+        if reader is None:
+            reader = SSTableReader(self.directory / meta.name)
+            self._readers[meta.file_id] = reader
+        return reader
+
+    def get(self, key, default=None):
+        """The newest visible value for ``key`` (``default`` if absent
+        or tombstoned)."""
+        self._require_open()
+        hit = self.memtable.get(key)
+        if hit is not None:
+            _seq, kind, value = hit
+            return value if kind == KIND_PUT else default
+        for depth, level in enumerate(self.manifest.levels):
+            best = None
+            for meta in level:
+                if meta.entries == 0 or not meta.overlaps_range(key, key):
+                    continue
+                found = self._reader(meta).get(key)
+                if found is not None and (best is None or found[0] > best[0]):
+                    best = found
+                if depth > 0:
+                    # Levels >= 1 are key-disjoint: one run can hold key.
+                    break
+            if best is not None:
+                _seq, kind, value = best
+                return value if kind == KIND_PUT else default
+        return default
+
+    def items(self) -> "list[tuple]":
+        """Every visible ``(key, value)`` pair, sorted by key.
+
+        Full-scan semantics (newest sequence wins, tombstones hidden) —
+        the differential oracle against the in-memory model.
+        """
+        self._require_open()
+        newest: "dict" = {}
+        for level in self.manifest.levels:
+            for meta in level:
+                for k, seq, kind, value in self._reader(meta).iter_entries():
+                    cur = newest.get(k)
+                    if cur is None or seq > cur[0]:
+                        newest[k] = (seq, kind, value)
+        for k, row in self.memtable.items():
+            cur = newest.get(k)
+            if cur is None or row[0] > cur[0]:
+                newest[k] = row
+        return sorted(
+            (k, v) for k, (_s, kind, v) in newest.items()
+            if kind == KIND_PUT
+        )
+
+    # -- flush and compaction -------------------------------------------
+    def flush_memtable(self) -> "SSTableMeta | None":
+        """Seal the memtable into a level-0 SSTable (None if empty)."""
+        self._require_open()
+        if not self.memtable:
+            return None
+        entries = [
+            (k, seq, kind, value)
+            for k, (seq, kind, value) in sorted(self.memtable.items())
+        ]
+        meta = write_sstable(
+            self.directory, self.manifest.next_file_id, entries,
+            block_entries=self.block_entries,
+        )
+        # Rotate the WAL *before* the commit that obsoletes the old
+        # generation: there is never an instant with no live home for
+        # an acknowledged operation.
+        self._wal.close()
+        self._wal_gen += 1
+        self._wal = open_wal(self.directory, self._wal_gen, sync=self.sync)
+        levels = list(self.manifest.levels) or [()]
+        levels[0] = levels[0] + (meta,)
+        self.manifest = self.manifest.with_edit(
+            next_file_id=self.manifest.next_file_id + 1,
+            wal_gen=self._wal_gen,
+            last_flushed_seq=self._seq,
+            levels=tuple(levels),
+        )
+        commit_manifest(self.directory, self.manifest)
+        for gen, path in wal_generations(self.directory):
+            if gen < self._wal_gen:
+                path.unlink()
+        self.memtable = {}
+        self._count("kv_flushes_total", "memtable flushes to level 0")
+        return meta
+
+    def maintain(self, budget: int = 1) -> "list[CompactionTask]":
+        """Run up to ``budget`` scheduled compaction tasks; returns them."""
+        self._require_open()
+        done: "list[CompactionTask]" = []
+        for _ in range(max(0, budget)):
+            task = self.policy.choose(
+                self.manifest,
+                memtable_capacity=self.memtable_capacity,
+                size_ratio=self.size_ratio,
+            )
+            if task is None:
+                break
+            self._execute(task)
+            done.append(task)
+            self._count(
+                f"kv_compactions_{task.regime}_total",
+                "compaction tasks by scheduling regime",
+            )
+        return done
+
+    def drain_backlog(self, limit: int = 1000) -> int:
+        """Compact until the scheduler is satisfied; returns task count."""
+        total = 0
+        while total < limit:
+            if not self.maintain():
+                break
+            total += 1
+        return total
+
+    def _execute(self, task: CompactionTask) -> None:
+        level = task.level
+        levels = list(self.manifest.levels)
+        chosen = {fid for fid in task.file_ids}
+        srcs = [m for m in levels[level] if m.file_id in chosen]
+        if len(srcs) != len(chosen):
+            raise StorageError(
+                f"compaction task names stale file ids {sorted(chosen)} "
+                f"at level {level}"
+            )
+        below = levels[level + 1] if level + 1 < len(levels) else ()
+        merged_below = [
+            m for m in below if any(s.overlaps(m) for s in srcs)
+        ]
+        # Newest sequence wins per key across every input run.
+        newest: "dict" = {}
+        for meta in [*srcs, *merged_below]:
+            for k, seq, kind, value in self._reader(meta).iter_entries():
+                cur = newest.get(k)
+                if cur is None or seq > cur[0]:
+                    newest[k] = (seq, kind, value)
+        target = level + 1
+        # Tombstones retire only at the bottom: nothing deeper exists
+        # for them to shadow, so dropping them cannot resurrect a key.
+        lands_bottom = target >= len(levels) - 1
+        rows = [
+            (k, seq, kind, value)
+            for k, (seq, kind, value) in sorted(newest.items())
+            if not (lands_bottom and kind == KIND_TOMBSTONE)
+        ]
+        if self._metrics is not None and lands_bottom:
+            retired = sum(
+                1 for _k, (_s, kind, _v) in newest.items()
+                if kind == KIND_TOMBSTONE
+            )
+            if retired:
+                self._metrics.counter(
+                    "kv_obligations_retired_total",
+                    "tombstones finished at the bottom level",
+                ).inc(retired)
+        # Partitioned output keeps downstream merges incremental.
+        run_entries = self.memtable_capacity * self.size_ratio
+        out_metas: "list[SSTableMeta]" = []
+        next_id = self.manifest.next_file_id
+        for start in range(0, len(rows), run_entries):
+            out_metas.append(write_sstable(
+                self.directory, next_id, rows[start:start + run_entries],
+                block_entries=self.block_entries,
+            ))
+            next_id += 1
+        merged_ids = chosen | {m.file_id for m in merged_below}
+        levels[level] = tuple(
+            m for m in levels[level] if m.file_id not in chosen
+        )
+        while len(levels) <= target:
+            levels.append(())
+        survivors = [m for m in levels[target] if m.file_id not in merged_ids]
+        levels[target] = tuple(sorted(
+            [*survivors, *out_metas],
+            key=lambda m: (m.min_key, m.file_id),
+        ))
+        while len(levels) > 1 and not levels[-1]:
+            levels.pop()
+        self.manifest = self.manifest.with_edit(
+            next_file_id=next_id, levels=tuple(levels),
+        )
+        commit_manifest(self.directory, self.manifest)
+        for meta in [*srcs, *merged_below]:
+            self._readers.pop(meta.file_id, None)
+            (self.directory / meta.name).unlink()
+
+    # -- lifecycle ------------------------------------------------------
+    def sync_wal(self) -> None:
+        """Force the WAL to the configured durability level now."""
+        self._require_open()
+        self._wal.flush()
+
+    def close(self) -> None:
+        """Flush the WAL and release file handles (state stays on disk)."""
+        if self._closed:
+            return
+        self._wal.flush()
+        self._wal.close()
+        self._readers.clear()
+        self._closed = True
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> dict:
+        """A JSON-friendly snapshot for ``kv stats`` and benchmarks."""
+        return {
+            "directory": str(self.directory),
+            "seq": self._seq,
+            "memtable": len(self.memtable),
+            "manifest_version": self.manifest.version,
+            "wal_gen": self._wal_gen,
+            "last_flushed_seq": self.manifest.last_flushed_seq,
+            "levels": [
+                {
+                    "runs": len(level),
+                    "entries": sum(m.entries for m in level),
+                    "tombstones": sum(m.tombstones for m in level),
+                }
+                for level in self.manifest.levels
+            ],
+            "recovered_records": self.recovered_records,
+            "recovered_torn_bytes": self.recovered_torn_bytes,
+        }
+
+    def check_invariants(self) -> None:
+        """Structural self-audit; raises :class:`StorageError` on drift.
+
+        Mirrors ``LSMTree.check_invariants``: levels >= 1 key-disjoint
+        and sorted, every referenced file present, no sequence above the
+        WAL frontier recorded as flushed.
+        """
+        seen: "set[int]" = set()
+        for depth, level in enumerate(self.manifest.levels):
+            for meta in level:
+                if meta.file_id in seen:
+                    raise StorageError(
+                        f"file id {meta.file_id} referenced twice"
+                    )
+                seen.add(meta.file_id)
+                if not (self.directory / meta.name).exists():
+                    raise StorageError(
+                        f"manifest references missing file {meta.name}"
+                    )
+                if meta.file_id >= self.manifest.next_file_id:
+                    raise StorageError(
+                        f"file id {meta.file_id} >= next_file_id "
+                        f"{self.manifest.next_file_id}"
+                    )
+            if depth >= 1:
+                for a, b in zip(level, level[1:]):
+                    if not a.max_key < b.min_key:
+                        raise StorageError(
+                            f"level {depth} runs {a.name} and {b.name} "
+                            "overlap or are out of order"
+                        )
+        if self.manifest.last_flushed_seq > self._seq:
+            raise StorageError(
+                f"flushed seq {self.manifest.last_flushed_seq} is ahead "
+                f"of the operation counter {self._seq}"
+            )
+
+    def _count(self, name: str, help: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, help).inc()

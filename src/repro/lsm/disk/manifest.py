@@ -1,0 +1,186 @@
+"""Versioned level manifest: the single source of truth for the store.
+
+The manifest is one small file (``MANIFEST``) naming every live SSTable
+by level, the WAL generation recovery must replay from, and the newest
+sequence number already durable in SSTables.  Every edit rewrites the
+whole file through :func:`repro.util.atomic.atomic_write_bytes`, so a
+manifest transition is a single atomic rename: a crash at any byte of
+any commit leaves either the old manifest or the new one — never a
+mixture, never a torn file.  This is what makes the multi-file flush
+and compaction protocols crash-safe: SSTables are written first (atomic,
+invisible until referenced), the manifest swap is the commit point, and
+orphaned files on either side of the swap are garbage the next open
+collects.
+
+Layout::
+
+    b"WMAN" + u32 version | u32 payload len | u32 CRC-32 | JSON payload
+
+The CRC turns in-place damage into a typed
+:class:`~repro.util.errors.StorageCorruptionError` (``reason="bad-crc"``)
+instead of a half-parsed store.  A missing manifest in a directory that
+contains SSTables is likewise corruption (``reason="no-manifest"``) —
+silent emptiness is the one outcome this module must never produce.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.lsm.disk.sstable import SSTableMeta
+from repro.util.atomic import atomic_write_bytes
+from repro.util.errors import StorageCorruptionError
+
+MANIFEST_NAME = "MANIFEST"
+MAN_MAGIC = b"WMAN"
+MAN_VERSION = 1
+_MAN_HEADER = MAN_MAGIC + struct.pack("<I", MAN_VERSION)
+_SECTION = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One immutable version of the store's file-level state.
+
+    Attributes
+    ----------
+    version:
+        Monotone edit counter (1 for a fresh store).
+    next_file_id:
+        The id the next SSTable write should use (never reused, so a
+        stale file can never be confused with a live one).
+    wal_gen:
+        Recovery replays WAL generations ``>= wal_gen``.
+    last_flushed_seq:
+        Every operation with ``seq <= last_flushed_seq`` is durable in
+        SSTables; replay applies only newer records.
+    levels:
+        ``levels[i]`` is the tuple of runs at level ``i``.  Level 0 runs
+        may overlap (newest last); levels >= 1 are key-disjoint and
+        sorted by ``min_key``.
+    """
+
+    version: int = 1
+    next_file_id: int = 1
+    wal_gen: int = 0
+    last_flushed_seq: int = 0
+    levels: "tuple[tuple[SSTableMeta, ...], ...]" = field(
+        default_factory=tuple
+    )
+
+    def live_files(self) -> "list[SSTableMeta]":
+        return [meta for level in self.levels for meta in level]
+
+    def with_edit(self, **changes) -> "Manifest":
+        """The successor version with ``changes`` applied."""
+        changes.setdefault("version", self.version + 1)
+        return replace(self, **changes)
+
+    def to_payload(self) -> dict:
+        return {
+            "version": self.version,
+            "next_file_id": self.next_file_id,
+            "wal_gen": self.wal_gen,
+            "last_flushed_seq": self.last_flushed_seq,
+            "levels": [
+                [meta.to_payload() for meta in level]
+                for level in self.levels
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, p: dict) -> "Manifest":
+        return cls(
+            version=int(p["version"]),
+            next_file_id=int(p["next_file_id"]),
+            wal_gen=int(p["wal_gen"]),
+            last_flushed_seq=int(p["last_flushed_seq"]),
+            levels=tuple(
+                tuple(SSTableMeta.from_payload(m) for m in level)
+                for level in p["levels"]
+            ),
+        )
+
+
+def manifest_path(directory: "str | os.PathLike") -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+def commit_manifest(directory: "str | os.PathLike",
+                    manifest: Manifest) -> None:
+    """Atomically install ``manifest`` as the store's current version."""
+    payload = json.dumps(
+        manifest.to_payload(), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    blob = _MAN_HEADER + _SECTION.pack(len(payload), zlib.crc32(payload))
+    atomic_write_bytes(manifest_path(directory), blob + payload)
+
+
+def read_manifest(directory: "str | os.PathLike") -> Manifest:
+    """The current manifest, CRC-verified; raises typed errors on damage."""
+    path = manifest_path(directory)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise StorageCorruptionError(
+            f"{path}: no manifest found",
+            path=str(path), reason="no-manifest",
+        ) from None
+    if len(data) < len(_MAN_HEADER) + _SECTION.size:
+        raise StorageCorruptionError(
+            f"{path}: {len(data)} byte(s) is too short to be a manifest",
+            path=str(path), offset=0, reason="bad-magic",
+        )
+    if data[: len(_MAN_HEADER)] != _MAN_HEADER:
+        raise StorageCorruptionError(
+            f"{path}: bad manifest magic/version {data[:8]!r}",
+            path=str(path), offset=0, reason="bad-magic",
+        )
+    length, crc = _SECTION.unpack_from(data, len(_MAN_HEADER))
+    payload = data[len(_MAN_HEADER) + _SECTION.size:]
+    if length != len(payload) or zlib.crc32(payload) != crc:
+        raise StorageCorruptionError(
+            f"{path}: manifest payload fails its CRC-32 — the file was "
+            "damaged in place (the atomic-swap protocol cannot produce "
+            "a torn manifest)",
+            path=str(path), offset=len(_MAN_HEADER), reason="bad-crc",
+        )
+    try:
+        return Manifest.from_payload(json.loads(payload))
+    except (ValueError, KeyError, TypeError):
+        raise StorageCorruptionError(
+            f"{path}: manifest payload does not decode",
+            path=str(path), offset=len(_MAN_HEADER), reason="bad-payload",
+        ) from None
+
+
+def load_or_init_manifest(directory: "str | os.PathLike") -> Manifest:
+    """Read the manifest, or create version 1 for a genuinely fresh store.
+
+    "Fresh" means no manifest **and** no SSTables: a directory holding
+    ``sst-*.sst`` files but no manifest lost its commit record, and
+    pretending it is empty would silently drop data — that case raises
+    ``reason="no-manifest"`` instead.
+    """
+    directory = Path(directory)
+    try:
+        return read_manifest(directory)
+    except StorageCorruptionError as exc:
+        if exc.reason != "no-manifest":
+            raise
+        strays = sorted(p.name for p in directory.glob("sst-*.sst"))
+        if strays:
+            raise StorageCorruptionError(
+                f"{directory}: no manifest, but {len(strays)} SSTable "
+                f"file(s) exist ({strays[0]}, ...) — refusing to treat "
+                "a decapitated store as empty",
+                path=str(directory / MANIFEST_NAME), reason="no-manifest",
+            ) from None
+        fresh = Manifest()
+        commit_manifest(directory, fresh)
+        return fresh

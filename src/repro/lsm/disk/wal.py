@@ -1,0 +1,153 @@
+"""Write-ahead log for the on-disk KV engine.
+
+A WAL generation *is* a ``WOJ1`` journal — same 8-byte header, same
+``u32 length | u32 CRC-32 | JSON payload`` record framing, written
+through the very :class:`~repro.dam.journal.JournalWriter` the execution
+journals use — so every property PRs 2–6 established for journals
+(torn-tail tolerance, kill-at-every-offset exactness, typed corruption
+errors) is inherited rather than re-proven.
+
+**Generations instead of segments.**  Where a serving journal rotates by
+size, the WAL rotates at *memtable flushes*: generation ``g`` holds
+exactly the operations that arrived while memtable ``g`` was filling.
+Files are named ``wal-<g>.log``.  A flush seals the current generation,
+opens ``g+1``, and then commits a manifest pointing at ``g+1`` — after
+which every record in generations ``< g+1`` is redundant with SSTable
+bytes and the files are garbage.  (:class:`~repro.lsm.disk.kvstore
+.KVStore` deletes them on the next open; a crash between commit and
+deletion is therefore invisible.)
+
+**Recovery rules.**  Replay reads generations ``>= manifest.wal_gen`` in
+order and applies records with ``seq > manifest.last_flushed_seq``:
+
+* only the **newest** generation may end torn (the crash signature);
+  a tear in any earlier generation is corruption, because a generation
+  is flushed and closed before its successor opens — the same sealing
+  argument as journal segment chains;
+* applied sequence numbers must be **contiguous** from
+  ``last_flushed_seq + 1``: operations are assigned consecutive
+  sequence numbers at the door, so a gap is evidence of a silently
+  lost record and raises a typed
+  :class:`~repro.util.errors.StorageCorruptionError` — never a silently
+  smaller store.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro.dam.journal import (
+    JournalWriter,
+    REC_META,
+    scan_journal,
+)
+from repro.util.errors import StorageCorruptionError
+
+#: WAL record types (alongside the journal's own ``meta``).
+REC_PUT = "put"
+REC_DEL = "del"
+
+#: meta "policy" tag distinguishing KV WALs from execution journals.
+WAL_POLICY = "kv-wal"
+
+_WAL_NAME = re.compile(r"^wal-(\d{6})\.log$")
+
+
+def wal_path(directory: "str | os.PathLike", gen: int) -> Path:
+    """The file holding WAL generation ``gen``."""
+    return Path(directory) / f"wal-{gen:06d}.log"
+
+
+def wal_generations(directory: "str | os.PathLike") -> "list[tuple[int, Path]]":
+    """All WAL generation files in ``directory``, ``(gen, path)`` sorted."""
+    found = []
+    for entry in Path(directory).iterdir():
+        m = _WAL_NAME.match(entry.name)
+        if m:
+            found.append((int(m.group(1)), entry))
+    return sorted(found)
+
+
+def put_record(seq: int, key, value) -> dict:
+    """The WAL record for one put."""
+    return {"type": REC_PUT, "seq": int(seq), "key": key, "value": value}
+
+
+def delete_record(seq: int, key) -> dict:
+    """The WAL record for one tombstone delete."""
+    return {"type": REC_DEL, "seq": int(seq), "key": key}
+
+
+def open_wal(
+    directory: "str | os.PathLike", gen: int, *, sync: bool = True,
+) -> JournalWriter:
+    """Open (create) WAL generation ``gen`` for appending.
+
+    The returned writer is a plain :class:`JournalWriter`; callers
+    append :func:`put_record` / :func:`delete_record` payloads and flush
+    at their acknowledgment points.
+    """
+    return JournalWriter(
+        wal_path(directory, gen),
+        meta={"policy": WAL_POLICY, "gen": int(gen)},
+        sync=sync,
+    )
+
+
+def replay_wal(
+    directory: "str | os.PathLike", *,
+    from_gen: int, after_seq: int, repair: bool = True,
+) -> "tuple[list[dict], int]":
+    """Replay generations ``>= from_gen``; returns ``(records, torn_bytes)``.
+
+    ``records`` are the put/del payloads with ``seq > after_seq``, in
+    sequence order, already checked for the contiguity rule.  With
+    ``repair=True`` a torn tail on the newest generation is truncated
+    away in place (older stale generations are left for the store's GC).
+    Raises :class:`StorageCorruptionError` on a torn non-final
+    generation or a sequence gap; record-level corruption propagates as
+    the scanner's own :class:`~repro.util.errors.JournalCorruptionError`
+    (a WAL generation *is* a journal).
+    """
+    gens = [(g, p) for g, p in wal_generations(directory) if g >= from_gen]
+    torn_total = 0
+    applied: "list[dict]" = []
+    expected = int(after_seq) + 1
+    for i, (gen, path) in enumerate(gens):
+        scan = scan_journal(path)
+        last = i == len(gens) - 1
+        if scan.torn_bytes and not last:
+            raise StorageCorruptionError(
+                f"{path}: WAL generation {gen} ends torn "
+                f"({scan.torn_reason}) but generation "
+                f"{gens[i + 1][0]} exists — generations are sealed "
+                "before their successor opens, so this is corruption",
+                path=str(path), offset=scan.valid_bytes,
+                reason="wal-mid-chain-tear",
+            )
+        if scan.torn_bytes and last and repair:
+            with open(path, "r+b") as f:
+                f.truncate(scan.tail_valid_bytes)
+        torn_total += scan.torn_bytes
+        for rec in scan.records:
+            if rec["type"] == REC_META:
+                continue
+            if rec["type"] not in (REC_PUT, REC_DEL):
+                raise StorageCorruptionError(
+                    f"{path}: unknown WAL record type {rec['type']!r}",
+                    path=str(path), reason="bad-payload",
+                )
+            seq = int(rec["seq"])
+            if seq <= after_seq:
+                continue  # already durable in SSTables
+            if seq != expected:
+                raise StorageCorruptionError(
+                    f"{path}: WAL sequence jumps to {seq}, expected "
+                    f"{expected} — a record was lost without a trace",
+                    path=str(path), reason="seq-gap",
+                )
+            expected += 1
+            applied.append(rec)
+    return applied, torn_total

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dataclass_replace
 
 import numpy as np
 
@@ -105,6 +106,14 @@ class ServeConfig:
     seed: int = 0
     checkpoint_every: int = 32
     max_steps: int = 0  # 0 = derived
+    #: storage engine behind completions: ``sim`` (in-memory, the
+    #: historical behavior) or ``lsm`` (the durable on-disk KV engine,
+    #: :mod:`repro.lsm.disk`; requires ``data_dir``).  The engine is a
+    #: *passive sink* — it observes routing and completions but never
+    #: influences scheduling, so schedules are byte-identical across
+    #: engines and recovery re-derivation stays exact.
+    engine: str = "sim"
+    data_dir: str = ""
 
     def __post_init__(self) -> None:
         if self.arrivals not in ("poisson", "mmpp", "closed", "trace"):
@@ -131,6 +140,15 @@ class ServeConfig:
             raise InvalidInstanceError("fault_rate must be in [0, 1]")
         if self.checkpoint_every < 1:
             raise InvalidInstanceError("checkpoint_every must be >= 1")
+        if self.engine not in ("sim", "lsm"):
+            raise InvalidInstanceError(
+                f"unknown storage engine {self.engine!r} "
+                "(expected 'sim' or 'lsm')"
+            )
+        if self.engine == "lsm" and not self.data_dir:
+            raise InvalidInstanceError(
+                "engine='lsm' needs data_dir=<store directory>"
+            )
 
     def to_meta(self) -> dict:
         """The journal ``meta`` payload that reconstructs this config."""
@@ -307,6 +325,16 @@ class ServiceLoop:
         self._fresh: "list[list[int]]" = [[] for _ in self.engines]
         self._replans_left = [MAX_FORCED_REPLANS] * len(self.engines)
         self._next_gid = 0
+        #: the durable sink (engine='lsm'); a passive observer of the
+        #: loop, opened in the parent so SIGKILLed workers never hold it.
+        self.store = None
+        self._gid_key: "dict[int, int]" = {}
+        if config.engine == "lsm":
+            # Local import: repro.lsm.disk is pure storage, no serve
+            # dependency, but keeping the sim path import-free means a
+            # sim-only process never touches the disk engine.
+            from repro.lsm.disk import KVStore
+            self.store = KVStore(config.data_dir, sync=False)
 
     @staticmethod
     def _derived_key_space(config: ServeConfig) -> int:
@@ -375,6 +403,29 @@ class ServiceLoop:
     def _complete(self, gid: int, step: int) -> None:
         self.metrics.note_completion(gid, step)
         self.arrivals.notify_completion(gid, step)
+        if self.store is not None:
+            key = self._gid_key.pop(gid, None)
+            if key is not None:
+                # The durable acknowledgment: by the time the loop calls
+                # _complete the message is delivered, so the completion
+                # record must survive any crash after this line.  Every
+                # driver (in-process, threaded, procpool) funnels
+                # completions through here in the parent, so worker
+                # SIGKILLs can never take the store down with them.
+                self.store.put(
+                    str(key), {"gid": int(gid), "step": int(step)}
+                )
+
+    def _note_routed(self, gid: int, key, sid: int, t: int) -> None:
+        """Phase-1 hook: one arrival was routed (parent-side, pre-offer).
+
+        The durable sink needs the gid -> key association at completion
+        time; recording it here — at the only two places arrivals are
+        routed (the base loop and the procpool's staging) — keeps the
+        engine entirely out of the scheduling path.
+        """
+        if self.store is not None:
+            self._gid_key[gid] = key
 
     def _offer(self, sid: int, gid: int, leaf: int, t: int) -> None:
         """Phase-1 handoff of one routed arrival to admission."""
@@ -390,6 +441,7 @@ class ServiceLoop:
         for gid, key in zip(gids, keys):
             sid, leaf = self.router.route(key)
             self.metrics.note_arrival(gid, sid, t)
+            self._note_routed(gid, key, sid, t)
             self._offer(sid, gid, leaf, t)
         self.arrivals.on_emitted(gids)
 
@@ -462,6 +514,11 @@ class ServiceLoop:
             [e.in_flight for e in self.engines],
         )
 
+    def _close_store(self) -> None:
+        """Flush and close the durable sink (idempotent; sim: no-op)."""
+        if self.store is not None:
+            self.store.close()
+
     def _build_report(self, t: int) -> ServeReport:
         return ServeReport(
             config=self.config,
@@ -533,6 +590,7 @@ class ServiceLoop:
         except ExecutionStalledError:
             if journal is not None:
                 journal.abort()
+            self._close_store()
             run_span.set("stalled", True)
             run_span.finish()
             raise
@@ -540,6 +598,7 @@ class ServiceLoop:
             engine.schedule.trim()
         if journal is not None:
             journal.finish(t, self._next_gid, len(metrics.completion_step))
+        self._close_store()
         if enabled:
             run_span.set_steps(1, t)
             reg = obs.metrics
@@ -619,6 +678,13 @@ def recover_serve(path, *, repair: bool = True) -> ServeRecoveryReport:
     if repair:
         manager.repair()
     config = ServeConfig.from_meta(meta)
+    if config.engine != "sim":
+        # Re-derivation is a *verification* replay: the durable store
+        # already holds the original run's acknowledged state, and the
+        # engine is a passive sink (schedules are byte-identical across
+        # engines), so recovery re-derives under the sim engine rather
+        # than double-writing completions into the live store.
+        config = dataclass_replace(config, engine="sim", data_dir="")
     if "chaos" in meta or "supervisor" in meta:
         # A supervised run journaled its scenario and driver topology:
         # re-derive through the same driver so breaker trips,

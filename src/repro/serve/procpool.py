@@ -678,6 +678,7 @@ class ProcPoolLoop(SupervisedLoop):
             for gid, key in zip(gids, keys):
                 sid, leaf = self.router.route(key)
                 self.metrics.note_arrival(gid, sid, t)
+                self._note_routed(gid, key, sid, t)
                 self._stage_offer(sid, gid, leaf, t, batch)
             self.arrivals.on_emitted(gids)
             gid_after[t] = self._next_gid
@@ -895,6 +896,7 @@ class ProcPoolLoop(SupervisedLoop):
             raise
         finally:
             self._stop_workers()
+            self._close_store()
         for s in range(len(self.engines)):
             self._schedules[s].trim()
             # The parent's engines never stepped; the report reads the

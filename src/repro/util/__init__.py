@@ -1,10 +1,13 @@
-"""Shared utilities: errors, RNG helpers, priority queues, pairing heaps."""
+"""Shared utilities: errors, RNG helpers, queues, atomic file writes."""
 
+from repro.util.atomic import atomic_write_bytes, fsync_dir, remove_stale_tmp
 from repro.util.errors import (
     InvalidFlushError,
     InvalidInstanceError,
     InvalidScheduleError,
     ReproError,
+    StorageCorruptionError,
+    StorageError,
 )
 from repro.util.pairing_heap import PairingHeap
 from repro.util.pq import IndexedMaxHeap
@@ -15,7 +18,12 @@ __all__ = [
     "InvalidInstanceError",
     "InvalidScheduleError",
     "InvalidFlushError",
+    "StorageError",
+    "StorageCorruptionError",
     "PairingHeap",
     "IndexedMaxHeap",
     "make_rng",
+    "atomic_write_bytes",
+    "fsync_dir",
+    "remove_stale_tmp",
 ]

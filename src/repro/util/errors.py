@@ -70,6 +70,47 @@ class JournalCorruptionError(JournalError):
         return (type(self), self.args, dict(self.__dict__))
 
 
+class StorageError(ReproError):
+    """Base class for on-disk KV engine failures (:mod:`repro.lsm.disk`)."""
+
+
+class StorageCorruptionError(StorageError):
+    """On-disk KV state is damaged beyond what recovery can absorb.
+
+    The disk engine's sibling of :class:`JournalCorruptionError` (the
+    WAL itself raises that class — it *is* a ``WOJ1`` journal).  Raised
+    when an SSTable block, index, bloom filter, or footer fails its
+    CRC-32; when the manifest is unreadable; or when recovery finds
+    evidence of silently lost records (a sequence gap, a torn non-final
+    WAL generation).  Never raised for a torn tail of the *newest* WAL
+    generation — that is the expected signature of a crash and is
+    repaired by truncation.
+
+    Attributes
+    ----------
+    path:
+        The damaged file ("" when the damage spans the store).
+    offset:
+        Byte offset of the damaged region (-1 if not applicable).
+    reason:
+        Machine-friendly tag (``bad-magic``, ``bad-crc``, ``bad-footer``,
+        ``bad-block``, ``bad-index``, ``bad-bloom``, ``missing-file``,
+        ``seq-gap``, ``wal-mid-chain-tear``, ``no-manifest``).
+    """
+
+    def __init__(self, message: str, *, path: str = "", offset: int = -1,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+        self.reason = reason
+
+    def __reduce__(self):
+        # See JournalCorruptionError.__reduce__: keyword-only diagnostics
+        # survive pickling across a worker-process boundary.
+        return (type(self), self.args, dict(self.__dict__))
+
+
 class ExecutionStalledError(InvalidScheduleError):
     """An executor made no progress and exhausted its recovery options.
 

@@ -1,0 +1,31 @@
+"""Auto-audit for the LSM substrate tests.
+
+Every test in ``tests/lsm`` runs with :class:`LSMTree`'s structural
+self-audit woven into the two state-changing operations: after any
+``flush_memtable`` or ``compact`` the tree re-verifies its own
+invariants (level capacities, run ordering, marker bookkeeping).  A test
+that drives the tree into an inconsistent state therefore fails at the
+operation that broke it, not at whatever later assertion happens to
+notice — and every existing test doubles as an invariant test for free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.lsm_tree import LSMTree
+
+
+@pytest.fixture(autouse=True)
+def auto_check_invariants(monkeypatch: pytest.MonkeyPatch):
+    """Wrap the mutating operations with a post-call invariant audit."""
+    for name in ("flush_memtable", "compact"):
+        original = getattr(LSMTree, name)
+
+        def audited(self, *args, __original=original, **kwargs):
+            result = __original(self, *args, **kwargs)
+            self.check_invariants()
+            return result
+
+        monkeypatch.setattr(LSMTree, name, audited)
+    yield

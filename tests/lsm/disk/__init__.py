@@ -1,0 +1,1 @@
+"""Tests for the on-disk KV engine (:mod:`repro.lsm.disk`)."""

@@ -1,0 +1,120 @@
+"""Manifest: atomic commits, typed damage, decapitation refusal."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.crashes import flip_byte, truncate_at
+from repro.lsm.disk.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    commit_manifest,
+    load_or_init_manifest,
+    manifest_path,
+    read_manifest,
+)
+from repro.lsm.disk.sstable import SSTableMeta
+from repro.util.atomic import TMP_INFIX
+from repro.util.errors import StorageCorruptionError
+
+
+def _meta(file_id: int, lo: str, hi: str) -> SSTableMeta:
+    return SSTableMeta(
+        name=f"sst-{file_id:06d}.sst", file_id=file_id, entries=10,
+        tombstones=2, min_key=lo, max_key=hi, min_seq=1, max_seq=10,
+        blocks=1,
+    )
+
+
+def test_roundtrip(tmp_path: Path) -> None:
+    m = Manifest(
+        version=7, next_file_id=4, wal_gen=2, last_flushed_seq=99,
+        levels=((_meta(1, "a", "m"), _meta(2, "a", "z")),
+                (_meta(3, "a", "z"),)),
+    )
+    commit_manifest(tmp_path, m)
+    assert read_manifest(tmp_path) == m
+
+
+def test_with_edit_bumps_version() -> None:
+    m = Manifest()
+    assert m.with_edit(wal_gen=3).version == m.version + 1
+    assert m.with_edit(wal_gen=3).wal_gen == 3
+
+
+def test_fresh_directory_initializes(tmp_path: Path) -> None:
+    m = load_or_init_manifest(tmp_path)
+    assert m == Manifest()
+    assert manifest_path(tmp_path).exists()
+    # And the init is durable: a reread agrees.
+    assert read_manifest(tmp_path) == m
+
+
+def test_missing_manifest_is_typed(tmp_path: Path) -> None:
+    with pytest.raises(StorageCorruptionError) as exc:
+        read_manifest(tmp_path)
+    assert exc.value.reason == "no-manifest"
+
+
+def test_decapitated_store_refused(tmp_path: Path) -> None:
+    """SSTables without a manifest must not read as an empty store."""
+    (tmp_path / "sst-000001.sst").write_bytes(b"whatever")
+    with pytest.raises(StorageCorruptionError) as exc:
+        load_or_init_manifest(tmp_path)
+    assert exc.value.reason == "no-manifest"
+
+
+def test_bitflip_detected(tmp_path: Path) -> None:
+    commit_manifest(tmp_path, Manifest(levels=((_meta(1, "a", "z"),),)))
+    flip_byte(manifest_path(tmp_path), 20, in_place=True)
+    with pytest.raises(StorageCorruptionError) as exc:
+        read_manifest(tmp_path)
+    assert exc.value.reason == "bad-crc"
+
+
+def test_truncation_detected(tmp_path: Path) -> None:
+    commit_manifest(tmp_path, Manifest())
+    path = manifest_path(tmp_path)
+    truncate_at(path, path.stat().st_size - 4, in_place=True)
+    with pytest.raises(StorageCorruptionError) as exc:
+        read_manifest(tmp_path)
+    assert exc.value.reason in ("bad-crc", "bad-magic")
+
+
+def test_commit_is_atomic_under_kill(tmp_path: Path) -> None:
+    """A kill at any byte of a re-commit leaves old-or-new, never torn:
+    simulate by verifying the tmp-then-rename litter pattern."""
+    first = Manifest(version=1)
+    commit_manifest(tmp_path, first)
+    # A stranded tmp from a killed writer is invisible to readers.
+    stranded = tmp_path / f"{MANIFEST_NAME}{TMP_INFIX}99999"
+    stranded.write_bytes(b"partial garbage")
+    assert read_manifest(tmp_path) == first
+    second = first.with_edit(wal_gen=5)
+    commit_manifest(tmp_path, second)
+    assert read_manifest(tmp_path) == second
+
+
+def test_every_byte_flip_is_detected(tmp_path: Path) -> None:
+    m = Manifest(
+        version=3, next_file_id=9, wal_gen=4, last_flushed_seq=123,
+        levels=((_meta(1, "a", "k"),), (_meta(2, "a", "z"),)),
+    )
+    commit_manifest(tmp_path, m)
+    original = manifest_path(tmp_path).read_bytes()
+    for offset in range(len(original)):
+        damaged = bytearray(original)
+        damaged[offset] ^= 0x10
+        manifest_path(tmp_path).write_bytes(bytes(damaged))
+        try:
+            got = read_manifest(tmp_path)
+        except StorageCorruptionError:
+            continue
+        # JSON whitespace-insensitive positions cannot exist: payload is
+        # compact, so a survivable flip must decode identically... and
+        # none do, because CRC-32 catches every single-byte change.
+        raise AssertionError(
+            f"flip at byte {offset} went undetected: {got}"
+        )

@@ -1,0 +1,99 @@
+"""repro.util.atomic: the tmp + fsync + rename discipline under crashes."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.faults.crashes import flip_byte, truncate_at
+from repro.util.atomic import (
+    TMP_INFIX,
+    atomic_write_bytes,
+    fsync_dir,
+    remove_stale_tmp,
+)
+
+
+def test_creates_and_replaces(tmp_path: Path) -> None:
+    p = tmp_path / "state.bin"
+    atomic_write_bytes(p, b"one")
+    assert p.read_bytes() == b"one"
+    atomic_write_bytes(p, b"two, longer than one")
+    assert p.read_bytes() == b"two, longer than one"
+
+
+def test_no_tmp_left_behind(tmp_path: Path) -> None:
+    atomic_write_bytes(tmp_path / "a", b"x" * 1000)
+    assert [f.name for f in tmp_path.iterdir()] == ["a"]
+
+
+def test_fsync_false_still_atomic(tmp_path: Path) -> None:
+    p = tmp_path / "fast"
+    atomic_write_bytes(p, b"payload", fsync=False)
+    assert p.read_bytes() == b"payload"
+
+
+def test_fsync_dir_tolerates_missing_support(tmp_path: Path) -> None:
+    fsync_dir(tmp_path)  # must not raise anywhere
+
+
+class _KilledMidWrite(RuntimeError):
+    pass
+
+
+def _crashing_write(path: Path, data: bytes, kill_after: int) -> None:
+    """Re-enact the protocol but die after ``kill_after`` payload bytes.
+
+    This is what a SIGKILL between protocol steps 1 and 3 leaves behind:
+    a partial tmp file and an untouched destination.
+    """
+    tmp = path.with_name(f"{path.name}{TMP_INFIX}{os.getpid()}")
+    with open(tmp, "wb") as f:
+        f.write(data[:kill_after])
+        f.flush()
+    raise _KilledMidWrite
+
+
+@pytest.mark.parametrize("kill_after", [0, 1, 7, 100])
+def test_crash_before_rename_leaves_old_bytes(
+    tmp_path: Path, kill_after: int
+) -> None:
+    """Kill at any point before the rename: the destination is intact."""
+    p = tmp_path / "state.bin"
+    atomic_write_bytes(p, b"old contents")
+    with pytest.raises(_KilledMidWrite):
+        _crashing_write(p, b"new contents (longer than the old)", kill_after)
+    assert p.read_bytes() == b"old contents"
+    # Recovery reclaims the stranded tmp file.
+    assert remove_stale_tmp(tmp_path) == 1
+    assert [f.name for f in tmp_path.iterdir()] == ["state.bin"]
+
+
+def test_crash_injection_on_stranded_tmp_is_invisible(tmp_path: Path) -> None:
+    """Damage to a stranded tmp (tear or flip) never reaches the target."""
+    p = tmp_path / "state.bin"
+    atomic_write_bytes(p, b"authoritative")
+    with pytest.raises(_KilledMidWrite):
+        _crashing_write(p, b"never-renamed", 8)
+    (tmp,) = [f for f in tmp_path.iterdir() if TMP_INFIX in f.name]
+    truncate_at(tmp, 3, in_place=True)
+    flip_byte(tmp, 1, in_place=True)
+    assert p.read_bytes() == b"authoritative"
+    remove_stale_tmp(tmp_path)
+
+
+def test_every_offset_kill_is_old_or_new(tmp_path: Path) -> None:
+    """The protocol's guarantee, quantified: simulate the kill at every
+    byte of the tmp write; the destination always reads old-or-new."""
+    p = tmp_path / "state.bin"
+    old, new = b"OLD" * 10, b"NEWNEW" * 9
+    atomic_write_bytes(p, old)
+    for offset in range(len(new) + 1):
+        with pytest.raises(_KilledMidWrite):
+            _crashing_write(p, new, offset)
+        assert p.read_bytes() == old  # crash before rename: old bytes
+        remove_stale_tmp(tmp_path)
+    atomic_write_bytes(p, new)  # the rename itself is the commit point
+    assert p.read_bytes() == new

@@ -68,6 +68,8 @@ def _error_cases():
         ExecutionStalledError,
         JournalCorruptionError,
         JournalError,
+        StorageCorruptionError,
+        StorageError,
     )
 
     return [
@@ -82,6 +84,11 @@ def _error_cases():
         ),
         JournalError("journal broke"),
         JournalCorruptionError("torn", offset=123, reason="bad-crc"),
+        StorageError("store broke"),
+        StorageCorruptionError(
+            "bad block", path="sst-000001.sst", offset=42,
+            reason="bad-block",
+        ),
     ]
 
 
