@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.analysis.lower_bounds import worms_lower_bound
 from repro.analysis.npc import (
@@ -75,7 +76,14 @@ from repro.dam import validate_valid
 from repro.dam.compaction import compact_journal
 from repro.dam.journal import JournalWriter, RecoveryManager
 from repro.dam.trace import record_trace
-from repro.obs import observed, span_tree, write_chrome_trace
+from repro.obs import (
+    current_obs,
+    disable_obs,
+    enable_obs,
+    observed,
+    span_tree,
+    write_chrome_trace,
+)
 from repro.faults import (
     BurstInjector,
     BurstPlan,
@@ -93,12 +101,15 @@ from repro.policies import (
 from repro.policies.executor import DEFAULT_CHECKPOINT_EVERY
 from repro.serve import (
     SERVE_POLICY,
+    MetricsEndpoint,
     ProcPoolLoop,
     ServeConfig,
     ServiceLoop,
     SupervisedLoop,
     SupervisorConfig,
     format_serve_report,
+    format_tenant_report,
+    make_tenants,
     recover_serve,
 )
 from repro.tree import balanced_tree, beps_shape_tree
@@ -288,6 +299,30 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: "str | None", cast):
+    """Parse a ``--tenant-*`` comma-separated list (None/empty = unset)."""
+    if not text:
+        return None
+    return [cast(v) for v in text.split(",")]
+
+
+def _tenants_from_args(args: argparse.Namespace):
+    """``ServeConfig.tenants`` from the ``--tenant*`` flags (None = off)."""
+    if not args.tenants:
+        return None
+    return make_tenants(
+        args.tenants,
+        args.messages,
+        rates=_csv(args.tenant_rates, float),
+        weights=_csv(args.tenant_weights, float),
+        thetas=_csv(args.tenant_thetas, float),
+        slos=_csv(args.tenant_slo, int),
+        slo_percentile=args.tenant_slo_percentile,
+        quotas=_csv(args.tenant_quota, int),
+        arrivals=args.arrivals,
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> ServeConfig:
     return ServeConfig(
         arrivals=args.arrivals,
@@ -317,6 +352,7 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         checkpoint_every=args.checkpoint_every,
         engine=args.engine,
         data_dir=args.data_dir or "",
+        tenants=_tenants_from_args(args),
     )
 
 
@@ -386,6 +422,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except Exception as exc:  # surfaced as a clean CLI error
         print(f"invalid serve configuration: {exc}", file=sys.stderr)
         return 2
+    endpoint = None
+    owns_obs = False
+    if args.metrics_port is not None:
+        # The endpoint reads the process-wide obs registry; enable one
+        # for the run unless `trace` already installed its own.
+        if not current_obs().enabled:
+            enable_obs()
+            owns_obs = True
+        endpoint = MetricsEndpoint(
+            _metrics_provider(loop), port=args.metrics_port
+        )
+        print(f"metrics endpoint: {endpoint.url}")
+    try:
+        return _run_serve(args, config, loop)
+    finally:
+        if endpoint is not None:
+            if args.metrics_linger > 0:
+                time.sleep(args.metrics_linger)
+            endpoint.close()
+        if owns_obs:
+            disable_obs()
+
+
+def _metrics_provider(loop):
+    """The ``/metrics`` payload: obs registry + live per-tenant rows."""
+
+    def provider() -> dict:
+        payload = current_obs().metrics.snapshot()
+        tenancy = loop._tenancy
+        if tenancy is not None:
+            timelines = loop.metrics.timelines
+            n_steps = len(timelines[0].queue_depth) if timelines else 0
+            payload["tenants"] = tenancy.tenant_rows(loop.metrics, n_steps)
+        return payload
+
+    return provider
+
+
+def _run_serve(args: argparse.Namespace, config: ServeConfig, loop) -> int:
+    """Drive a constructed serving loop and print its report."""
     try:
         report = loop.run()
     except ExecutionStalledError as exc:
@@ -406,6 +482,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"admission: {ad.admitted}/{ad.offered} admitted, {ad.shed} shed, "
         f"max queue depth {ad.max_queue_depth}, {ad.stall_holds} stall holds"
     )
+    if "tenants" in report.snapshot:
+        print("per-tenant:")
+        print(format_tenant_report(report.snapshot))
     if config.engine == "lsm" and loop.store is not None:
         st = loop.store.stats()
         level_runs = "/".join(str(lv["runs"]) for lv in st["levels"]) or "0"
@@ -1051,6 +1130,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--watchdog-budget", type=int, default=3,
                          help="consecutive watchdog misses before the run "
                          "fails with a stall diagnosis")
+    p_serve.add_argument("--tenants", type=int, default=0,
+                         help="run N tenants (t0..tN-1) through weighted-"
+                         "fair admission; each gets its own seeded arrival "
+                         "process and key sampler (0 = tenancy off, "
+                         "byte-identical to a pre-tenancy run)")
+    p_serve.add_argument("--tenant-rates", type=str, default=None,
+                         help="comma-separated per-tenant arrival rates "
+                         "(default: 4.0 each); message budgets split "
+                         "proportionally to the rates")
+    p_serve.add_argument("--tenant-weights", type=str, default=None,
+                         help="comma-separated deficit-round-robin "
+                         "admission weights (default: 1.0 each)")
+    p_serve.add_argument("--tenant-thetas", type=str, default=None,
+                         help="comma-separated Zipf skews of each tenant's "
+                         "key sampler (default: 0.0 each)")
+    p_serve.add_argument("--tenant-slo", type=str, default=None,
+                         help="comma-separated sojourn SLO targets in steps "
+                         "(0 = untracked); two violating epochs in a row "
+                         "shed the violating tenant's queue first")
+    p_serve.add_argument("--tenant-slo-percentile", type=float, default=99.0,
+                         help="percentile the sojourn SLO targets apply to")
+    p_serve.add_argument("--tenant-quota", type=str, default=None,
+                         help="comma-separated per-shard buffer quotas: max "
+                         "messages a tenant may have resident in one "
+                         "shard's internal-node buffers (0 = unlimited)")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve the obs registry + per-tenant SLO "
+                         "state as JSON on http://127.0.0.1:PORT/metrics "
+                         "for the duration of the run (0 = ephemeral "
+                         "port; default: off)")
+    p_serve.add_argument("--metrics-linger", type=float, default=0.0,
+                         help="keep the /metrics endpoint up this many "
+                         "seconds after the run finishes (CI scraping)")
     p_serve.add_argument("--json", type=str, default=None,
                          help="also write the metrics snapshot to this file")
     p_serve.set_defaults(func=cmd_serve)

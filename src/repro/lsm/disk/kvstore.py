@@ -410,6 +410,12 @@ class KVStore:
         self.close()
 
     # -- introspection ---------------------------------------------------
+    def _sstable_bytes(self, name: str) -> int:
+        try:
+            return (self.directory / name).stat().st_size
+        except OSError:
+            return 0
+
     def stats(self) -> dict:
         """A JSON-friendly snapshot for ``kv stats`` and benchmarks."""
         return {
@@ -424,6 +430,12 @@ class KVStore:
                     "runs": len(level),
                     "entries": sum(m.entries for m in level),
                     "tombstones": sum(m.tombstones for m in level),
+                    # On-disk footprint of the level's SSTables; a run
+                    # whose file vanished underneath us (scrub moved it
+                    # to quarantine) counts 0 rather than failing stats.
+                    "bytes": sum(
+                        self._sstable_bytes(m.name) for m in level
+                    ),
                 }
                 for level in self.manifest.levels
             ],

@@ -80,9 +80,13 @@ class _Metric:
         return child
 
     def _iter_children(self):
-        if self._children:
-            for key in sorted(self._children):
-                yield key, self._children[key]
+        # Snapshot the child map first: the /metrics endpoint thread may
+        # iterate while the serving loop creates a new labeled child.
+        children = self._children
+        if children:
+            children = dict(children)
+            for key in sorted(children):
+                yield key, children[key]
 
 
 class Counter(_Metric):
@@ -147,7 +151,8 @@ class Histogram(_Metric):
         # obs hooks instrument — a module-level import would be circular.
         from repro.analysis.stats import nearest_rank
 
-        vals = self.values
+        # Copy: the /metrics endpoint thread may summarize mid-observe.
+        vals = list(self.values)
         if not vals:
             return {"count": 0, "sum": 0, "p50": 0, "p95": 0, "p99": 0,
                     "max": 0}
@@ -205,8 +210,11 @@ class MetricsRegistry:
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
         sections = {Counter: "counters", Gauge: "gauges",
                     Histogram: "histograms"}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        # Copy the name map first: the /metrics endpoint thread snapshots
+        # while the serving loop may register new metrics.
+        metrics = dict(self._metrics)
+        for name in sorted(metrics):
+            metric = metrics[name]
             section = out[sections[type(metric)]]
             section[metric.name] = metric.snapshot_value()
             for _key, child in metric._iter_children():

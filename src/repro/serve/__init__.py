@@ -12,6 +12,11 @@ deterministic, journal-capable :class:`~repro.serve.loop.ServiceLoop`.
 breakers, and live restart-from-journal on top of the loop;
 :mod:`~repro.serve.procpool` runs the same supervised loop over
 shard-per-process workers with real SIGKILL recovery.
+:mod:`~repro.serve.tenancy` adds multi-tenant QoS — tenant-tagged
+arrivals, weighted-fair admission, per-tenant sojourn SLOs with
+breaker-integrated shedding, buffer quotas, and a live ``/metrics``
+endpoint — enabled by ``ServeConfig.tenants`` and byte-invisible when
+disabled.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionStats
@@ -57,8 +62,26 @@ from repro.serve.supervisor import (
     SupervisorStats,
     rebuild_shard_state,
 )
+from repro.serve.tenancy import (
+    MetricsEndpoint,
+    SLOTracker,
+    TenancyRuntime,
+    TenantAdmissionController,
+    TenantMix,
+    TenantSpec,
+    format_tenant_report,
+    make_tenants,
+)
 
 __all__ = [
+    "MetricsEndpoint",
+    "SLOTracker",
+    "TenancyRuntime",
+    "TenantAdmissionController",
+    "TenantMix",
+    "TenantSpec",
+    "format_tenant_report",
+    "make_tenants",
     "AdmissionController",
     "AdmissionStats",
     "ArrivalProcess",

@@ -76,6 +76,63 @@ class AdmissionController:
         """Arrivals currently waiting in front of ``shard_id``."""
         return len(self.queues[shard_id])
 
+    def total_queued(self) -> int:
+        """Arrivals waiting in front of any shard."""
+        return sum(len(q) for q in self.queues)
+
+    def clear_shard(self, shard_id: int) -> "list[tuple[int, int]]":
+        """Empty a shard's queue; returns the dropped items in FIFO order.
+
+        The caller owns the accounting for whatever it does with them
+        (shed them, reload them elsewhere) — this only empties the lane.
+        """
+        q = self.queues[shard_id]
+        dropped = list(q)
+        q.clear()
+        return dropped
+
+    def load_queue(
+        self, shard_id: int, items: "list[tuple[int, int]]"
+    ) -> None:
+        """Replace a shard's queue wholesale (worker restore path).
+
+        Unbounded on purpose: the items are a snapshot of a queue that
+        already respected the bound when it was captured.
+        """
+        q = self.queues[shard_id]
+        q.clear()
+        q.extend((int(m), int(leaf)) for m, leaf in items)
+        if len(q) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(q)
+
+    def load_requeue(
+        self, shard_id: int, items: "list[tuple[int, int]]"
+    ) -> None:
+        """Append already-admissible items unbounded (worker requeue path:
+        the parent applied the room check before shipping them)."""
+        q = self.queues[shard_id]
+        q.extend((int(m), int(leaf)) for m, leaf in items)
+        if len(q) > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = len(q)
+
+    def note_external_shed(self, shard_id: int, msg_id: int) -> None:
+        """A driver shed ``msg_id`` outside :meth:`offer` (abandoned or
+        overflowing spill paths) after bumping ``stats`` itself.  No-op
+        here; the tenant controller mirrors it into its per-tenant
+        ledger."""
+
+    # Buffer-residency hooks: no-ops here so drivers can call them
+    # unconditionally; the tenant controller overrides them to enforce
+    # per-tenant buffer quotas.
+    def note_departed(self, msg_id: int) -> None:
+        """``msg_id`` left its shard's buffers (completed)."""
+
+    def reset_shard_residency(self, shard_id: int) -> None:
+        """``shard_id``'s buffers were wiped."""
+
+    def rebuild_residency(self, shard_id: int, msg_ids) -> None:
+        """``shard_id`` was restored with these messages buffered."""
+
     def offer(
         self, shard_id: int, msg_id: int, target_leaf: int
     ) -> bool:

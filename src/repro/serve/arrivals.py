@@ -259,6 +259,9 @@ class ClosedLoopArrivals(ArrivalProcess):
         self._issuing = []
 
     def _release(self, msg_id: int, step: int) -> None:
+        # pop() makes release exactly-once: a duplicate completion/shed
+        # notification (or a shed racing a completion) finds no owner and
+        # cannot double-free the client slot.
         client = self._owner.pop(msg_id, None)
         if client is not None:
             self._ready_at[client] = step + 1 + self.think_time
@@ -267,6 +270,7 @@ class ClosedLoopArrivals(ArrivalProcess):
         self._release(msg_id, step)
 
     def notify_shed(self, msg_id: int, step: int) -> None:
+        """A shed releases the issuing client exactly once (idempotent)."""
         self._release(msg_id, step)
 
     @property

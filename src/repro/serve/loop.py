@@ -54,6 +54,10 @@ from repro.serve.arrivals import (
 )
 from repro.serve.metrics import ServeMetrics
 from repro.serve.planner import EpochPlanner, PlannerStats
+from repro.serve.tenancy.fair import TenantAdmissionController
+from repro.serve.tenancy.mix import TenantMix
+from repro.serve.tenancy.runtime import TenancyRuntime
+from repro.serve.tenancy.spec import TenantSpec, validate_tenants
 from repro.serve.router import ShardEngine, ShardRouter, ShardStats
 from repro.util.errors import (
     ExecutionStalledError,
@@ -114,8 +118,18 @@ class ServeConfig:
     #: engines and recovery re-derivation stays exact.
     engine: str = "sim"
     data_dir: str = ""
+    #: multi-tenant QoS (:mod:`repro.serve.tenancy`): a tuple of
+    #: :class:`~repro.serve.tenancy.spec.TenantSpec` enables tenant-tagged
+    #: arrivals, weighted-fair admission, SLO shedding, and buffer quotas.
+    #: ``None`` (the default) keeps the run byte-identical to a
+    #: pre-tenancy run — the key is omitted from journal meta entirely.
+    tenants: "tuple[TenantSpec, ...] | None" = None
 
     def __post_init__(self) -> None:
+        if self.tenants is not None:
+            if not isinstance(self.tenants, tuple):
+                object.__setattr__(self, "tenants", tuple(self.tenants))
+            validate_tenants(self.tenants, self.messages)
         if self.arrivals not in ("poisson", "mmpp", "closed", "trace"):
             raise InvalidInstanceError(
                 f"unknown arrival process {self.arrivals!r}"
@@ -156,6 +170,12 @@ class ServeConfig:
         meta["trace"] = (
             None if self.trace is None else [list(p) for p in self.trace]
         )
+        if self.tenants is None:
+            # Omitted, not null: a tenancy-free journal stays bytewise
+            # what it was before tenancy existed.
+            del meta["tenants"]
+        else:
+            meta["tenants"] = [t.to_meta() for t in self.tenants]
         meta["policy"] = SERVE_POLICY
         return meta
 
@@ -173,6 +193,10 @@ class ServeConfig:
         if fields.get("trace") is not None:
             fields["trace"] = tuple(
                 (int(s), int(k)) for s, k in fields["trace"]
+            )
+        if fields.get("tenants") is not None:
+            fields["tenants"] = tuple(
+                TenantSpec.from_meta(t) for t in fields["tenants"]
             )
         return cls(**fields)
 
@@ -303,12 +327,30 @@ class ServiceLoop:
         ]
         self.arrivals = self._build_arrivals(config)
         self.planner = EpochPlanner(config.epoch)
-        self.admission = AdmissionController(
-            config.shards,
-            max_root_backlog=config.max_root_backlog or 4 * config.B,
-            max_queue=config.max_queue or 16 * config.B,
+        #: tenancy runtime, or None for the (byte-identical) single-tenant
+        #: path; when set, admission is the weighted-fair controller and
+        #: metrics carry the gid -> tenant map it keys on.
+        self._tenancy = (
+            TenancyRuntime(config.tenants) if config.tenants else None
         )
-        self.metrics = ServeMetrics(config.shards)
+        self.metrics = ServeMetrics(
+            config.shards,
+            self._tenancy.names if self._tenancy else None,
+        )
+        if self._tenancy is not None:
+            self.admission: AdmissionController = TenantAdmissionController(
+                config.shards,
+                max_root_backlog=config.max_root_backlog or 4 * config.B,
+                max_queue=config.max_queue or 16 * config.B,
+                specs=config.tenants,
+                tenant_of=self.metrics.tenant_of,
+            )
+        else:
+            self.admission = AdmissionController(
+                config.shards,
+                max_root_backlog=config.max_root_backlog or 4 * config.B,
+                max_queue=config.max_queue or 16 * config.B,
+            )
         self._journal_arg = journal
         self._sync = bool(sync)
         self._max_segment_bytes = max_segment_bytes
@@ -343,6 +385,11 @@ class ServiceLoop:
         return config.shards * config.leaves
 
     def _build_arrivals(self, config: ServeConfig) -> ArrivalProcess:
+        if config.tenants:
+            return TenantMix(
+                config.tenants, self.router.key_space,
+                seed=config.seed, spawn=_spawn_seed,
+            )
         sampler = KeySampler(
             self.router.key_space, theta=config.theta,
             seed=_spawn_seed(config.seed, 1),
@@ -393,16 +440,46 @@ class ServiceLoop:
         """True when no work remains anywhere in the system."""
         return (
             self.arrivals.exhausted
-            and all(len(q) == 0 for q in self.admission.queues)
+            and self.admission.total_queued() == 0
             and all(e.in_flight == 0 for e in self.engines)
         )
 
     def _begin_step(self, t: int) -> None:
         """Hook before phase 1 (supervision: chaos events, probes)."""
+        if self._tenancy is not None:
+            self._tenancy_begin_step(t)
+
+    def _tenancy_begin_step(self, t: int) -> None:
+        """Close the finished epoch: ledger row + SLO breaker decisions."""
+        if t > 1 and self.planner.is_boundary(t):
+            epoch = self.planner.epoch_of(t - 1)
+            self._tenancy.close_epoch(epoch, self.metrics)
+            door, tripped = self._tenancy.tracker.evaluate(epoch)
+            self._apply_slo(door, tripped, t)
+
+    def _apply_slo(self, door: "set[int]", tripped: "list[int]",
+                   t: int) -> None:
+        """Enforce SLO decisions: close doors, purge tripped tenants.
+
+        The procpool driver overrides this to ship the directives to its
+        workers (which own the queues) instead of purging locally.
+        """
+        self.admission.door_closed = set(door)
+        for tid in tripped:
+            for _sid, gid in self.admission.purge_tenant(tid):
+                self.metrics.note_shed(gid, t)
+                self.arrivals.notify_shed(gid, t)
 
     def _complete(self, gid: int, step: int) -> None:
         self.metrics.note_completion(gid, step)
         self.arrivals.notify_completion(gid, step)
+        self.admission.note_departed(gid)
+        if self._tenancy is not None:
+            tid = self.metrics.tenant_of.get(gid)
+            if tid is not None:
+                self._tenancy.tracker.note_completion(
+                    tid, step - self.metrics.arrival_step[gid] + 1
+                )
         if self.store is not None:
             key = self._gid_key.pop(gid, None)
             if key is not None:
@@ -438,9 +515,18 @@ class ServiceLoop:
         keys = self.arrivals.take(t)
         gids = list(range(self._next_gid, self._next_gid + len(keys)))
         self._next_gid += len(keys)
-        for gid, key in zip(gids, keys):
+        # Tenant tags must land in metrics.tenant_of *before* the offer:
+        # the fair controller keys its lanes (and shed accounting) on it.
+        tenants = (
+            self.arrivals.pending_tenants if self._tenancy is not None
+            else None
+        )
+        for i, (gid, key) in enumerate(zip(gids, keys)):
             sid, leaf = self.router.route(key)
-            self.metrics.note_arrival(gid, sid, t)
+            self.metrics.note_arrival(
+                gid, sid, t,
+                tenants[i] if tenants is not None else None,
+            )
             self._note_routed(gid, key, sid, t)
             self._offer(sid, gid, leaf, t)
         self.arrivals.on_emitted(gids)
@@ -520,10 +606,13 @@ class ServiceLoop:
             self.store.close()
 
     def _build_report(self, t: int) -> ServeReport:
+        snapshot = self.metrics.snapshot(t)
+        if self._tenancy is not None:
+            self._tenancy.annotate(snapshot, self.metrics)
         return ServeReport(
             config=self.config,
             n_steps=t,
-            snapshot=self.metrics.snapshot(t),
+            snapshot=snapshot,
             completions=dict(self.metrics.completion_step),
             shard_schedules=[e.schedule for e in self.engines],
             planner_stats=self.planner.stats,

@@ -78,7 +78,8 @@ class ShardTimeline:
 class ServeMetrics:
     """Accumulates the full latency/throughput picture of a serving run."""
 
-    def __init__(self, n_shards: int) -> None:
+    def __init__(self, n_shards: int,
+                 tenant_names: "tuple[str, ...] | None" = None) -> None:
         self.n_shards = int(n_shards)
         self.arrival_step: "dict[int, int]" = {}
         self.admit_step: "dict[int, int]" = {}
@@ -89,11 +90,18 @@ class ServeMetrics:
         #: while their shard's circuit breaker was open, never dropped).
         self.spilled_ids: "set[int]" = set()
         self.timelines = [ShardTimeline() for _ in range(self.n_shards)]
+        #: tenant display names when the run is multi-tenant (else None).
+        self.tenant_names = tenant_names
+        #: message id -> tenant index (only populated under tenancy).
+        self.tenant_of: "dict[int, int]" = {}
 
     # ------------------------------------------------------------------
-    def note_arrival(self, msg_id: int, shard_id: int, step: int) -> None:
+    def note_arrival(self, msg_id: int, shard_id: int, step: int,
+                     tenant: "int | None" = None) -> None:
         self.arrival_step[msg_id] = step
         self.shard_of[msg_id] = shard_id
+        if tenant is not None:
+            self.tenant_of[msg_id] = tenant
 
     def note_shed(self, msg_id: int, step: int) -> None:
         self.shed_ids.add(msg_id)

@@ -71,6 +71,7 @@ from repro.obs.profile import PHASE_EXECUTE
 from repro.policies.executor import MAX_IDLE_STEPS
 from repro.serve.admission import AdmissionController
 from repro.serve.loop import MAX_FORCED_REPLANS, build_shard_engine
+from repro.serve.tenancy.fair import TenantAdmissionController
 from repro.serve.planner import EpochPlanner
 from repro.serve.router import ShardStats
 from repro.serve.supervisor import (
@@ -120,11 +121,23 @@ class _ShardWorker:
         #: (ignores SIGTERM; dies only to SIGKILL).
         self.debug_hang = debug_hang
         self.planner = EpochPlanner(config.epoch)
-        self.admission = AdmissionController(
-            config.shards,
-            max_root_backlog=config.max_root_backlog or 4 * config.B,
-            max_queue=config.max_queue or 16 * config.B,
-        )
+        #: gid -> tenant index, fed by the parent with each batch (the
+        #: worker never sees the arrival process, only routed gids).
+        self.tenant_of: "dict[int, int]" = {}
+        if config.tenants:
+            self.admission: AdmissionController = TenantAdmissionController(
+                config.shards,
+                max_root_backlog=config.max_root_backlog or 4 * config.B,
+                max_queue=config.max_queue or 16 * config.B,
+                specs=config.tenants,
+                tenant_of=self.tenant_of,
+            )
+        else:
+            self.admission = AdmissionController(
+                config.shards,
+                max_root_backlog=config.max_root_backlog or 4 * config.B,
+                max_queue=config.max_queue or 16 * config.B,
+            )
         self.shards: "dict[int, _WorkerShard]" = {}
         for sid in sorted(specs):
             engine = build_shard_engine(config, specs[sid])
@@ -154,8 +167,13 @@ class _ShardWorker:
             while True:
                 time.sleep(0.05)
 
-    def restore(self, sid, locations, targets, queue_items) -> None:
+    def restore(self, sid, locations, targets, queue_items,
+                tenants=None) -> None:
         """Install folded restart state shipped by the parent."""
+        if tenants:
+            self.tenant_of.update(
+                {int(g): int(tid) for g, tid in tenants.items()}
+            )
         ws = self.shards[sid]
         ws.engine.wipe()
         ws.engine.restore_state(locations, targets)
@@ -165,18 +183,18 @@ class _ShardWorker:
         ws.unconsumed = []
         if ws.engine.location:
             self.planner.plan(ws.engine, [], force_full=True)
-        q = self.admission.queues[sid]
-        q.clear()
-        q.extend((int(g), int(leaf)) for g, leaf in queue_items)
-        if len(q) > self.admission.stats.max_queue_depth:
-            self.admission.stats.max_queue_depth = len(q)
+        self.admission.load_queue(sid, queue_items)
+        self.admission.rebuild_residency(sid, locations)
 
-    def run_chunk(self, t0, t1, batch, active):
+    def run_chunk(self, t0, t1, batch, active, slo=None):
         """Execute steps ``t0..t1`` for ``active`` hosted shards.
 
         Phase order within each step matches ``ServiceLoop.run``
         exactly; cross-shard state (metrics, arrivals, journal) lives in
-        the parent, so shards on different workers need no ordering."""
+        the parent, so shards on different workers need no ordering.
+        ``slo`` carries the parent's boundary SLO decisions (doors to
+        close, tenants to purge) — the parent owns the tracker, the
+        worker owns the queues."""
         order = sorted(set(self.shards) & set(active))
         out = {
             sid: {"admits": {}, "sheds": {}, "records": {}, "exec": {},
@@ -185,12 +203,22 @@ class _ShardWorker:
         }
         adm = self.admission
         for sid in order:
+            tags = batch.get(sid, {}).get("tenants")
+            if tags:
+                self.tenant_of.update(
+                    {int(g): int(tid) for g, tid in tags.items()}
+                )
+        if slo is not None:
+            adm.door_closed = set(slo["door"])
+            for tid in slo["purge"]:
+                for sid in order:
+                    purged = adm.purge_tenant_shard(sid, tid)
+                    if purged:
+                        out[sid].setdefault("purged", []).extend(purged)
+        for sid in order:
             items = batch.get(sid, {}).get("requeue", ())
             if items:
-                q = adm.queues[sid]
-                q.extend((int(g), int(leaf)) for g, leaf in items)
-                if len(q) > adm.stats.max_queue_depth:
-                    adm.stats.max_queue_depth = len(q)
+                adm.load_requeue(sid, items)
         for t in range(t0, t1 + 1):
             if self.cancel.is_set():
                 return None
@@ -242,10 +270,12 @@ class _ShardWorker:
                     out[sid]["records"][t] = buf.records
                 if done:
                     out[sid]["exec"][t] = done
+                    for gid, _step in done:
+                        adm.note_departed(gid)
             for sid in order:  # phase 5: depth samples
                 ws = self.shards[sid]
                 out[sid]["depths"][t] = (
-                    len(adm.queues[sid]),
+                    adm.queue_depth(sid),
                     ws.engine.root_backlog,
                     ws.engine.in_flight,
                 )
@@ -257,7 +287,7 @@ class _ShardWorker:
             self._last_stats[sid] = cur
             out[sid]["unconsumed"] = ws.unconsumed
             ws.unconsumed = []
-            out[sid]["queue_len"] = len(adm.queues[sid])
+            out[sid]["queue_len"] = adm.queue_depth(sid)
         cur = asdict(adm.stats)
         prev, self._last_adm = self._last_adm, cur
         adm_out = {
@@ -383,6 +413,9 @@ class ProcPoolLoop(SupervisedLoop):
         self._schedules = [FlushSchedule() for _ in range(n)]
         self._last_inflight = [0] * n
         self._last_backlog = [0] * n
+        #: boundary SLO decisions awaiting the next dispatch (the
+        #: workers own the queues the decisions act on).
+        self._slo_directive: "dict | None" = None
 
     # -- journal meta --------------------------------------------------
     def _driver_meta(self) -> dict:
@@ -597,9 +630,16 @@ class ProcPoolLoop(SupervisedLoop):
                 resp.inc()
                 resp.labels(shard=sid).inc()
         targets = {m: self._leaf_of[m] for m in locations}
+        tenants = None
+        if self._tenancy is not None:
+            tenant_of = self.metrics.tenant_of
+            gids = set(locations) | {g for g, _leaf in queue_items}
+            tenants = {
+                g: tenant_of[g] for g in gids if g in tenant_of
+            }
         try:
             slot.conn.send(("restore", sid, locations, targets,
-                            queue_items))
+                            queue_items, tenants))
             msg = slot.conn.recv()
             if msg[0] == "err":
                 raise msg[1]
@@ -620,7 +660,12 @@ class ProcPoolLoop(SupervisedLoop):
 
     # -- chunked execution ---------------------------------------------
     def _chunk_end(self, t0: int, max_steps: int) -> int:
-        if self.config.arrivals == "closed":
+        closed = (
+            any(t.arrivals == "closed" for t in self.config.tenants)
+            if self.config.tenants
+            else self.config.arrivals == "closed"
+        )
+        if closed:
             # Completions feed the arrival process step by step.
             return t0
         e = self.planner.epoch_length
@@ -635,9 +680,24 @@ class ProcPoolLoop(SupervisedLoop):
             self._leaf_of[gid] = leaf
             entry = batch.setdefault(sid, {"arrivals": {}, "requeue": []})
             entry["arrivals"].setdefault(t, []).append((gid, leaf))
+            if self._tenancy is not None:
+                entry.setdefault("tenants", {})[gid] = (
+                    self.metrics.tenant_of[gid]
+                )
             self._mirror[sid][gid] = leaf
         else:
             SupervisedLoop._offer(self, sid, gid, leaf, t)
+
+    def _apply_slo(self, door, tripped, t: int) -> None:
+        # The parent's own queues are always empty under this driver
+        # (offers are staged to workers or spilled), so the super call
+        # only maintains the parent-side door set; the real enforcement
+        # ships to the workers with the next dispatch.
+        super()._apply_slo(door, tripped, t)
+        self._slo_directive = {
+            "door": sorted(door),
+            "purge": sorted(tripped),
+        }
 
     def _stage_chunk(self, t0: int, t1: int):
         """Pre-draw and route the chunk's arrivals; stage handoffs."""
@@ -655,6 +715,10 @@ class ProcPoolLoop(SupervisedLoop):
                 entry["requeue"].extend(items)
                 for gid, leaf in items:
                     self._mirror[sid][gid] = leaf
+                    if self._tenancy is not None:
+                        tid = self.metrics.tenant_of.get(gid)
+                        if tid is not None:
+                            entry.setdefault("tenants", {})[gid] = tid
             else:
                 # The divert target itself went down before delivery:
                 # park the handoff in its spill, shedding past capacity.
@@ -675,9 +739,16 @@ class ProcPoolLoop(SupervisedLoop):
             keys = self.arrivals.take(t)
             gids = list(range(self._next_gid, self._next_gid + len(keys)))
             self._next_gid += len(keys)
-            for gid, key in zip(gids, keys):
+            tenants = (
+                self.arrivals.pending_tenants if self._tenancy is not None
+                else None
+            )
+            for i, (gid, key) in enumerate(zip(gids, keys)):
                 sid, leaf = self.router.route(key)
-                self.metrics.note_arrival(gid, sid, t)
+                self.metrics.note_arrival(
+                    gid, sid, t,
+                    tenants[i] if tenants is not None else None,
+                )
                 self._note_routed(gid, key, sid, t)
                 self._stage_offer(sid, gid, leaf, t, batch)
             self.arrivals.on_emitted(gids)
@@ -691,11 +762,13 @@ class ProcPoolLoop(SupervisedLoop):
             if self._dispatchable(sid):
                 by_slot.setdefault(self._slot_of[sid], []).append(sid)
         pending = []
+        slo = self._slo_directive
+        self._slo_directive = None
         for slot_id, sids in sorted(by_slot.items()):
             slot = self._slots[slot_id]
             payload = {s: batch[s] for s in sids if s in batch}
             try:
-                slot.conn.send(("chunk", t0, t1, payload, sids))
+                slot.conn.send(("chunk", t0, t1, payload, sids, slo))
                 pending.append(slot)
             except (BrokenPipeError, OSError):
                 self._on_slot_death(slot, t0, "send-failed")
@@ -740,9 +813,12 @@ class ProcPoolLoop(SupervisedLoop):
         per_shard = {}
         frozen: "dict[int, int]" = {}
         unconsumed: "dict[int, list]" = {}
+        purged: "dict[int, list]" = {}
         for res in results.values():
             for sid, data in res["shards"].items():
                 per_shard[sid] = data
+                if data.get("purged"):
+                    purged[sid] = data["purged"]
                 acc = self._acc_stats[sid]
                 for k, v in data["stats"].items():
                     setattr(acc, k, getattr(acc, k) + v)
@@ -762,6 +838,13 @@ class ProcPoolLoop(SupervisedLoop):
             ps = self.planner.stats
             for k, v in res["planner"].items():
                 setattr(ps, k, getattr(ps, k) + v)
+        # SLO purges happened worker-side before the chunk's first step;
+        # mirror that here (mirror pop + counted shed at t0) before the
+        # per-step fold so depth samples and the final queue_len match.
+        for sid in sorted(purged):
+            for gid in purged[sid]:
+                self._mirror[sid].pop(gid, None)
+                self._shed(gid, t0)
         order = sorted(per_shard)
         n = len(self.engines)
         end_t = None

@@ -127,6 +127,17 @@ class ShardEngine:
         """In-flight ids not covered by ``planned`` (helper for planners)."""
         return [m for m in self.location if m not in planned]
 
+    def buffer_occupancy(self) -> "dict[int, int]":
+        """Buffered message count per occupied node (root included).
+
+        The live internal-node memory picture — what per-tenant buffer
+        quotas (:mod:`repro.serve.tenancy`) bound; total equals
+        :attr:`in_flight`."""
+        occ: "dict[int, int]" = {}
+        for node in self.location.values():
+            occ[node] = occ.get(node, 0) + 1
+        return occ
+
     def admit(self, msg_id: int, target_leaf: int, step: int) -> "int | None":
         """Place ``msg_id`` at the root; returns the completion step if the
         root *is* its target (single-node shard), else None."""

@@ -703,6 +703,7 @@ class SupervisedLoop(ServiceLoop):
 
     def _begin_step(self, t: int) -> None:
         self._clock = t
+        super()._begin_step(t)  # tenancy: epoch ledger + SLO breakers
         if self.planner.is_boundary(t) and t > 1:
             self._heartbeat(t)
         for event in self.chaos.events_at(t):
@@ -730,6 +731,7 @@ class SupervisedLoop(ServiceLoop):
             self.admission.stats.shed += 1
             by = self.admission.stats.shed_by_shard
             by[sid] = by.get(sid, 0) + 1
+            self.admission.note_external_shed(sid, gid)
             self._shed(gid, t)
             self.sup_stats.abandoned_messages += 1
             return
@@ -749,6 +751,7 @@ class SupervisedLoop(ServiceLoop):
                 self.admission.stats.shed += 1
                 by = self.admission.stats.shed_by_shard
                 by[sid] = by.get(sid, 0) + 1
+                self.admission.note_external_shed(sid, gid)
                 self._shed(gid, t)
                 self.sup_stats.spill_overflow_shed += 1
             return
@@ -910,6 +913,7 @@ class SupervisedLoop(ServiceLoop):
     def _kill_shard(self, sid: int, t: int) -> None:
         """Chaos kill: the shard loses all in-memory state right now."""
         self.engines[sid].wipe()
+        self.admission.reset_shard_residency(sid)
         self._fresh[sid] = []
         if self._breakers[sid].state != BREAKER_OPEN:
             self._open_breaker(sid, self.planner.epoch_of(t))
@@ -1029,6 +1033,7 @@ class SupervisedLoop(ServiceLoop):
         engine = self.engines[sid]
         engine.wipe()
         engine.restore_state(locations, self._leaf_of)
+        self.admission.rebuild_residency(sid, locations.keys())
         self._fresh[sid] = []
         self._replans_left[sid] = MAX_FORCED_REPLANS
         if engine.location:
@@ -1057,7 +1062,8 @@ class SupervisedLoop(ServiceLoop):
             stats.abandoned_messages += 1
             shed_here += 1
         self._spill[sid].clear()
-        self.admission.queues[sid].clear()
+        self.admission.clear_shard(sid)
+        self.admission.reset_shard_residency(sid)
         self.engines[sid].wipe()
         self._fresh[sid] = []
         if shed_here:

@@ -1,0 +1,30 @@
+"""Multi-tenant QoS for the serving layer.
+
+Tenant-tagged arrivals (:class:`TenantMix`), deficit-round-robin
+weighted-fair admission (:class:`TenantAdmissionController`), per-tenant
+sojourn SLOs with breaker-integrated shedding (:class:`SLOTracker`),
+memory-budgeted buffer quotas, and the live ``/metrics`` endpoint
+(:class:`MetricsEndpoint`).  Enabled by ``ServeConfig.tenants``; with it
+unset every serving run is byte-identical to a pre-tenancy run.
+"""
+
+from repro.serve.tenancy.endpoint import MetricsEndpoint
+from repro.serve.tenancy.fair import TenantAdmissionController
+from repro.serve.tenancy.mix import TenantMix
+from repro.serve.tenancy.runtime import TenancyRuntime, format_tenant_report
+from repro.serve.tenancy.slo import SLO_COOLDOWN, SLO_TRIP_AFTER, SLOTracker
+from repro.serve.tenancy.spec import TenantSpec, make_tenants, validate_tenants
+
+__all__ = [
+    "MetricsEndpoint",
+    "SLO_COOLDOWN",
+    "SLO_TRIP_AFTER",
+    "SLOTracker",
+    "TenancyRuntime",
+    "TenantAdmissionController",
+    "TenantMix",
+    "TenantSpec",
+    "format_tenant_report",
+    "make_tenants",
+    "validate_tenants",
+]

@@ -1,0 +1,77 @@
+"""Live ``/metrics`` endpoint: the obs registry + tenant SLO state as JSON.
+
+A stdlib :class:`http.server.ThreadingHTTPServer` on a daemon thread, off
+by default and enabled with ``serve --metrics-port``.  The handler calls
+a provider function that assembles the payload from the deterministic
+:mod:`repro.obs` metrics registry plus the per-tenant SLO rows — the
+same dicts the final report prints, so a dashboard scraping the endpoint
+and a test reading the report see the one source of truth.
+
+The serving loop stays single-threaded and deterministic: the endpoint
+only *reads* snapshots.  A read racing a loop-side update can observe a
+torn intermediate (Python-level atomicity keeps it structurally sound);
+the handler degrades to a 503 with an error payload rather than taking
+a lock on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class MetricsEndpoint:
+    """Serve ``provider()`` as JSON on ``GET /metrics`` (and ``/``)."""
+
+    def __init__(self, provider, *, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self._provider = provider
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(handler) -> None:  # noqa: N805 (stdlib callback)
+                if handler.path.split("?", 1)[0] not in ("/", "/metrics"):
+                    handler.send_error(404)
+                    return
+                try:
+                    body = json.dumps(
+                        provider(), indent=2, sort_keys=True
+                    ).encode()
+                    status = 200
+                except Exception as exc:  # torn read mid-update
+                    body = json.dumps(
+                        {"error": f"snapshot unavailable: {exc}"}
+                    ).encode()
+                    status = 503
+                handler.send_response(status)
+                handler.send_header("Content-Type", "application/json")
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+            def log_message(handler, *args) -> None:  # noqa: N805
+                pass  # keep the CLI report clean
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

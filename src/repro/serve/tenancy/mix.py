@@ -1,0 +1,122 @@
+"""Tenant-tagged arrivals: compose per-tenant processes into one stream.
+
+:class:`TenantMix` owns one :class:`~repro.serve.arrivals.ArrivalProcess`
+per tenant, each with its own seeded Zipf :class:`KeySampler` (tenants
+share the key space but not their hot sets), and presents the union to
+the serving loop through the standard ``ArrivalProcess`` interface.  The
+loop stays tenant-oblivious in its hot path; the mix remembers which
+tenant produced each key position and, once the loop reports the global
+message ids via :meth:`on_emitted`, publishes the ``gid -> tenant``
+mapping and fans completion/shed feedback back to the owning tenant's
+process (closed-loop tenants live off that feedback).
+
+Determinism: tenant ``i`` draws its sampler from spawn coordinates
+``(seed, 40, i, 1)`` and its process from ``(seed, 40, i, 2)`` — a
+namespace disjoint from the single-stream coordinates ``(seed, 1)`` /
+``(seed, 2)``, so enabling tenancy changes the arrival stream (it must:
+different processes) while two runs of the same tenant config are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    KeySampler,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.util.errors import InvalidInstanceError
+
+#: spawn-coordinate namespace for tenant RNG streams (see module doc).
+TENANT_SEED_NS = 40
+
+
+def _build_process(spec, key_space: int, index: int, seed: int,
+                   spawn) -> ArrivalProcess:
+    sampler = KeySampler(
+        key_space,
+        theta=spec.theta,
+        seed=spawn(seed, TENANT_SEED_NS, index, 1),
+    )
+    if spec.arrivals == "poisson":
+        return PoissonArrivals(
+            spec.rate, spec.messages, sampler,
+            seed=spawn(seed, TENANT_SEED_NS, index, 2),
+        )
+    if spec.arrivals == "mmpp":
+        return MMPPArrivals(
+            spec.rate, spec.burst_rate, spec.messages, sampler,
+            p_burst=spec.p_burst, p_calm=spec.p_calm,
+            seed=spawn(seed, TENANT_SEED_NS, index, 2),
+        )
+    if spec.arrivals == "closed":
+        return ClosedLoopArrivals(
+            spec.n_clients, spec.messages, sampler,
+            think_time=spec.think_time,
+        )
+    raise InvalidInstanceError(
+        f"tenant {spec.name!r}: unknown arrival process {spec.arrivals!r}"
+    )
+
+
+class TenantMix(ArrivalProcess):
+    """Union of per-tenant arrival processes, tagged by tenant id.
+
+    ``tenant_of`` maps every emitted global message id to the *index* of
+    the tenant that issued it (indices into ``specs`` — the compact form
+    the admission scheduler and metrics key on; ``names[tid]`` recovers
+    the display name).
+    """
+
+    def __init__(self, specs, key_space: int, *, seed: int, spawn) -> None:
+        if not specs:
+            raise InvalidInstanceError("TenantMix needs >= 1 tenant spec")
+        self.specs = tuple(specs)
+        self.names = tuple(t.name for t in self.specs)
+        self.processes: "list[ArrivalProcess]" = [
+            _build_process(spec, key_space, i, seed, spawn)
+            for i, spec in enumerate(self.specs)
+        ]
+        #: global message id -> tenant index (grows over the run).
+        self.tenant_of: dict[int, int] = {}
+        #: tenant index per key position of the most recent take().
+        self._pending: list[int] = []
+
+    def take(self, step: int) -> "list[int]":
+        keys: list[int] = []
+        self._pending = []
+        for tid, proc in enumerate(self.processes):
+            tenant_keys = proc.take(step)
+            keys.extend(tenant_keys)
+            self._pending.extend([tid] * len(tenant_keys))
+        return keys
+
+    @property
+    def pending_tenants(self) -> "list[int]":
+        """Tenant index per key of the most recent :meth:`take` (aligned)."""
+        return self._pending
+
+    def on_emitted(self, msg_ids: "list[int]") -> None:
+        per_tenant: dict[int, list[int]] = {}
+        for tid, gid in zip(self._pending, msg_ids):
+            self.tenant_of[gid] = tid
+            per_tenant.setdefault(tid, []).append(gid)
+        self._pending = []
+        for tid, gids in per_tenant.items():
+            self.processes[tid].on_emitted(gids)
+
+    def notify_completion(self, msg_id: int, step: int) -> None:
+        tid = self.tenant_of.get(msg_id)
+        if tid is not None:
+            self.processes[tid].notify_completion(msg_id, step)
+
+    def notify_shed(self, msg_id: int, step: int) -> None:
+        tid = self.tenant_of.get(msg_id)
+        if tid is not None:
+            self.processes[tid].notify_shed(msg_id, step)
+
+    @property
+    def exhausted(self) -> bool:
+        return all(proc.exhausted for proc in self.processes)

@@ -1,0 +1,110 @@
+"""Per-tenant sojourn SLOs with breaker-integrated shedding.
+
+Fairness in a write-optimized store is judged by *tail sojourn*, not
+mean throughput (Luo & Carey: write-stall variance is what kills
+production deployments).  :class:`SLOTracker` therefore watches, per
+tenant, the nearest-rank percentile of sojourn times over the
+completions of each epoch and compares it against the tenant's
+``slo_sojourn`` target.
+
+The enforcement mirrors the shard circuit breakers: a tenant trips
+after :data:`SLO_TRIP_AFTER` consecutive violating epochs.  Tripping
+sheds the *offending* tenant's queued backlog (the serving loop purges
+its admission lanes) and closes its door for :data:`SLO_COOLDOWN`
+epochs, instead of tail-dropping globally — the hot tenant pays for its
+own violation while light tenants keep their lanes.
+
+Everything is integer-epoch, deterministic, and journal-free: the
+tracker's decisions replay exactly from the arrival stream, so
+recovered runs re-derive identical shed sets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import nearest_rank
+
+#: consecutive violating epochs before a tenant's breaker trips.
+SLO_TRIP_AFTER = 2
+#: epochs the door stays closed after a trip.
+SLO_COOLDOWN = 2
+
+
+class _TenantSLO:
+    """Breaker state for one tenant (internal)."""
+
+    __slots__ = (
+        "target", "percentile", "window", "violations", "trips",
+        "violation_epochs", "open_until", "attained",
+    )
+
+    def __init__(self, target: int, percentile: float) -> None:
+        self.target = int(target)
+        self.percentile = float(percentile)
+        self.window: list[int] = []   # sojourns completed this epoch
+        self.violations = 0           # consecutive violating epochs
+        self.trips = 0
+        self.violation_epochs = 0
+        self.open_until = 0           # door closed through this epoch
+        self.attained = 0             # last evaluated percentile sojourn
+
+
+class SLOTracker:
+    """Evaluate per-tenant sojourn percentiles once per epoch."""
+
+    def __init__(self, specs) -> None:
+        self.specs = tuple(specs)
+        self._state = [
+            _TenantSLO(t.slo_sojourn, t.slo_percentile) for t in self.specs
+        ]
+
+    def note_completion(self, tenant: int, sojourn: int) -> None:
+        st = self._state[tenant]
+        if st.target > 0:
+            st.window.append(int(sojourn))
+
+    def evaluate(self, epoch: int) -> "tuple[set[int], list[int]]":
+        """Close out ``epoch``; returns ``(door_closed, newly_tripped)``.
+
+        ``door_closed`` is the full set of tenants whose door must be
+        closed for the *next* epoch; ``newly_tripped`` lists tenants
+        that tripped at this boundary (their queues are to be purged).
+        """
+        door: set[int] = set()
+        tripped: list[int] = []
+        for tid, st in enumerate(self._state):
+            if st.target <= 0:
+                continue
+            if st.window:
+                st.attained = nearest_rank(st.window, st.percentile)
+                violated = st.attained > st.target
+                st.window = []
+            else:
+                violated = False  # an idle epoch cannot violate
+            if violated:
+                st.violations += 1
+                st.violation_epochs += 1
+            else:
+                st.violations = 0
+            if st.violations >= SLO_TRIP_AFTER and epoch >= st.open_until:
+                st.trips += 1
+                st.violations = 0
+                st.open_until = epoch + SLO_COOLDOWN
+                tripped.append(tid)
+            if epoch < st.open_until:
+                door.add(tid)
+        return door, tripped
+
+    def row(self, tenant: int) -> dict:
+        """Snapshot fragment for reports / the metrics endpoint."""
+        st = self._state[tenant]
+        if st.target <= 0:
+            return {"slo": None}
+        return {
+            "slo": {
+                "target": st.target,
+                "percentile": st.percentile,
+                "attained": st.attained,
+                "violation_epochs": st.violation_epochs,
+                "trips": st.trips,
+            }
+        }

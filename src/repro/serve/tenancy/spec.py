@@ -1,0 +1,224 @@
+"""Tenant specifications: the journaled identity of a multi-tenant run.
+
+A :class:`TenantSpec` describes one tenant sharing the serving fleet:
+its arrival process (kind, rate, message budget, key skew), its
+weighted-fair share of admission bandwidth, its sojourn SLO, and its
+buffer quota (the Marchal/Sinnen/Vivien memory bound: how many of the
+tenant's messages may sit buffered in a shard's internal nodes at once).
+
+The tuple of specs rides in ``ServeConfig.tenants`` and therefore in the
+journal ``meta`` payload, so a recovered run rebuilds the identical
+tenant mix.  With ``tenants=None`` (the default) the key is omitted from
+the meta entirely and every byte of a run is identical to a
+pre-tenancy run — the byte-equivalence contract the parity tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from dataclasses import fields as dataclass_fields
+
+from repro.util.errors import InvalidInstanceError
+
+#: arrival kinds a tenant may use (``trace`` is whole-run only).
+TENANT_ARRIVALS = ("poisson", "mmpp", "closed")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's share of a serving run (JSON-round-trippable).
+
+    Attributes
+    ----------
+    name:
+        Stable tenant identifier (reports, journal meta, CLI tables).
+    weight:
+        Deficit-round-robin admission weight.  Tenants drain from their
+        per-tenant queues in proportion to their weights when both are
+        backlogged; a tenant's fresh arrivals are also bounded to its
+        weight-proportional share of ``max_queue``.
+    arrivals / rate / burst_rate / p_burst / p_calm / n_clients /
+    think_time:
+        The tenant's arrival process, with the same semantics as the
+        matching :class:`~repro.serve.loop.ServeConfig` fields.
+    messages:
+        The tenant's total message budget.  The sum over all tenants
+        must equal ``ServeConfig.messages``.
+    theta:
+        Zipf key-popularity skew of the tenant's own key sampler
+        (tenants share the key space but not their hot sets).
+    slo_sojourn:
+        Target sojourn (steps) at ``slo_percentile``; 0 disables SLO
+        tracking for this tenant.
+    slo_percentile:
+        The percentile the sojourn target applies to (nearest-rank).
+    buffer_quota:
+        Max messages this tenant may have resident in any one shard's
+        internal-node buffers (0 = unlimited).  Enforced at the
+        admission/planner boundary: admission holds the tenant's queue
+        while the quota is saturated, trading the tenant's makespan for
+        a hard bound on its peak buffer memory.
+    """
+
+    name: str
+    weight: float = 1.0
+    arrivals: str = "poisson"
+    rate: float = 4.0
+    burst_rate: float = 16.0
+    p_burst: float = 0.05
+    p_calm: float = 0.25
+    n_clients: int = 8
+    think_time: int = 0
+    messages: int = 0
+    theta: float = 0.0
+    slo_sojourn: int = 0
+    slo_percentile: float = 99.0
+    buffer_quota: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidInstanceError("tenant name must be non-empty")
+        if not self.weight > 0:  # also rejects NaN
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: weight must be > 0, "
+                f"got {self.weight}"
+            )
+        if self.arrivals not in TENANT_ARRIVALS:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: unknown arrival process "
+                f"{self.arrivals!r} (expected one of {TENANT_ARRIVALS})"
+            )
+        if self.arrivals == "poisson" and not self.rate > 0:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: rate must be > 0, got {self.rate}"
+            )
+        if self.arrivals == "mmpp" and (
+            not self.rate >= 0 or not self.burst_rate > 0
+        ):
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: mmpp needs rate >= 0 and "
+                f"burst_rate > 0, got {self.rate}, {self.burst_rate}"
+            )
+        if self.arrivals == "closed" and self.n_clients < 1:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: closed loop needs n_clients >= 1"
+            )
+        if self.messages < 0:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: messages must be >= 0, "
+                f"got {self.messages}"
+            )
+        if self.theta < 0:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: theta must be >= 0, got {self.theta}"
+            )
+        if self.slo_sojourn < 0:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: slo_sojourn must be >= 0, "
+                f"got {self.slo_sojourn}"
+            )
+        if not (0.0 < self.slo_percentile <= 100.0):
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: slo_percentile must be in "
+                f"(0, 100], got {self.slo_percentile}"
+            )
+        if self.buffer_quota < 0:
+            raise InvalidInstanceError(
+                f"tenant {self.name!r}: buffer_quota must be >= 0, "
+                f"got {self.buffer_quota}"
+            )
+
+    def to_meta(self) -> dict:
+        """JSON-ready form for a journal ``meta`` payload."""
+        return asdict(self)
+
+    @classmethod
+    def from_meta(cls, payload: dict) -> "TenantSpec":
+        """Inverse of :meth:`to_meta` (unknown keys ignored)."""
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def validate_tenants(tenants, total_messages: int) -> None:
+    """Cross-field checks for ``ServeConfig.tenants``."""
+    if not tenants:
+        raise InvalidInstanceError("tenants must be a non-empty tuple")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise InvalidInstanceError(f"tenant names must be unique: {names}")
+    budget = sum(t.messages for t in tenants)
+    if budget != total_messages:
+        raise InvalidInstanceError(
+            f"tenant message budgets sum to {budget}, but "
+            f"messages={total_messages}; they must match"
+        )
+
+
+def split_messages(total: int, shares: "list[float]") -> "list[int]":
+    """Split ``total`` proportionally to ``shares`` (largest-remainder,
+    deterministic: ties go to the earlier tenant)."""
+    if total < 0:
+        raise InvalidInstanceError(f"total must be >= 0, got {total}")
+    weight = sum(shares)
+    if not weight > 0:
+        raise InvalidInstanceError("shares must sum to > 0")
+    exact = [total * s / weight for s in shares]
+    out = [int(e) for e in exact]
+    remainder = total - sum(out)
+    order = sorted(
+        range(len(shares)), key=lambda i: (-(exact[i] - out[i]), i)
+    )
+    for i in order[:remainder]:
+        out[i] += 1
+    return out
+
+
+def make_tenants(
+    n: int,
+    total_messages: int,
+    *,
+    rates: "list[float] | None" = None,
+    weights: "list[float] | None" = None,
+    thetas: "list[float] | None" = None,
+    slos: "list[int] | None" = None,
+    slo_percentile: float = 99.0,
+    quotas: "list[int] | None" = None,
+    arrivals: str = "poisson",
+) -> "tuple[TenantSpec, ...]":
+    """Build ``n`` tenants named ``t0..t{n-1}`` from parallel lists.
+
+    Message budgets split proportionally to the offered rates so the
+    run's total matches ``ServeConfig.messages`` exactly (the CLI path).
+    """
+    if n < 1:
+        raise InvalidInstanceError(f"need n >= 1 tenants, got {n}")
+
+    def _pick(vals, default):
+        if vals is None:
+            return [default] * n
+        if len(vals) != n:
+            raise InvalidInstanceError(
+                f"expected {n} values, got {len(vals)}: {vals}"
+            )
+        return list(vals)
+
+    rates = _pick(rates, 4.0)
+    weights = _pick(weights, 1.0)
+    thetas = _pick(thetas, 0.0)
+    slos = _pick(slos, 0)
+    quotas = _pick(quotas, 0)
+    budgets = split_messages(total_messages, rates)
+    return tuple(
+        TenantSpec(
+            name=f"t{i}",
+            weight=weights[i],
+            arrivals=arrivals,
+            rate=rates[i],
+            messages=budgets[i],
+            theta=thetas[i],
+            slo_sojourn=int(slos[i]),
+            slo_percentile=slo_percentile,
+            buffer_quota=int(quotas[i]),
+        )
+        for i in range(n)
+    )

@@ -276,3 +276,30 @@ def test_stats_shape(tmp_path: Path) -> None:
     assert stats["memtable"] == 20 % 8
     assert isinstance(stats["levels"], list)
     assert {"runs", "entries", "tombstones"} <= set(stats["levels"][0])
+
+
+def test_stats_reports_per_level_bytes(tmp_path: Path) -> None:
+    """Each level row carries the on-disk byte total of its SSTables,
+    matching the actual file sizes; a vanished file counts 0."""
+    with _open(tmp_path) as s:
+        for i in range(40):
+            s.put(f"k{i:02d}", "v" * 32)
+        stats = s.stats()
+        assert all("bytes" in level for level in stats["levels"])
+        occupied = [lv for lv in stats["levels"] if lv["runs"]]
+        assert occupied and all(lv["bytes"] > 0 for lv in occupied)
+        expected = [
+            sum((s.directory / m.name).stat().st_size for m in level)
+            for level in s.manifest.levels
+        ]
+        assert [lv["bytes"] for lv in stats["levels"]] == expected
+        # A file missing underneath us (scrub quarantine) degrades to 0.
+        victim = next(
+            m for level in s.manifest.levels for m in level
+        )
+        (s.directory / victim.name).rename(tmp_path / "gone")
+        degraded = s.stats()
+        total = lambda st: sum(lv["bytes"] for lv in st["levels"])  # noqa: E731
+        assert total(degraded) == total(stats) - (
+            tmp_path / "gone").stat().st_size
+        (tmp_path / "gone").rename(s.directory / victim.name)

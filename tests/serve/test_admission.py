@@ -83,3 +83,40 @@ def test_validation():
         AdmissionController(1, max_root_backlog=0, max_queue=5)
     with pytest.raises(InvalidInstanceError):
         AdmissionController(1, max_root_backlog=1, max_queue=-1)
+
+
+def test_requeue_and_handoff_never_recount_offered():
+    """Re-admission paths take messages that were already offered at
+    arrival; conservation (arrived == offered) requires they never bump
+    ``stats.offered`` — only ``offer`` does."""
+    engine, topo = make_engine()
+    leaf = topo.leaves[0]
+    ctrl = AdmissionController(2, max_root_backlog=10, max_queue=5)
+    for gid in range(3):
+        ctrl.offer(0, gid, leaf)
+    assert ctrl.stats.offered == 3
+    assert ctrl.requeue(0, [(3, leaf), (4, leaf)]) == 2
+    assert ctrl.stats.offered == 3
+    assert ctrl.handoff(1, [(5, leaf), (6, leaf)]) == 2
+    assert ctrl.stats.offered == 3
+    assert ctrl.stats.handoff_in == 2
+    # Bounded prefix-accept: shard 0 is full (3 offered + 2 requeued),
+    # so the overflow is returned to the caller (who sheds and counts
+    # it); neither offered nor shed moves here.
+    assert ctrl.requeue(0, [(7 + i, leaf) for i in range(9)]) == 0
+    assert ctrl.stats.offered == 3
+    assert ctrl.stats.shed == 0
+    assert ctrl.queue_depth(0) == 5
+
+
+def test_queue_helpers_cover_load_and_clear():
+    engine, topo = make_engine()
+    leaf = topo.leaves[0]
+    ctrl = AdmissionController(1, max_root_backlog=10, max_queue=5)
+    ctrl.load_queue(0, [(1, leaf), (2, leaf)])
+    assert ctrl.total_queued() == ctrl.queue_depth(0) == 2
+    ctrl.load_requeue(0, [(3, leaf)])
+    assert ctrl.queue_depth(0) == 3
+    assert ctrl.clear_shard(0) == [(1, leaf), (2, leaf), (3, leaf)]
+    assert ctrl.total_queued() == 0
+    assert ctrl.stats.offered == 0  # none of the helpers re-offer

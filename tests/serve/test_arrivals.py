@@ -125,3 +125,24 @@ def test_closed_loop_exhausts_at_n_messages():
 def test_poisson_rejects_bad_rate(bad):
     with pytest.raises(Exception):
         PoissonArrivals(bad, 10, KeySampler(16, seed=0), seed=0)
+
+
+def test_closed_loop_shed_releases_slot_exactly_once():
+    """A shed frees the issuing client's slot once; duplicate shed or a
+    late completion for the same message must not re-release it."""
+    proc = ClosedLoopArrivals(1, 5, KeySampler(16, seed=0), think_time=0)
+    assert len(proc.take(1)) == 1
+    proc.on_emitted([0])
+    assert proc._ready_at == [None]  # in flight
+    proc.notify_shed(0, 1)
+    assert proc._ready_at == [2]  # released exactly here
+    # Client 0 reissues at step 2; the stale gid 0 feedback arriving
+    # late must not free the new in-flight message's slot.
+    assert len(proc.take(2)) == 1
+    proc.on_emitted([1])
+    assert proc._ready_at == [None]
+    proc.notify_shed(0, 3)  # duplicate shed for the old message
+    proc.notify_completion(0, 3)  # and a late completion
+    assert proc._ready_at == [None]  # still in flight: no double free
+    proc.notify_completion(1, 4)
+    assert proc._ready_at == [5]
