@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten subcommands cover the common workflows without writing code:
+Eleven subcommands cover the common workflows without writing code:
 
 * ``compare`` — generate a workload and compare the flushing policies;
 * ``solve``   — run the full paper pipeline on one instance and report
@@ -28,6 +28,10 @@ Ten subcommands cover the common workflows without writing code:
   SIGKILL, exact read-back verification, checksum scrub-and-repair,
   compaction, stats (``serve --engine lsm`` runs the same engine under
   the serving loop);
+* ``stability`` — long-run stall benchmarking (:mod:`repro.stability`):
+  a seeded MMPP scenario through the serving loop, per-window stall
+  detection with attribution, and a byte-deterministic ``stability/v1``
+  JSON document; ``--pace`` engages the de-amortization controller;
 * ``trace``   — run any other subcommand under :mod:`repro.obs`
   observability and write a Perfetto-loadable trace, a deterministic
   metrics snapshot, and a span tree (see ``docs/OBSERVABILITY.md``).
@@ -50,6 +54,8 @@ Examples::
     python -m repro kv ingest --dir /tmp/kv2 --n 2000 --crash-after 1200
     python -m repro kv check-ingest --dir /tmp/kv2 --n 2000
     python -m repro kv scrub --dir /tmp/kv2
+    python -m repro stability --scenario flash-crowd --pace 32 \\
+        --fault-rate 0.05 --json /tmp/stability.json
     python -m repro trace --out /tmp/t serve --messages 200 --seed 1
 """
 
@@ -353,6 +359,7 @@ def _config_from_args(args: argparse.Namespace) -> ServeConfig:
         engine=args.engine,
         data_dir=args.data_dir or "",
         tenants=_tenants_from_args(args),
+        pace=args.pace,
     )
 
 
@@ -691,13 +698,14 @@ def cmd_kv(args: argparse.Namespace) -> int:
     import os as _os
     import signal as _signal
 
-    from repro.lsm.disk import KVStore, run_scrub
+    from repro.lsm.disk import KVStore, build_policy, run_scrub
     from repro.util.errors import StorageError
 
     def open_store():
         return KVStore(args.dir, sync=args.sync,
                        memtable_capacity=args.memtable_capacity,
-                       size_ratio=args.size_ratio)
+                       size_ratio=args.size_ratio,
+                       policy=build_policy(args.scheduler, pace=args.pace))
 
     try:
         if args.action == "ingest":
@@ -834,6 +842,50 @@ def cmd_kv(args: argparse.Namespace) -> int:
         tag = f" [{reason}]" if reason else ""
         print(f"storage error{tag}: {exc}", file=sys.stderr)
         return 1
+
+
+def cmd_stability(args: argparse.Namespace) -> int:
+    """Run the `stability` subcommand (long-run stall bench harness)."""
+    import json as _json
+
+    from repro.stability import (
+        StabilityConfig,
+        format_stability_report,
+        run_stability,
+    )
+
+    try:
+        config = StabilityConfig(
+            scenario=args.scenario,
+            messages=args.messages,
+            seed=args.seed,
+            shards=args.shards,
+            P=args.P,
+            B=args.B,
+            height=args.height,
+            leaves=args.leaves,
+            epoch=args.epoch,
+            pace=args.pace,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
+            window=args.window,
+            stall_frac=args.stall_frac,
+            trailing=args.trailing,
+        )
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"invalid stability configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        doc = run_stability(config)
+    except ExecutionStalledError as exc:
+        print(f"stability run stalled:\n{exc}", file=sys.stderr)
+        return 1
+    print(format_stability_report(doc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"stability JSON: {args.json}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1045,6 +1097,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="B^eps-shaped shard trees with this many leaves")
     p_serve.add_argument("--epoch", type=int, default=8,
                          help="steps between re-planning epochs")
+    p_serve.add_argument("--pace", type=int, default=0,
+                         help="de-amortization budget: per-step flushed "
+                         "messages allowed per shard (0 = off; off is "
+                         "byte-identical to omitting the flag)")
     p_serve.add_argument("--max-root-backlog", type=int, default=0,
                          help="admitted messages allowed at a shard root "
                          "(0 = 4*B)")
@@ -1173,6 +1229,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact.add_argument("journal", type=str)
     p_compact.set_defaults(func=cmd_compact)
 
+    p_stab = sub.add_parser(
+        "stability",
+        help="long-run stall bench: seeded MMPP scenario -> stall-window "
+             "detector -> schema-versioned JSON",
+    )
+    p_stab.add_argument("--scenario", choices=("diurnal", "flash-crowd"),
+                        default="flash-crowd")
+    p_stab.add_argument("--messages", type=int, default=20000)
+    p_stab.add_argument("--seed", type=int, default=0)
+    p_stab.add_argument("--shards", type=int, default=4)
+    p_stab.add_argument("--P", type=int, default=4)
+    p_stab.add_argument("--B", type=int, default=16)
+    p_stab.add_argument("--height", type=int, default=3)
+    p_stab.add_argument("--leaves", type=int, default=64)
+    p_stab.add_argument("--epoch", type=int, default=8)
+    p_stab.add_argument("--pace", type=int, default=0,
+                        help="de-amortization budget (0 = controller off)")
+    p_stab.add_argument("--fault-rate", type=float, default=0.0,
+                        help="compaction-interference injection rate")
+    p_stab.add_argument("--fault-seed", type=int, default=0)
+    p_stab.add_argument("--window", type=int, default=16,
+                        help="DAM steps per detector window")
+    p_stab.add_argument("--stall-frac", type=float, default=0.5,
+                        help="stalled when throughput < frac * trailing "
+                             "healthy mean")
+    p_stab.add_argument("--trailing", type=int, default=8,
+                        help="healthy windows in the trailing mean")
+    p_stab.add_argument("--json", type=str, default=None,
+                        help="write the stability/v1 document here")
+    p_stab.set_defaults(func=cmd_stability)
+
     p_kv = sub.add_parser(
         "kv", help="durable on-disk KV engine (WAL + SSTables + manifest)",
         description="Operate one repro.lsm.disk store directly: seeded "
@@ -1205,6 +1292,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_kv.add_argument("--size-ratio", type=int, default=4)
     p_kv.add_argument("--budget", type=int, default=1,
                       help="compaction tasks per `kv compact`")
+    p_kv.add_argument("--scheduler", choices=("horn", "leveling"),
+                      default="horn",
+                      help="compaction scheduling policy")
+    p_kv.add_argument("--pace", type=int, default=0,
+                      help="entry budget per density compaction task "
+                           "(0 = unpaced; capacity repair is exempt)")
     p_kv.add_argument("--drain", action="store_true",
                       help="compact until the scheduler is satisfied")
     p_kv.add_argument("--json", type=str, default=None,

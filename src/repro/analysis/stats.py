@@ -31,6 +31,37 @@ def nearest_rank(values, q: float) -> float:
     return float(arr[idx])
 
 
+def min_samples_for(q: float) -> int:
+    """Smallest sample size at which a nearest-rank ``q`` is meaningful.
+
+    A tail percentile needs at least one sample *above* the rank it
+    reports, i.e. ``n * (100 - q) / 100 >= 1``: p99 needs 100 samples,
+    p99.9 needs 1000.  ``q == 100`` (the max) is meaningful at any n.
+    """
+    if not (0.0 < q <= 100.0):
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    if q == 100.0:
+        return 1
+    # Round before ceil: 100 - 99.9 is not exact in binary, and the
+    # raw quotient 1000.0000000000057 would demand 1001 samples.
+    return math.ceil(round(100.0 / (100.0 - q), 9))
+
+
+def guarded_rank(values, q: float) -> "float | None":
+    """Nearest-rank percentile with an explicit minimum-sample guard.
+
+    Returns ``None`` instead of a silently meaningless rank when the
+    sample is too small to resolve ``q`` (fewer than
+    :func:`min_samples_for` observations — e.g. a "p99.9" of 40 samples
+    is just the max wearing a costume).  Callers render ``None`` as
+    "n/a"; an empty sample is also ``None``.
+    """
+    vals = list(values)
+    if len(vals) < min_samples_for(q):
+        return None
+    return nearest_rank(vals, q)
+
+
 @dataclass(frozen=True)
 class CompletionStats:
     """Summary of a completion-time distribution (1-based steps)."""

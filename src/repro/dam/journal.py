@@ -90,6 +90,14 @@ REC_END = "end"
 #: ``last_durable_step`` all pass unknown-to-them types through, so old
 #: readers tolerate these records.
 REC_DIVERT = "divert"
+#: A multi-tenant SLO enforcement decision (door closures + tenant queue
+#: purges) journaled at the epoch boundary it was taken, sealed behind a
+#: checkpoint like ``divert`` records.  Replaying the run re-derives the
+#: same decision (it is a pure function of the config), but the durable
+#: record is what lets a restarted shard-per-process worker learn about
+#: a purge whose chunk dispatch died with its process.  Unknown to old
+#: readers — which pass unrecognized types through, like ``divert``.
+REC_SLO = "slo"
 
 
 #: Smallest permitted rotation threshold: a header plus a tiny record.
@@ -155,6 +163,19 @@ def divert_record(t: int, src_shard: int, dst_shard: int,
     """
     return {"type": REC_DIVERT, "t": int(t), "from": int(src_shard),
             "to": int(dst_shard), "msgs": [int(m) for m in msgs]}
+
+
+def slo_record(t: int, door, purge) -> dict:
+    """The journal record for one epoch's SLO enforcement decision.
+
+    ``door`` is the set of tenants whose admission door is closed after
+    this boundary; ``purge`` the tenants whose queued messages are
+    purged at step ``t``.  Sorted lists, so the record's bytes are a
+    pure function of the decision.
+    """
+    return {"type": REC_SLO, "t": int(t),
+            "door": sorted(int(x) for x in door),
+            "purge": sorted(int(x) for x in purge)}
 
 
 class JournalWriter:

@@ -34,6 +34,8 @@ from repro.lsm.disk.scheduler import (
     DiskCompactionPolicy,
     DiskLevelingPolicy,
     HornDensityPolicy,
+    PacedHornPolicy,
+    build_policy,
 )
 from repro.lsm.disk.scrub import LostRange, ScrubReport, run_scrub
 from repro.lsm.disk.sstable import (
@@ -64,6 +66,8 @@ __all__ = [
     "DiskCompactionPolicy",
     "DiskLevelingPolicy",
     "HornDensityPolicy",
+    "PacedHornPolicy",
+    "build_policy",
     "LostRange",
     "ScrubReport",
     "run_scrub",

@@ -170,6 +170,15 @@ class HornDensityPolicy(DiskCompactionPolicy):
         self.min_density = float(min_density)
         self.advance_weight = float(advance_weight)
 
+    def _admit(self, moved: int) -> bool:
+        """Hook: may a density candidate moving ``moved`` entries run?
+
+        The base policy admits everything; :class:`PacedHornPolicy`
+        bounds it.  Capacity restoration never consults this hook —
+        invariant repair is correctness work and always wins.
+        """
+        return True
+
     def choose(self, manifest: "Manifest", *, memtable_capacity: int,
                size_ratio: int) -> "CompactionTask | None":
         over = self._over_capacity(
@@ -200,6 +209,8 @@ class HornDensityPolicy(DiskCompactionPolicy):
                 density = weight * retired / max(1, moved)
                 if density <= self.min_density:
                     continue
+                if not self._admit(moved):
+                    continue
                 if best is None or density > best.score:
                     best = CompactionTask(
                         level=level,
@@ -208,3 +219,47 @@ class HornDensityPolicy(DiskCompactionPolicy):
                         score=density,
                     )
         return best
+
+
+class PacedHornPolicy(HornDensityPolicy):
+    """:class:`HornDensityPolicy` with a per-task entry budget.
+
+    The disk-engine half of the de-amortization controller
+    (``serve --pace`` is the planner/engine half): density merges that
+    would move more than ``pace`` entries in one task are deferred —
+    they stay candidates and run later, once intervening capacity
+    merges have shrunk their overlap or a smaller candidate drains the
+    same obligations.  Capacity restoration is exempt: an over-budget
+    level is an invariant violation and is repaired at whatever cost it
+    takes, exactly like the serving engine finishing an in-flight
+    flush.  The trade mirrors Das–Iacono–Nekrich: a bounded amount of
+    maintenance per :meth:`~repro.lsm.disk.kvstore.KVStore.maintain`
+    call, at the cost of obligations draining in more (smaller) tasks.
+    """
+
+    name = "paced-horn"
+
+    def __init__(self, pace: int, *, min_density: float = 0.0,
+                 advance_weight: float = 0.5) -> None:
+        super().__init__(
+            min_density=min_density, advance_weight=advance_weight
+        )
+        if pace < 1:
+            raise ValueError(f"pace budget must be >= 1, got {pace}")
+        self.pace = int(pace)
+
+    def _admit(self, moved: int) -> bool:
+        return moved <= self.pace
+
+
+def build_policy(name: str, *, pace: int = 0) -> DiskCompactionPolicy:
+    """Scheduler-knob factory (the ``kv --scheduler/--pace`` surface).
+
+    ``leveling`` ignores ``pace`` (it only ever does capacity repair);
+    ``horn`` returns the density policy, paced when ``pace > 0``.
+    """
+    if name == "leveling":
+        return DiskLevelingPolicy()
+    if name == "horn":
+        return PacedHornPolicy(pace) if pace > 0 else HornDensityPolicy()
+    raise ValueError(f"unknown compaction scheduler {name!r}")

@@ -34,6 +34,7 @@ from repro.serve.loop import (
     ServeRecoveryReport,
     ServeReport,
     ServiceLoop,
+    build_planner,
     recover_serve,
 )
 from repro.serve.metrics import (
@@ -41,7 +42,12 @@ from repro.serve.metrics import (
     ServeMetrics,
     format_serve_report,
 )
-from repro.serve.planner import EpochPlanner, PlannerStats, plan_flushes
+from repro.serve.planner import (
+    EpochPlanner,
+    PacedPlanner,
+    PlannerStats,
+    plan_flushes,
+)
 from repro.serve.procpool import ProcPoolLoop
 from repro.serve.router import (
     ShardEngine,
@@ -87,6 +93,7 @@ __all__ = [
     "ArrivalProcess",
     "ClosedLoopArrivals",
     "EpochPlanner",
+    "PacedPlanner",
     "KeySampler",
     "LatencyStats",
     "MMPPArrivals",
@@ -99,6 +106,7 @@ __all__ = [
     "ServeRecoveryReport",
     "ServeReport",
     "ServiceLoop",
+    "build_planner",
     "ShardEngine",
     "ShardRouter",
     "ShardSpec",

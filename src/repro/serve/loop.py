@@ -36,6 +36,7 @@ from repro.dam.journal import (
     divert_record,
     flush_record,
     fault_record,
+    slo_record,
 )
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.faults.injector import FaultInjector
@@ -53,7 +54,7 @@ from repro.serve.arrivals import (
     TraceArrivals,
 )
 from repro.serve.metrics import ServeMetrics
-from repro.serve.planner import EpochPlanner, PlannerStats
+from repro.serve.planner import EpochPlanner, PacedPlanner, PlannerStats
 from repro.serve.tenancy.fair import TenantAdmissionController
 from repro.serve.tenancy.mix import TenantMix
 from repro.serve.tenancy.runtime import TenancyRuntime
@@ -124,6 +125,15 @@ class ServeConfig:
     #: ``None`` (the default) keeps the run byte-identical to a
     #: pre-tenancy run — the key is omitted from journal meta entirely.
     tenants: "tuple[TenantSpec, ...] | None" = None
+    #: de-amortized flush scheduling (``serve --pace``): a per-step,
+    #: per-shard delivered-message budget.  The planner splits and
+    #: round-robins oversized obligations
+    #: (:class:`~repro.serve.planner.PacedPlanner`) and the engine
+    #: enforces the budget as a hard bound, trading a bounded constant
+    #: factor of mean completion time for flat tails.  ``0`` (default)
+    #: keeps schedules and journal bytes identical to an unpaced run —
+    #: the key is omitted from journal meta entirely.
+    pace: int = 0
 
     def __post_init__(self) -> None:
         if self.tenants is not None:
@@ -163,6 +173,10 @@ class ServeConfig:
             raise InvalidInstanceError(
                 "engine='lsm' needs data_dir=<store directory>"
             )
+        if self.pace < 0:
+            raise InvalidInstanceError(
+                f"pace must be >= 0 (0 = unpaced), got {self.pace}"
+            )
 
     def to_meta(self) -> dict:
         """The journal ``meta`` payload that reconstructs this config."""
@@ -176,6 +190,10 @@ class ServeConfig:
             del meta["tenants"]
         else:
             meta["tenants"] = [t.to_meta() for t in self.tenants]
+        if not self.pace:
+            # Same omission contract: an unpaced journal stays bytewise
+            # what it was before pacing existed.
+            del meta["pace"]
         meta["policy"] = SERVE_POLICY
         return meta
 
@@ -245,6 +263,9 @@ class _ServeJournal:
                       msgs: "list[int] | tuple[int, ...]" = ()) -> None:
         self.writer.append(divert_record(t, src_shard, dst_shard, msgs))
 
+    def record_slo(self, t: int, door, purge) -> None:
+        self.writer.append(slo_record(t, door, purge))
+
     def end_step(self, t: int, arrived: int, completed: int) -> None:
         if t % self.every == 0:
             self.checkpoint(t, arrived, completed)
@@ -296,8 +317,21 @@ def build_shard_engine(config: "ServeConfig", spec) -> ShardEngine:
     return ShardEngine(
         spec.shard_id, spec.topology, config.P, config.B,
         injector=injector, fault_aware=config.fault_aware,
-        retry_budget=config.retry_budget,
+        retry_budget=config.retry_budget, pace=config.pace,
     )
+
+
+def build_planner(config: "ServeConfig") -> EpochPlanner:
+    """The planner a run's config calls for (paced iff ``pace > 0``).
+
+    Factored out for the same reason as :func:`build_shard_engine`: the
+    procpool's shared-nothing workers rebuild their planner from the
+    config alone and must land on the same choice the in-process
+    drivers make.
+    """
+    if config.pace:
+        return PacedPlanner(config.epoch, pace=config.pace)
+    return EpochPlanner(config.epoch)
 
 
 class ServiceLoop:
@@ -326,7 +360,7 @@ class ServiceLoop:
             build_shard_engine(config, spec) for spec in self.router.shards
         ]
         self.arrivals = self._build_arrivals(config)
-        self.planner = EpochPlanner(config.epoch)
+        self.planner = build_planner(config)
         #: tenancy runtime, or None for the (byte-identical) single-tenant
         #: path; when set, admission is the weighted-fair controller and
         #: metrics carry the gid -> tenant map it keys on.
@@ -461,9 +495,21 @@ class ServiceLoop:
                    t: int) -> None:
         """Enforce SLO decisions: close doors, purge tripped tenants.
 
-        The procpool driver overrides this to ship the directives to its
-        workers (which own the queues) instead of purging locally.
+        Non-trivial decisions are journaled like ``divert`` records —
+        durability sealed with a checkpoint first, then the decision —
+        so a restarted shard-per-process worker can be owed the purge
+        its dispatch lost.  The procpool driver extends this to ship
+        the directives to its workers (which own the queues) instead of
+        purging locally.
         """
+        if self._journal is not None and (
+            tripped or set(door) != self.admission.door_closed
+        ):
+            if t > 1:
+                self._journal.checkpoint(
+                    t - 1, self._next_gid, len(self.metrics.completion_step)
+                )
+            self._journal.record_slo(t, door, tripped)
         self.admission.door_closed = set(door)
         for tid in tripped:
             for _sid, gid in self.admission.purge_tenant(tid):
@@ -605,10 +651,65 @@ class ServiceLoop:
         if self.store is not None:
             self.store.close()
 
+    def _emit_pace_obs(self, reg) -> None:
+        """Publish the ``stability_pace_*`` family (paced runs only).
+
+        Every driver calls this from its run-end obs block after the
+        realized schedules are final, so the gauge reads ground truth.
+        """
+        if not self.config.pace:
+            return
+        hold_c = reg.counter(
+            "stability_pace_holds_total",
+            "steps where the pacer held back ready work",
+        )
+        split_c = reg.counter(
+            "stability_pace_splits_total",
+            "flush obligations split to fit the pace budget",
+        )
+        work_g = reg.gauge(
+            "stability_step_work_max",
+            "largest realized per-step message-move count of any "
+            "shard (paced runs: must be <= the budget)",
+        )
+        for engine in self.engines:
+            hold_c.inc(engine.stats.paced_holds)
+            hold_c.labels(shard=engine.shard_id).inc(
+                engine.stats.paced_holds
+            )
+            split_c.inc(engine.stats.paced_splits)
+            split_c.labels(shard=engine.shard_id).inc(
+                engine.stats.paced_splits
+            )
+        work_g.set(max(
+            (e.schedule.max_step_moves() for e in self.engines), default=0,
+        ))
+
     def _build_report(self, t: int) -> ServeReport:
         snapshot = self.metrics.snapshot(t)
         if self._tenancy is not None:
             self._tenancy.annotate(snapshot, self.metrics)
+        if self.config.pace:
+            # Opt-in section only (unpaced snapshots are unchanged):
+            # max_step_work is read from the *realized* schedules, not
+            # the pacer's own bookkeeping, so the per-step bound is
+            # asserted against ground truth.
+            snapshot["pace"] = {
+                "budget": self.config.pace,
+                "max_step_work": max(
+                    (e.schedule.max_step_moves() for e in self.engines),
+                    default=0,
+                ),
+                "shards": [
+                    {
+                        "shard": e.shard_id,
+                        "max_step_work": e.schedule.max_step_moves(),
+                        "paced_holds": e.stats.paced_holds,
+                        "paced_splits": e.stats.paced_splits,
+                    }
+                    for e in self.engines
+                ],
+            }
         return ServeReport(
             config=self.config,
             n_steps=t,
@@ -717,6 +818,7 @@ class ServiceLoop:
                     engine.stats.flushes
                 )
                 retry_counter.inc(engine.stats.failed_attempts)
+            self._emit_pace_obs(reg)
         run_span.finish()
         return self._build_report(t)
 

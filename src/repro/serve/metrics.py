@@ -26,17 +26,24 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.analysis.stats import nearest_rank
+from repro.analysis.stats import guarded_rank, nearest_rank
 
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Nearest-rank summary of a latency sample (all values observed)."""
+    """Nearest-rank summary of a latency sample (all values observed).
+
+    ``p999`` carries the minimum-sample guard from
+    :func:`repro.analysis.stats.guarded_rank`: it is ``None`` (rendered
+    "n/a") until the sample has at least 1000 observations, because a
+    "p99.9" of fewer samples is just the max in disguise.
+    """
 
     n: int
     p50: float
     p95: float
     p99: float
+    p999: "float | None"
     max: float
     mean: float
 
@@ -45,12 +52,13 @@ class LatencyStats:
         """Summarize a sample; an empty sample reports all-zero (n=0)."""
         vals = list(values)
         if not vals:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, 0.0, None, 0.0, 0.0)
         return cls(
             n=len(vals),
             p50=nearest_rank(vals, 50),
             p95=nearest_rank(vals, 95),
             p99=nearest_rank(vals, 99),
+            p999=guarded_rank(vals, 99.9),
             max=float(max(vals)),
             mean=float(sum(vals)) / len(vals),
         )
@@ -61,6 +69,7 @@ class LatencyStats:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "p999": self.p999,
             "max": self.max,
             "mean": round(self.mean, 3),
         }
@@ -205,10 +214,20 @@ def format_serve_report(snapshot: dict, *, title: str = "serving run") -> str:
         f"shed {snapshot['shed']}, in flight {snapshot['in_flight']}",
         f"throughput {snapshot['throughput']} msgs/step",
         f"sojourn   p50 {s['p50']:.0f}  p95 {s['p95']:.0f}  "
-        f"p99 {s['p99']:.0f}  max {s['max']:.0f}  mean {s['mean']:.2f}",
+        f"p99 {s['p99']:.0f}  p99.9 "
+        + (f"{s['p999']:.0f}" if s.get("p999") is not None else "n/a")
+        + f"  max {s['max']:.0f}  mean {s['mean']:.2f}",
         f"adm. wait p50 {w['p50']:.0f}  p95 {w['p95']:.0f}  "
         f"p99 {w['p99']:.0f}  max {w['max']:.0f}  mean {w['mean']:.2f}",
     ]
+    pace = snapshot.get("pace")
+    if pace:
+        lines.append(
+            f"pace      budget {pace['budget']}  "
+            f"max step work {pace['max_step_work']}  "
+            f"holds {sum(r['paced_holds'] for r in pace['shards'])}  "
+            f"splits {sum(r['paced_splits'] for r in pace['shards'])}"
+        )
     header = (f"{'shard':>6} {'arrived':>8} {'completed':>10} {'shed':>6} "
               f"{'thruput':>8} {'p50':>6} {'p99':>6} {'maxQ':>6}")
     lines.append(header)

@@ -70,9 +70,12 @@ from repro.obs.hooks import current_obs
 from repro.obs.profile import PHASE_EXECUTE
 from repro.policies.executor import MAX_IDLE_STEPS
 from repro.serve.admission import AdmissionController
-from repro.serve.loop import MAX_FORCED_REPLANS, build_shard_engine
+from repro.serve.loop import (
+    MAX_FORCED_REPLANS,
+    build_planner,
+    build_shard_engine,
+)
 from repro.serve.tenancy.fair import TenantAdmissionController
-from repro.serve.planner import EpochPlanner
 from repro.serve.router import ShardStats
 from repro.serve.supervisor import (
     BREAKER_OPEN,
@@ -120,7 +123,7 @@ class _ShardWorker:
         #: ``stubborn-term`` (dies only to SIGTERM), or ``stubborn-kill``
         #: (ignores SIGTERM; dies only to SIGKILL).
         self.debug_hang = debug_hang
-        self.planner = EpochPlanner(config.epoch)
+        self.planner = build_planner(config)
         #: gid -> tenant index, fed by the parent with each batch (the
         #: worker never sees the arrival process, only routed gids).
         self.tenant_of: "dict[int, int]" = {}
@@ -192,9 +195,11 @@ class _ShardWorker:
         Phase order within each step matches ``ServiceLoop.run``
         exactly; cross-shard state (metrics, arrivals, journal) lives in
         the parent, so shards on different workers need no ordering.
-        ``slo`` carries the parent's boundary SLO decisions (doors to
-        close, tenants to purge) — the parent owns the tracker, the
-        worker owns the queues."""
+        ``slo`` carries the parent's outstanding SLO decisions — the
+        full door set plus ``{shard: [tenants]}`` purge debts — the
+        parent owns the tracker, the worker owns the queues.  Debts are
+        re-delivered until a chunk that applied them merges, so a worker
+        SIGKILLed with the dispatch cannot lose a purge."""
         order = sorted(set(self.shards) & set(active))
         out = {
             sid: {"admits": {}, "sheds": {}, "records": {}, "exec": {},
@@ -210,8 +215,8 @@ class _ShardWorker:
                 )
         if slo is not None:
             adm.door_closed = set(slo["door"])
-            for tid in slo["purge"]:
-                for sid in order:
+            for sid in order:
+                for tid in slo["purge"].get(sid, ()):
                     purged = adm.purge_tenant_shard(sid, tid)
                     if purged:
                         out[sid].setdefault("purged", []).extend(purged)
@@ -352,7 +357,8 @@ def _worker_main(conn, cancel, config, chaos, specs,
 class _WorkerSlot:
     """A live worker process and the shards it hosts."""
 
-    __slots__ = ("slot_id", "proc", "conn", "cancel", "shards")
+    __slots__ = ("slot_id", "proc", "conn", "cancel", "shards",
+                 "door_seen")
 
     def __init__(self, slot_id, proc, conn, cancel, shards) -> None:
         self.slot_id = slot_id
@@ -360,6 +366,10 @@ class _WorkerSlot:
         self.conn = conn
         self.cancel = cancel
         self.shards = set(shards)
+        #: door version last *merged* from this slot (0 = the initial
+        #: all-open door every fresh worker is born with); a respawned
+        #: slot starts at 0 and therefore re-receives the current door.
+        self.door_seen = 0
 
 
 class ProcPoolLoop(SupervisedLoop):
@@ -413,9 +423,14 @@ class ProcPoolLoop(SupervisedLoop):
         self._schedules = [FlushSchedule() for _ in range(n)]
         self._last_inflight = [0] * n
         self._last_backlog = [0] * n
-        #: boundary SLO decisions awaiting the next dispatch (the
-        #: workers own the queues the decisions act on).
-        self._slo_directive: "dict | None" = None
+        #: journal-checkpointed SLO state (the workers own the queues
+        #: the decisions act on).  The door is versioned and per-shard
+        #: purge debts persist until a chunk that applied them merges,
+        #: so a worker death between dispatch and merge re-delivers the
+        #: directive to the respawned worker instead of losing it.
+        self._door: "list[int]" = []
+        self._door_version = 0
+        self._owed_purge: "list[set[int]]" = [set() for _ in range(n)]
 
     # -- journal meta --------------------------------------------------
     def _driver_meta(self) -> dict:
@@ -655,6 +670,7 @@ class ProcPoolLoop(SupervisedLoop):
         super()._abandon(sid, t)
         self._mirror[sid].clear()
         self._pending_requeue[sid].clear()
+        self._owed_purge[sid].clear()
         self._last_inflight[sid] = 0
         self._last_backlog[sid] = 0
 
@@ -691,13 +707,19 @@ class ProcPoolLoop(SupervisedLoop):
     def _apply_slo(self, door, tripped, t: int) -> None:
         # The parent's own queues are always empty under this driver
         # (offers are staged to workers or spilled), so the super call
-        # only maintains the parent-side door set; the real enforcement
-        # ships to the workers with the next dispatch.
+        # only journals the decision and maintains the parent-side door
+        # set; the real enforcement ships to the workers as versioned
+        # door state plus per-shard purge debts, cleared only when a
+        # chunk that applied them merges back.
         super()._apply_slo(door, tripped, t)
-        self._slo_directive = {
-            "door": sorted(door),
-            "purge": sorted(tripped),
-        }
+        new_door = sorted(door)
+        if new_door != self._door:
+            self._door = new_door
+            self._door_version += 1
+        if tripped:
+            for sid in range(len(self.engines)):
+                if not self._abandoned[sid]:
+                    self._owed_purge[sid].update(tripped)
 
     def _stage_chunk(self, t0: int, t1: int):
         """Pre-draw and route the chunk's arrivals; stage handoffs."""
@@ -756,27 +778,50 @@ class ProcPoolLoop(SupervisedLoop):
             exhausted_after[t] = self.arrivals.exhausted
         return batch, gid_after, exhausted_after
 
+    def _slo_payload(self, slot, sids) -> "dict | None":
+        """The outstanding SLO directive for one slot's chunk, or None.
+
+        Sent whenever the slot is behind on the door version or any of
+        its dispatched shards carries a purge debt; the payload is a
+        pure function of parent state, so a re-delivery after a worker
+        death is byte-identical to the lost one.
+        """
+        if self._tenancy is None:
+            return None
+        purge = {
+            s: sorted(self._owed_purge[s])
+            for s in sids if self._owed_purge[s]
+        }
+        if not purge and slot.door_seen == self._door_version:
+            return None
+        return {"door": list(self._door), "purge": purge}
+
     def _dispatch_chunk(self, t0: int, t1: int, batch):
         by_slot: "dict[int, list[int]]" = {}
         for sid in range(len(self.engines)):
             if self._dispatchable(sid):
                 by_slot.setdefault(self._slot_of[sid], []).append(sid)
         pending = []
-        slo = self._slo_directive
-        self._slo_directive = None
         for slot_id, sids in sorted(by_slot.items()):
             slot = self._slots[slot_id]
             payload = {s: batch[s] for s in sids if s in batch}
+            slo = self._slo_payload(slot, sids)
             try:
                 slot.conn.send(("chunk", t0, t1, payload, sids, slo))
-                pending.append(slot)
+                pending.append((slot, sids))
             except (BrokenPipeError, OSError):
                 self._on_slot_death(slot, t0, "send-failed")
         results = {}
-        for slot in pending:
+        for slot, sids in pending:
             res = self._collect(slot, t0)
             if res is not None:
                 results[slot.slot_id] = res
+                # The chunk merged: its directive is applied exactly
+                # once, so the debt is settled.  Lost chunks (worker
+                # death before collect) keep the debt for re-delivery.
+                slot.door_seen = self._door_version
+                for s in sids:
+                    self._owed_purge[s].clear()
         return results
 
     def _collect(self, slot, t: int):
@@ -1017,5 +1062,6 @@ class ProcPoolLoop(SupervisedLoop):
                     engine.stats.flushes
                 )
                 retry_counter.inc(engine.stats.failed_attempts)
+            self._emit_pace_obs(reg)
         run_span.finish()
         return self._build_report(t)

@@ -62,6 +62,10 @@ class ShardStats:
     degraded_triage_steps: int = 0
     idle_steps: int = 0
     busy_steps: int = 0
+    #: steps where the de-amortization pacer held back ready work.
+    paced_holds: int = 0
+    #: oversized flush obligations split to fit the per-step budget.
+    paced_splits: int = 0
 
 
 class ShardEngine:
@@ -82,9 +86,12 @@ class ShardEngine:
         injector: "FaultInjector | None" = None,
         fault_aware: bool = False,
         retry_budget: int = 5,
+        pace: int = 0,
     ) -> None:
         if P < 1 or B < 1:
             raise InvalidInstanceError(f"need P >= 1 and B >= 1, got {P}, {B}")
+        if pace < 0:
+            raise InvalidInstanceError(f"pace must be >= 0, got {pace}")
         self.shard_id = int(shard_id)
         self.topology = topology
         self.P = int(P)
@@ -94,6 +101,10 @@ class ShardEngine:
         self.injector = injector
         self.fault_aware = bool(fault_aware) and injector is not None
         self.retry_budget = max(1, int(retry_budget))
+        #: de-amortization budget: max messages delivered per step (0 =
+        #: unpaced).  Oversized obligations are split, the rest held —
+        #: the engine-level half of :class:`repro.serve.planner.PacedPlanner`.
+        self.pace = int(pace)
         self._is_leaf = [topology.is_leaf(v) for v in range(topology.n_nodes)]
         self._root = topology.root
         #: global message id -> current node (in-flight messages only).
@@ -261,20 +272,31 @@ class ShardEngine:
             passes: "tuple[bool | None, ...]" = (True, False)
         else:
             passes = (None,)
+        pace = self.pace
         completions: "list[tuple[int, int]]" = []
         ran = 0
         attempted = 0
+        work_done = 0
         waiting = False
+        paced_out = False
         moved: set[int] = set()
         departed: dict[int, int] = {}
         arrived: dict[int, int] = {}
         for completions_only in passes:
-            if attempted >= capacity:
+            if attempted >= capacity or paced_out:
                 break
             for pf in self.pending:
                 if pf.done:
                     continue
                 if attempted >= capacity:
+                    break
+                if pace and work_done >= pace:
+                    # Per-step work budget spent: hold the rest of the
+                    # plan for the next step (de-amortization), without
+                    # tripping the deadlock probe.
+                    self.stats.paced_holds += 1
+                    waiting = True
+                    paced_out = True
                     break
                 if completions_only is True and pf.parking > 0:
                     continue
@@ -306,12 +328,19 @@ class ShardEngine:
                                 self._stall_until[node] = end
                     waiting = True
                     continue
-                msgs = flush.messages
-                if location.get(msgs[0]) != src:
+                full = flush.messages
+                if location.get(full[0]) != src:
                     continue  # O(1) reject: first message not here yet
-                if any(location.get(m) != src or m in moved for m in msgs):
+                if any(location.get(m) != src or m in moved for m in full):
                     continue
+                msgs = full
                 park = pf.parking
+                if pace and len(full) > pace - work_done:
+                    # Oversized obligation: attempt only the prefix that
+                    # fits the remaining step budget; the suffix stays
+                    # pending at the same priority (a paced split).
+                    msgs = full[: pace - work_done]
+                    park = sum(1 for m in msgs if targets.get(m) != dest)
                 if not is_leaf[dest]:
                     projected = (
                         occupancy[dest]
@@ -342,7 +371,7 @@ class ShardEngine:
                     if status == OUTCOME_PARTIAL:
                         self.stats.partial_deliveries += 1
                         remainder = tuple(
-                            m for m in msgs if m not in set(delivered)
+                            m for m in full if m not in set(delivered)
                         )
                         pf.flush = Flush(src, dest, remainder)
                         pf.parking = sum(
@@ -358,12 +387,23 @@ class ShardEngine:
                             )
                 actual = (
                     flush
-                    if len(delivered) == len(msgs)
+                    if len(delivered) == len(full)
                     else Flush(src, dest, delivered)
                 )
-                if len(delivered) == len(msgs):
+                if len(delivered) == len(full):
                     pf.done = True
+                elif msgs is not full and len(delivered) == len(msgs):
+                    # Clean paced split: the untouched suffix becomes the
+                    # pending obligation, immediately eligible, retry
+                    # history preserved.
+                    suffix = full[len(msgs):]
+                    pf.flush = Flush(src, dest, suffix)
+                    pf.parking = sum(
+                        1 for m in suffix if targets[m] != dest
+                    )
+                    self.stats.paced_splits += 1
                 ran += 1
+                work_done += len(delivered)
                 self.schedule.add(t, actual)
                 self.stats.flushes += 1
                 moved.update(delivered)

@@ -1,0 +1,110 @@
+"""Stall-window detection over per-window throughput series.
+
+A *window* is ``window_steps`` consecutive DAM steps; its throughput is
+the number of completions that landed in it.  A window is *stalled*
+when its throughput drops below ``frac`` times the trailing mean of the
+last ``trailing`` *healthy* windows.  Two details matter:
+
+* the trailing mean is taken over healthy (non-stalled) windows only —
+  a long stall must not drag its own baseline down until the detector
+  declares the outage "normal" and stops counting it;
+* detection starts only once ``trailing`` healthy windows exist — the
+  ramp-up at the head of a run (empty tree, no completions possible
+  yet) is warm-up, not a stall.
+
+Contiguous stalled windows merge into :class:`StallInterval`; the
+length distribution answers "how long do we go dark", the gap
+distribution answers "how often".  Everything here is pure integer /
+float arithmetic on lists — no RNG, no clock — so the same series
+always yields the same intervals (the byte-determinism CI leans on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.util.errors import InvalidInstanceError
+
+
+def window_sums(cumulative: "list[int]", window_steps: int) -> "list[int]":
+    """Per-window deltas of a cumulative per-step counter series.
+
+    ``cumulative[t-1]`` is the counter value after step ``t``; the
+    result has one entry per complete-or-partial window (the final
+    window may cover fewer than ``window_steps`` steps).
+    """
+    if window_steps < 1:
+        raise InvalidInstanceError(
+            f"window_steps must be >= 1, got {window_steps}"
+        )
+    out: "list[int]" = []
+    prev = 0
+    for i in range(window_steps - 1, len(cumulative), window_steps):
+        out.append(int(cumulative[i]) - prev)
+        prev = int(cumulative[i])
+    if len(cumulative) % window_steps:
+        out.append(int(cumulative[-1]) - prev)
+    return out
+
+
+def detect_stalls(
+    throughput: "list[float]", *, frac: float = 0.5, trailing: int = 8,
+) -> "list[bool]":
+    """Flag each window as stalled per the module-docstring rule."""
+    if not (0.0 < frac < 1.0):
+        raise InvalidInstanceError(
+            f"stall fraction must be in (0, 1), got {frac}"
+        )
+    if trailing < 1:
+        raise InvalidInstanceError(
+            f"trailing must be >= 1, got {trailing}"
+        )
+    healthy: "deque[float]" = deque(maxlen=trailing)
+    flags: "list[bool]" = []
+    for thr in throughput:
+        if len(healthy) == trailing:
+            mean = sum(healthy) / trailing
+            stalled = mean > 0.0 and float(thr) < frac * mean
+        else:
+            stalled = False
+        flags.append(stalled)
+        if not stalled:
+            healthy.append(float(thr))
+    return flags
+
+
+@dataclass(frozen=True)
+class StallInterval:
+    """A maximal run of consecutive stalled windows."""
+
+    start: int   #: index of the first stalled window (0-based)
+    length: int  #: number of consecutive stalled windows
+
+    @property
+    def end(self) -> int:
+        """Index one past the last stalled window."""
+        return self.start + self.length
+
+
+def stall_intervals(flags: "list[bool]") -> "list[StallInterval]":
+    """Merge a stall flag series into maximal contiguous intervals."""
+    out: "list[StallInterval]" = []
+    start = -1
+    for i, stalled in enumerate(flags):
+        if stalled and start < 0:
+            start = i
+        elif not stalled and start >= 0:
+            out.append(StallInterval(start, i - start))
+            start = -1
+    if start >= 0:
+        out.append(StallInterval(start, len(flags) - start))
+    return out
+
+
+def stall_gaps(intervals: "list[StallInterval]") -> "list[int]":
+    """Healthy-window gaps between consecutive stall intervals."""
+    return [
+        nxt.start - cur.end
+        for cur, nxt in zip(intervals, intervals[1:])
+    ]

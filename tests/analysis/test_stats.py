@@ -86,3 +86,36 @@ def test_compare_policies_runs_and_validates():
     assert set(out) == {"eager", "greedy-batch"}
     assert all(isinstance(v, CompletionStats) for v in out.values())
     assert out["greedy-batch"].mean < out["eager"].mean
+
+
+def test_min_samples_for_tail_percentiles():
+    from repro.analysis.stats import min_samples_for
+    assert min_samples_for(99.0) == 100
+    assert min_samples_for(99.9) == 1000
+    assert min_samples_for(50.0) == 2
+    assert min_samples_for(100.0) == 1  # the max is meaningful at any n
+    with pytest.raises(ValueError):
+        min_samples_for(0.0)
+    with pytest.raises(ValueError):
+        min_samples_for(100.5)
+
+
+def test_guarded_rank_refuses_underpowered_tails():
+    from repro.analysis.stats import guarded_rank
+    # 999 samples cannot resolve a p99.9; 1000 can.
+    assert guarded_rank(range(999), 99.9) is None
+    assert guarded_rank(range(1000), 99.9) == nearest_rank(
+        list(range(1000)), 99.9)
+    assert guarded_rank([], 99.0) is None
+    # within-power requests degrade to plain nearest-rank.
+    assert guarded_rank([5, 1, 3], 50.0) == nearest_rank([5, 1, 3], 50.0)
+
+
+def test_latency_stats_p999_guard_round_trips():
+    from repro.serve.metrics import LatencyStats
+    small = LatencyStats.of(list(range(40)))
+    assert small.p999 is None
+    assert small.row()["p999"] is None  # rendered "n/a" by the report
+    big = LatencyStats.of(list(range(2000)))
+    assert big.p999 is not None
+    assert big.p99 <= big.p999 <= big.max

@@ -503,3 +503,88 @@ def test_metrics_endpoint_degrades_to_503_and_404():
         assert exc.value.code == 404
     finally:
         ep.close()
+
+
+# ----------------------------------------------------------------------
+# SLO purge vs worker death: the directive must survive a lost chunk
+# ----------------------------------------------------------------------
+
+def _slo_chaos_config(seed=5):
+    """A hot SLO tenant that trips early (t=11 at seed 5) with plenty
+    of post-trip runway, so a chaos kill can land on the very chunk
+    that carries the purge directive."""
+    light = TenantSpec(name="light", rate=1.0, messages=40)
+    hot = TenantSpec(name="hot", rate=40.0, messages=800, slo_sojourn=4,
+                     buffer_quota=2)
+    return ServeConfig(messages=840, tenants=(light, hot), shards=2,
+                       seed=seed, P=4, B=8, max_root_backlog=16,
+                       max_queue=60, epoch=2, checkpoint_every=4)
+
+
+def test_purge_debt_survives_lost_chunk_and_redelivers():
+    """Exactly-once mechanics of the journal-checkpointed SLO door.
+
+    The parent records per-shard purge debts at decision time and only
+    settles them when a chunk that shipped them merges back; a worker
+    death between dispatch and merge must leave the debt standing, and
+    the re-delivered payload must be byte-identical to the lost one."""
+    loop = ProcPoolLoop(_slo_chaos_config(), processes=2)
+    loop._apply_slo({1}, [1], t=5)
+    assert loop._door_version == 1
+    assert all(debt == {1} for debt in loop._owed_purge)
+
+    class Slot:  # only .door_seen is read by _slo_payload
+        door_seen = 0
+
+    slot = Slot()
+    payload = loop._slo_payload(slot, [0])
+    assert payload == {"door": [1], "purge": {0: [1]}}
+    # a lost chunk changes no parent state: re-delivery is identical.
+    assert loop._slo_payload(slot, [0]) == payload
+    # a merged chunk settles the debt (what _dispatch_chunk does on
+    # collect) -- after that, nothing ships for this slot.
+    slot.door_seen = loop._door_version
+    loop._owed_purge[0].clear()
+    assert loop._slo_payload(slot, [0]) is None
+    # a respawned slot is born at door version 0, so it re-receives the
+    # door state and any debts still owed for its shards.
+    fresh = Slot()
+    assert loop._slo_payload(fresh, [1]) == {"door": [1], "purge": {1: [1]}}
+
+
+@pytest.mark.parametrize("shard", [0, 1])
+def test_kill_during_purge_dispatch_applies_purge_and_conserves(shard):
+    """SIGKILL the worker executing the chunk that carries a purge
+    directive (trip at t=11, kill at t=11): the respawned worker must
+    still receive and apply the purge, counts must conserve exactly,
+    and no debt may be left dangling at the end of the run."""
+    plan = ChaosPlan((ChaosEvent(11, CHAOS_KILL_WORKER, shard),))
+    loop = ProcPoolLoop(_slo_chaos_config(), processes=2, chaos=plan)
+    report = loop.run()
+    assert report.supervisor.worker_deaths >= 1
+    hot = tenant_row(report, "hot")
+    assert hot["slo"]["trips"] >= 1
+    assert hot["shed"] > 0
+    for row in report.snapshot["tenants"]:
+        assert row["arrived"] == row["completed"] + row["shed"]
+        assert row["in_flight"] == 0
+    assert sum(r["arrived"] for r in report.snapshot["tenants"]) == 840
+    # every recorded debt was settled by a merged chunk.
+    assert all(not debt for debt in loop._owed_purge)
+
+
+def test_kill_during_purge_journal_still_records_decisions(tmp_path):
+    """The SLO decision is journaled by the parent before dispatch, so
+    the record stream survives the worker death and recovery rebuilds
+    the run to completion."""
+    plan = ChaosPlan((ChaosEvent(11, CHAOS_KILL_WORKER, 1),))
+    path = tmp_path / "purge.journal"
+    report = ProcPoolLoop(_slo_chaos_config(), processes=2, chaos=plan,
+                          journal=path).run()
+    from repro.dam.journal import scan_journal
+    slo = [r for r in scan_journal(path).records if r.get("type") == "slo"]
+    assert any(r["purge"] for r in slo), "a purge decision must be journaled"
+    assert min(r["t"] for r in slo) == 11
+    rec = recover_serve(path)
+    assert rec.run_completed
+    assert rec.report.completions == report.completions

@@ -1,0 +1,137 @@
+"""Stall-window detector: the pure arithmetic the stability bench trusts.
+
+The detector's two non-obvious rules are pinned here because the whole
+E16 methodology stands on them:
+
+* warm-up is not a stall — no window is flagged until ``trailing``
+  healthy windows exist, so the empty-tree ramp at the head of a run
+  never counts as an outage;
+* the trailing mean is taken over *healthy* windows only — a long
+  outage must not dilute its own baseline until the detector declares
+  the stall "normal" and stops flagging it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stability import (
+    StallInterval,
+    detect_stalls,
+    stall_gaps,
+    stall_intervals,
+    window_sums,
+)
+from repro.util.errors import InvalidInstanceError
+
+
+# ----------------------------------------------------------------------
+# window_sums
+# ----------------------------------------------------------------------
+
+def test_window_sums_are_per_window_deltas():
+    cumulative = [2, 5, 5, 9, 12, 12, 20, 21]
+    assert window_sums(cumulative, 2) == [5, 4, 3, 9]
+    assert window_sums(cumulative, 4) == [9, 12]
+    assert window_sums(cumulative, 1) == [2, 3, 0, 4, 3, 0, 8, 1]
+
+
+def test_window_sums_final_partial_window_is_kept():
+    cumulative = [1, 2, 3, 4, 5]
+    # two full windows of 2, then a partial window covering one step.
+    assert window_sums(cumulative, 2) == [2, 2, 1]
+    # one window wider than the series: everything lands in it.
+    assert window_sums(cumulative, 10) == [5]
+
+
+def test_window_sums_empty_and_validation():
+    assert window_sums([], 4) == []
+    with pytest.raises(InvalidInstanceError):
+        window_sums([1, 2], 0)
+
+
+# ----------------------------------------------------------------------
+# detect_stalls
+# ----------------------------------------------------------------------
+
+def test_warmup_is_never_a_stall():
+    # Fewer than `trailing` windows seen: nothing can be flagged, even
+    # an outright zero.
+    flags = detect_stalls([0.0, 0.0, 10.0, 0.0], trailing=4)
+    assert flags == [False, False, False, False]
+
+
+def test_drop_below_fraction_of_trailing_mean_is_flagged():
+    series = [10.0] * 4 + [4.0] + [10.0] * 2
+    flags = detect_stalls(series, frac=0.5, trailing=4)
+    # 4.0 < 0.5 * 10.0 -> stalled; the recovery windows are healthy.
+    assert flags == [False] * 4 + [True, False, False]
+    # 6.0 >= 0.5 * 10.0 -> not stalled.
+    assert detect_stalls([10.0] * 4 + [6.0], frac=0.5, trailing=4) \
+        == [False] * 5
+
+
+def test_trailing_mean_uses_healthy_windows_only():
+    # A long outage: the baseline must stay at 10 (the healthy past),
+    # so *every* dark window is flagged, not just the first few.
+    series = [10.0] * 8 + [0.0] * 20
+    flags = detect_stalls(series, frac=0.5, trailing=8)
+    assert flags == [False] * 8 + [True] * 20
+
+
+def test_zero_baseline_never_stalls():
+    # All-idle history: mean 0 means "no service level to fall below".
+    flags = detect_stalls([0.0] * 12, frac=0.5, trailing=4)
+    assert flags == [False] * 12
+
+
+def test_healthy_recovery_refreshes_the_baseline():
+    # Recovery above the stall fraction is healthy, rotates into the
+    # deque, and lowers the baseline: after four 6.0-windows the mean
+    # is 6.0, so 2.0 (< 3.0) stalls but 4.0 would not.
+    series = [10.0] * 4 + [6.0] * 4 + [2.0, 4.0]
+    flags = detect_stalls(series, frac=0.5, trailing=4)
+    assert flags == [False] * 8 + [True, False]
+
+
+def test_persistent_degradation_never_becomes_the_new_normal():
+    # A drop below the stall fraction that never recovers stays flagged
+    # forever — stalled windows are excluded from the baseline, so the
+    # outage cannot launder itself into "normal".
+    series = [10.0] * 4 + [4.0] * 10
+    flags = detect_stalls(series, frac=0.5, trailing=4)
+    assert flags == [False] * 4 + [True] * 10
+
+
+def test_detect_stalls_validation():
+    with pytest.raises(InvalidInstanceError):
+        detect_stalls([1.0], frac=0.0)
+    with pytest.raises(InvalidInstanceError):
+        detect_stalls([1.0], frac=1.0)
+    with pytest.raises(InvalidInstanceError):
+        detect_stalls([1.0], trailing=0)
+
+
+# ----------------------------------------------------------------------
+# intervals and gaps
+# ----------------------------------------------------------------------
+
+def test_intervals_merge_contiguous_runs():
+    flags = [False, True, True, False, True, False, False, True, True]
+    ivs = stall_intervals(flags)
+    assert ivs == [StallInterval(1, 2), StallInterval(4, 1),
+                   StallInterval(7, 2)]
+    assert [iv.end for iv in ivs] == [3, 5, 9]
+    assert stall_gaps(ivs) == [1, 2]
+
+
+def test_interval_open_at_series_end_is_closed():
+    ivs = stall_intervals([False, True, True])
+    assert ivs == [StallInterval(1, 2)]
+
+
+def test_no_stalls_no_intervals():
+    assert stall_intervals([False] * 5) == []
+    assert stall_intervals([]) == []
+    assert stall_gaps([]) == []
+    assert stall_gaps([StallInterval(0, 3)]) == []
