@@ -380,7 +380,9 @@ def _chaos_from_args(
         stalls=args.chaos_stalls,
         corrupts=args.chaos_corrupts,
         kill_workers=args.chaos_kill_workers,
+        disk_faults=args.chaos_disk_faults,
         stall_duration=args.chaos_stall_duration,
+        disk_fault_duration=args.chaos_disk_fault_duration,
     )
 
 
@@ -492,14 +494,23 @@ def _run_serve(args: argparse.Namespace, config: ServeConfig, loop) -> int:
     if "tenants" in report.snapshot:
         print("per-tenant:")
         print(format_tenant_report(report.snapshot))
-    if config.engine == "lsm" and loop.store is not None:
-        st = loop.store.stats()
-        level_runs = "/".join(str(lv["runs"]) for lv in st["levels"]) or "0"
-        print(
-            f"store: {config.data_dir} — {st['seq']} op(s) acknowledged, "
-            f"manifest v{st['manifest_version']}, wal gen {st['wal_gen']}, "
-            f"runs per level {level_runs}"
-        )
+    if config.engine == "lsm":
+        if loop.store is not None:
+            st = loop.store.stats()
+            level_runs = \
+                "/".join(str(lv["runs"]) for lv in st["levels"]) or "0"
+            degraded = f", DEGRADED[{st['degraded']}]" if st["degraded"] \
+                else ""
+            print(
+                f"store: {config.data_dir} — {st['seq']} op(s) "
+                f"acknowledged, manifest v{st['manifest_version']}, "
+                f"wal gen {st['wal_gen']}, runs per level {level_runs}"
+                f"{degraded}"
+            )
+        else:
+            # Procpool driver: the workers owned per-shard stores at
+            # data_dir/shard-<k>; re-open read-only-ish for the summary.
+            _print_sharded_store_summary(config)
     sup = getattr(report, "supervisor", None)
     if sup is not None:
         print(
@@ -524,11 +535,18 @@ def _run_serve(args: argparse.Namespace, config: ServeConfig, loop) -> int:
                 f"{sup.divert_handoff_msgs} message(s) handed off, "
                 f"{sup.merge_backs} merged back"
             )
+        if sup.disk_fault_windows:
+            print(
+                f"disk-faults: {sup.disk_fault_windows} window(s), "
+                f"{sup.disk_faults_injected} fault(s) injected, "
+                f"{sup.store_degraded_epochs} degraded epoch(s)"
+            )
     chaos = getattr(report, "chaos", None)
     if chaos is not None and not chaos.is_zero:
         drawn = ", ".join(
             f"{e.kind}@{e.step}->shard{e.shard}"
             + (f" x{e.duration}" if e.duration else "")
+            + (f" [{e.spec}]" if e.spec else "")
             for e in chaos.events
         )
         print(f"chaos plan ({len(chaos.events)} events): {drawn}")
@@ -541,6 +559,40 @@ def _run_serve(args: argparse.Namespace, config: ServeConfig, loop) -> int:
             ))
         print(f"metrics JSON: {args.json}")
     return 0
+
+
+def _print_sharded_store_summary(config: ServeConfig) -> None:
+    """Summarize the procpool driver's per-shard stores.
+
+    The worker processes are gone by report time, so the summary
+    re-opens each ``data_dir/shard-<k>`` store (which is exactly the
+    recovery path workers use) and prints one aggregate line.
+    """
+    from pathlib import Path
+
+    from repro.lsm.disk import KVStore
+    from repro.util.errors import StorageError
+
+    shard_dirs = sorted(Path(config.data_dir).glob("shard-*"))
+    if not shard_dirs:
+        return
+    ops = 0
+    broken = []
+    for shard_dir in shard_dirs:
+        try:
+            store = KVStore(shard_dir, sync=False)
+        except (StorageError, OSError):
+            broken.append(shard_dir.name)
+            continue
+        ops += store.stats()["seq"]
+        store.close()
+    line = (
+        f"store: {config.data_dir} — {len(shard_dirs)} per-shard "
+        f"store(s), {ops} op(s) acknowledged"
+    )
+    if broken:
+        line += f", unreadable: {', '.join(broken)}"
+    print(line)
 
 
 def _recover_serve_journal(args: argparse.Namespace) -> int:
@@ -868,6 +920,8 @@ def cmd_stability(args: argparse.Namespace) -> int:
             pace=args.pace,
             fault_rate=args.fault_rate,
             fault_seed=args.fault_seed,
+            engine=args.engine,
+            data_dir=args.data_dir or "",
             window=args.window,
             stall_frac=args.stall_frac,
             trailing=args.trailing,
@@ -1162,8 +1216,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--chaos-kill-workers", type=int, default=0,
                          help="worker-process SIGKILL events in the drill "
                          "(a state-loss kill under the thread driver)")
+    p_serve.add_argument("--chaos-disk-faults", type=int, default=0,
+                         help="syscall-level I/O fault windows in the "
+                         "drill (EIO/ENOSPC/short-write/fsync-fail "
+                         "against the durable store; needs --engine lsm "
+                         "to have anything to hit)")
     p_serve.add_argument("--chaos-stall-duration", type=int, default=8,
                          help="steps each stall window lasts")
+    p_serve.add_argument("--chaos-disk-fault-duration", type=int, default=4,
+                         help="steps each disk-fault window stays armed")
     p_serve.add_argument("--chaos-horizon", type=int, default=0,
                          help="latest step a chaos event may fire "
                          "(0 = derived from the workload)")
@@ -1249,6 +1310,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_stab.add_argument("--fault-rate", type=float, default=0.0,
                         help="compaction-interference injection rate")
     p_stab.add_argument("--fault-seed", type=int, default=0)
+    p_stab.add_argument("--engine", choices=("sim", "lsm"), default="sim",
+                        help="'lsm' runs the real disk store inline and "
+                        "attributes stalls overlapping its compactions "
+                        "natively (needs --data-dir)")
+    p_stab.add_argument("--data-dir", type=str, default=None,
+                        help="directory for the 'lsm' engine's store")
     p_stab.add_argument("--window", type=int, default=16,
                         help="DAM steps per detector window")
     p_stab.add_argument("--stall-frac", type=float, default=0.5,

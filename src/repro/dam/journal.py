@@ -70,6 +70,7 @@ from repro.dam.trace import CheckpointRecord, _apply_step, _initial_state
 from repro.obs.hooks import current_obs
 from repro.obs.profile import PHASE_JOURNAL, PHASE_RECOVER
 from repro.util.errors import InvalidInstanceError, JournalCorruptionError
+from repro.util.fsio import resolve
 
 MAGIC = b"WOJ1"
 VERSION = 1
@@ -207,7 +208,8 @@ class JournalWriter:
     def __init__(self, path: "str | os.PathLike", *,
                  meta: "dict | None" = None, sync: bool = False,
                  max_segment_bytes: "int | None" = None,
-                 compact_every_rotations: int = 0) -> None:
+                 compact_every_rotations: int = 0,
+                 fs=None) -> None:
         if max_segment_bytes is not None and (
             max_segment_bytes < MIN_SEGMENT_BYTES
         ):
@@ -231,8 +233,13 @@ class JournalWriter:
         obs = current_obs()
         self._metrics = obs.metrics if obs.enabled else None
         self._profiler = obs.profiler if obs.enabled else None
-        self._f = open(self.path, "wb")
-        self._f.write(_HEADER)
+        # The fs handle is re-resolved per operation (None = ambient),
+        # so a chaos window can install a FaultFS mid-run and the next
+        # append sees it; fault-free runs pay one attribute read.
+        self._fs = fs
+        fsh = resolve(fs)
+        self._f = fsh.open(self.path, "wb")
+        fsh.write(self._f, _HEADER)
         self._segment_bytes = len(_HEADER)
         if meta is not None:
             self.append({"type": REC_META, **meta})
@@ -253,8 +260,9 @@ class JournalWriter:
         self.flush()
         self._f.close()
         self._segment_index += 1
-        self._f = open(segment_path(self.path, self._segment_index), "wb")
-        self._f.write(_HEADER)
+        fsh = resolve(self._fs)
+        self._f = fsh.open(segment_path(self.path, self._segment_index), "wb")
+        fsh.write(self._f, _HEADER)
         self._segment_bytes = len(_HEADER)
         if self._metrics is not None:
             self._metrics.counter(
@@ -281,7 +289,7 @@ class JournalWriter:
             and self._segment_bytes + len(blob) > self.max_segment_bytes
         ):
             self._rotate()
-        self._f.write(blob)
+        resolve(self._fs).write(self._f, blob)
         self._segment_bytes += len(blob)
         if self._metrics is not None:
             records = self._metrics.counter(
@@ -299,7 +307,7 @@ class JournalWriter:
             t0 = self._profiler.clock()
             self._f.flush()
             if self.sync:
-                os.fsync(self._f.fileno())
+                resolve(self._fs).fsync(self._f)
                 self._metrics.counter(
                     "journal_fsyncs_total", "fsyncs issued by sync writers"
                 ).inc()
@@ -307,12 +315,24 @@ class JournalWriter:
             return
         self._f.flush()
         if self.sync:
-            os.fsync(self._f.fileno())
+            resolve(self._fs).fsync(self._f)
 
     def close(self) -> None:
         """Flush and close; safe to call twice."""
         if not self._f.closed:
             self.flush()
+            self._f.close()
+
+    def abort(self) -> None:
+        """Close *without* flushing; the tail may land torn.
+
+        For fail-stop callers discarding a poisoned generation after an
+        I/O fault: an fsync that failed must never be retried (the page
+        cache may have silently dropped the dirty pages), so the only
+        safe exit is to release the handle and let recovery replay the
+        durable prefix.  Safe to call twice.
+        """
+        if not self._f.closed:
             self._f.close()
 
     def __enter__(self) -> "JournalWriter":
@@ -399,7 +419,7 @@ def _scan_segment(path: Path, data: bytes) -> "tuple[list[dict], int, str]":
     return records, offset, ""
 
 
-def scan_journal(path: "str | os.PathLike") -> JournalScan:
+def scan_journal(path: "str | os.PathLike", *, fs=None) -> JournalScan:
     """Read the journal chain at ``path``, tolerating a torn tail.
 
     Implements the torn-tail rule from the module docstring, extended to
@@ -409,17 +429,18 @@ def scan_journal(path: "str | os.PathLike") -> JournalScan:
     segment (rotation seals segments, so mid-chain damage cannot be a
     crash artifact).
     """
+    fsh = resolve(fs)
     segments = journal_segments(path)
     if not segments:
         # Preserve the single-file error shape (FileNotFoundError).
-        Path(path).read_bytes()
+        fsh.read_bytes(Path(path))
     records: list[dict] = []
     total_valid = 0
     total_bytes = 0
     tail_reason = ""
     tail_valid = 0
     for i, seg in enumerate(segments):
-        data = seg.read_bytes()
+        data = fsh.read_bytes(seg)
         total_bytes += len(data)
         seg_records, valid, reason = _scan_segment(seg, data)
         if reason and i != len(segments) - 1:
@@ -511,14 +532,15 @@ class RecoveryManager:
         scan = self.scan()
         if scan.torn_bytes:
             tail = Path(scan.segments[-1]) if scan.segments else self.path
+            fsh = resolve(None)
             if (
                 len(scan.segments) > 1
                 and scan.tail_valid_bytes <= len(_HEADER)
             ):
-                tail.unlink()
+                fsh.unlink(tail)
             else:
-                with open(tail, "r+b") as f:
-                    f.truncate(scan.tail_valid_bytes)
+                with fsh.open(tail, "r+b") as f:
+                    fsh.truncate(f, scan.tail_valid_bytes)
             self.scan(refresh=True)
         return scan.torn_bytes
 

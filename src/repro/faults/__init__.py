@@ -23,6 +23,7 @@ from repro.faults.bursts import (
 )
 from repro.faults.chaos import (
     CHAOS_CORRUPT,
+    CHAOS_DISK_FAULT,
     CHAOS_KILL,
     CHAOS_KILL_WORKER,
     CHAOS_KINDS,
@@ -36,6 +37,15 @@ from repro.faults.crashes import (
     flip_byte,
     tear_last_record,
     truncate_at,
+)
+from repro.faults.iofaults import (
+    CHAOS_DISK_FAULT_SPECS,
+    FaultFS,
+    FaultRule,
+    chaos_disk_fault_spec,
+    classify_path,
+    parse_plan,
+    parse_rule,
 )
 from repro.faults.injector import (
     FaultEvent,
@@ -70,7 +80,15 @@ __all__ = [
     "CHAOS_STALL",
     "CHAOS_CORRUPT",
     "CHAOS_KILL_WORKER",
+    "CHAOS_DISK_FAULT",
     "CHAOS_KINDS",
+    "FaultFS",
+    "FaultRule",
+    "parse_plan",
+    "parse_rule",
+    "classify_path",
+    "chaos_disk_fault_spec",
+    "CHAOS_DISK_FAULT_SPECS",
     "CrashInjector",
     "truncate_at",
     "tear_last_record",

@@ -51,7 +51,15 @@ CHAOS_CORRUPT = "corrupt"
 #: simulated ``kill``).  Appended last so the sort index of the original
 #: kinds — and therefore every existing drill's event order — is stable.
 CHAOS_KILL_WORKER = "kill-worker"
-CHAOS_KINDS = (CHAOS_KILL, CHAOS_STALL, CHAOS_CORRUPT, CHAOS_KILL_WORKER)
+#: Open a syscall-level I/O fault window over the shard's durable store:
+#: a :class:`~repro.faults.iofaults.FaultFS` armed with ``spec`` is
+#: installed for ``duration`` steps, then removed.  Appended last (same
+#: sort-index stability argument as ``kill-worker``).
+CHAOS_DISK_FAULT = "disk-fault"
+CHAOS_KINDS = (
+    CHAOS_KILL, CHAOS_STALL, CHAOS_CORRUPT, CHAOS_KILL_WORKER,
+    CHAOS_DISK_FAULT,
+)
 
 #: FaultEvent kind for a whole-shard stall window (see _KIND_IDS).
 _CHAOS_STALL_EVENT = "chaos_stall"
@@ -71,19 +79,26 @@ class ChaosEvent:
         from its journal), ``stall`` (every node of the shard freezes
         for ``duration`` steps), ``corrupt`` (the shard's restart
         source is poisoned, so the next restart attempt raises a typed
-        :class:`~repro.util.errors.JournalCorruptionError`), or
+        :class:`~repro.util.errors.JournalCorruptionError`),
         ``kill-worker`` (the OS process hosting the shard is SIGKILLed;
-        under a threads-only driver this degrades to ``kill``).
+        under a threads-only driver this degrades to ``kill``), or
+        ``disk-fault`` (the shard's durable store sees injected syscall
+        faults — ``spec`` is a :mod:`repro.faults.iofaults` plan — for
+        ``duration`` steps).
     shard:
         Target shard id.
     duration:
-        Window length in steps (meaningful for ``stall``; 0 otherwise).
+        Window length in steps (meaningful for ``stall`` and
+        ``disk-fault``; 0 otherwise).
+    spec:
+        Fault-plan DSL string (``disk-fault`` only; empty otherwise).
     """
 
     step: int
     kind: str
     shard: int
     duration: int = 0
+    spec: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in CHAOS_KINDS:
@@ -101,6 +116,25 @@ class ChaosEvent:
         if self.kind == CHAOS_STALL and self.duration < 1:
             raise InvalidInstanceError(
                 f"stall events need duration >= 1, got {self.duration}"
+            )
+        if self.kind == CHAOS_DISK_FAULT:
+            if self.duration < 1:
+                raise InvalidInstanceError(
+                    "disk-fault events need duration >= 1, got "
+                    f"{self.duration}"
+                )
+            if not self.spec:
+                raise InvalidInstanceError(
+                    "disk-fault events need a fault-plan spec"
+                )
+            # Parse eagerly so a bad plan fails at draw/load time, not
+            # mid-drill.  Local import: iofaults is dependency-free.
+            from repro.faults.iofaults import parse_plan
+
+            parse_plan(self.spec)
+        elif self.spec:
+            raise InvalidInstanceError(
+                f"{self.kind} events carry no fault-plan spec"
             )
 
 
@@ -139,7 +173,9 @@ class ChaosPlan:
         stalls: int = 1,
         corrupts: int = 0,
         kill_workers: int = 0,
+        disk_faults: int = 0,
         stall_duration: int = 8,
+        disk_fault_duration: int = 4,
     ) -> "ChaosPlan":
         """Draw a scenario: all placement is a pure function of ``seed``.
 
@@ -158,20 +194,31 @@ class ChaosPlan:
                 entropy=(int(seed) & 0xFFFFFFFF, 0x5EED_C4A05)
             )
         )
+        from repro.faults.iofaults import chaos_disk_fault_spec
+
         events = []
         for kind, count in (
             (CHAOS_KILL, kills),
             (CHAOS_STALL, stalls),
             (CHAOS_CORRUPT, corrupts),
             (CHAOS_KILL_WORKER, kill_workers),
+            (CHAOS_DISK_FAULT, disk_faults),
         ):
             for _ in range(int(count)):
+                if kind == CHAOS_STALL:
+                    duration = int(stall_duration)
+                elif kind == CHAOS_DISK_FAULT:
+                    duration = int(disk_fault_duration)
+                else:
+                    duration = 0
                 events.append(ChaosEvent(
                     step=int(rng.integers(2, horizon + 1)),
                     kind=kind,
                     shard=int(rng.integers(0, shards)),
-                    duration=(
-                        int(stall_duration) if kind == CHAOS_STALL else 0
+                    duration=duration,
+                    spec=(
+                        chaos_disk_fault_spec(int(rng.integers(0, 1 << 30)))
+                        if kind == CHAOS_DISK_FAULT else ""
                     ),
                 ))
         events.sort(key=lambda e: (e.step, e.shard, CHAOS_KINDS.index(e.kind)))
@@ -179,17 +226,30 @@ class ChaosPlan:
 
     # -- meta round trip ----------------------------------------------
     def to_meta(self) -> "list[list]":
-        """JSON-ready form for a journal ``meta`` payload."""
+        """JSON-ready form for a journal ``meta`` payload.
+
+        Events without a fault-plan spec serialize as the original
+        4-element rows, so pre-``disk-fault`` journals' meta bytes are
+        reproduced exactly; only ``disk-fault`` events append their
+        spec as a fifth element.
+        """
         return [
-            [e.step, e.kind, e.shard, e.duration] for e in self.events
+            (
+                [e.step, e.kind, e.shard, e.duration, e.spec]
+                if e.spec else [e.step, e.kind, e.shard, e.duration]
+            )
+            for e in self.events
         ]
 
     @classmethod
     def from_meta(cls, payload: "list[list]") -> "ChaosPlan":
-        """Inverse of :meth:`to_meta`."""
+        """Inverse of :meth:`to_meta` (4- or 5-element rows)."""
         return cls(tuple(
-            ChaosEvent(int(s), str(kind), int(shard), int(dur))
-            for s, kind, shard, dur in payload
+            ChaosEvent(
+                int(row[0]), str(row[1]), int(row[2]), int(row[3]),
+                spec=str(row[4]) if len(row) > 4 else "",
+            )
+            for row in payload
         ))
 
 

@@ -1,0 +1,404 @@
+"""Syscall-level I/O fault injection: the errfs-style ``FaultFS`` shim.
+
+Where :mod:`repro.faults.crashes` damages files *at rest* (truncate,
+flip) and chaos kills whole shards, this module makes the disk lie
+while the process lives: a :class:`FaultFS` handle substituted for
+:data:`repro.util.fsio.REAL_FS` raises ``EIO``, raises ``ENOSPC``,
+silently writes short, fails ``fsync``, or sleeps — at exact,
+deterministic operation indices, scoped by what kind of file the
+operation touches.
+
+Fault plans are written in a tiny DSL, one rule per clause::
+
+    op ":" class ":" kind ["@" index ["x" count]]
+
+    op     open | read | write | fsync | fsync-dir | replace |
+           unlink | truncate | *
+    class  wal | sstable | manifest | journal | *
+    kind   eio | enospc | short | slow | fsync-fail
+    index  0-based index of the first faulted operation, counted
+           per (op, class); omitted = 0
+    count  how many consecutive operations fault; 0 = every one from
+           ``index`` on; omitted = 1 (omitting ``@index`` entirely
+           means "@0x0": every matching operation)
+
+Examples: ``write:wal:enospc@3`` (the 4th WAL write fails with
+``ENOSPC``), ``fsync-fail:manifest`` (every manifest fsync fails),
+``read:sstable:eio@0x2`` (the first two SSTable block reads error).
+``fsync-fail`` is sugar for ``kind=eio`` pinned to ``op=fsync``.
+
+Determinism: a ``FaultFS`` is a pure function of its rules and the
+sequence of operations the program performs — per-(op, class) counters,
+no clocks, no RNG — so the same seeded run faults at the same syscall
+every time.  Fault-free code paths never see the shim at all: handles
+default to :data:`~repro.util.fsio.REAL_FS` (see
+:mod:`repro.util.fsio`).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import time
+from dataclasses import dataclass
+
+from repro.util.atomic import TMP_INFIX
+from repro.util.errors import InvalidInstanceError
+from repro.util.fsio import (
+    REAL_FS,
+    RealFS,
+    current_fs,
+    install,
+    installed,
+    resolve,
+)
+
+#: Path classes a rule can scope to (plus the ``*`` wildcard).
+CLASS_WAL = "wal"
+CLASS_SSTABLE = "sstable"
+CLASS_MANIFEST = "manifest"
+CLASS_JOURNAL = "journal"
+PATH_CLASSES = (CLASS_WAL, CLASS_SSTABLE, CLASS_MANIFEST, CLASS_JOURNAL)
+
+#: Operations a rule can scope to (plus the ``*`` wildcard).
+OP_OPEN = "open"
+OP_READ = "read"
+OP_WRITE = "write"
+OP_FSYNC = "fsync"
+OP_FSYNC_DIR = "fsync-dir"
+OP_REPLACE = "replace"
+OP_UNLINK = "unlink"
+OP_TRUNCATE = "truncate"
+IO_OPS = (OP_OPEN, OP_READ, OP_WRITE, OP_FSYNC, OP_FSYNC_DIR,
+          OP_REPLACE, OP_UNLINK, OP_TRUNCATE)
+
+#: Fault kinds (``fsync-fail`` normalizes to ``eio`` on ``fsync``).
+KIND_EIO = "eio"
+KIND_ENOSPC = "enospc"
+KIND_SHORT = "short"
+KIND_SLOW = "slow"
+IO_FAULT_KINDS = (KIND_EIO, KIND_ENOSPC, KIND_SHORT, KIND_SLOW)
+
+#: The menu a chaos ``disk-fault`` event draws its plan from.  Order is
+#: part of the determinism contract: event spec = menu[draw % len].
+CHAOS_DISK_FAULT_SPECS = (
+    "write:wal:enospc",
+    "fsync:wal:eio",
+    "read:sstable:eio",
+    "write:sstable:enospc",
+    "fsync-dir:manifest:eio",
+)
+
+
+def classify_path(path) -> str:
+    """The path class of ``path`` (final filename decides).
+
+    Temporary names from the atomic-rename protocol classify as their
+    destination (``MANIFEST.tmp-123`` is a manifest write, not a
+    journal one).  Anything that is not a WAL generation, an SSTable,
+    or the manifest — execution journals, store directories, probe
+    files — falls into the ``journal`` class.
+    """
+    name = os.path.basename(os.fspath(path))
+    cut = name.find(TMP_INFIX)
+    if cut != -1:
+        name = name[:cut]
+    if name.startswith("wal-") and name.endswith(".log"):
+        return CLASS_WAL
+    if name.startswith("sst-") and name.endswith(".sst"):
+        return CLASS_SSTABLE
+    if name == "MANIFEST":
+        return CLASS_MANIFEST
+    return CLASS_JOURNAL
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One clause of a fault plan (see the module DSL)."""
+
+    op: str
+    path_class: str
+    kind: str
+    index: int = 0
+    count: int = 0
+    #: seconds a ``slow`` rule sleeps (wall-clock only; never bytes).
+    delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.op not in IO_OPS and self.op != "*":
+            raise InvalidInstanceError(
+                f"unknown io op {self.op!r}; pick one of {IO_OPS} or '*'"
+            )
+        if self.path_class not in PATH_CLASSES and self.path_class != "*":
+            raise InvalidInstanceError(
+                f"unknown path class {self.path_class!r}; "
+                f"pick one of {PATH_CLASSES} or '*'"
+            )
+        if self.kind not in IO_FAULT_KINDS:
+            raise InvalidInstanceError(
+                f"unknown fault kind {self.kind!r}; "
+                f"pick one of {IO_FAULT_KINDS}"
+            )
+        if self.index < 0 or self.count < 0:
+            raise InvalidInstanceError(
+                f"index/count must be >= 0, got @{self.index}x{self.count}"
+            )
+
+    def to_spec(self) -> str:
+        """The DSL clause this rule round-trips through."""
+        return (f"{self.op}:{self.path_class}:{self.kind}"
+                f"@{self.index}x{self.count}")
+
+
+def parse_rule(clause: str) -> FaultRule:
+    """One DSL clause -> :class:`FaultRule`."""
+    parts = clause.strip().split(":")
+    if len(parts) == 2 and parts[0] == "fsync-fail":
+        # Shorthand without an op: "fsync-fail:wal[@i[xN]]".
+        parts = ["fsync", parts[1], "fsync-fail"]
+    if len(parts) != 3:
+        raise InvalidInstanceError(
+            f"bad fault clause {clause!r}; expected op:class:kind[@i[xN]]"
+        )
+    op, cls, tail = parts
+    index, count = 0, 0
+    if "@" in tail:
+        kind, _, pos = tail.partition("@")
+        idx_s, _, cnt_s = pos.partition("x")
+        try:
+            index = int(idx_s)
+            count = int(cnt_s) if cnt_s else 1
+        except ValueError:
+            raise InvalidInstanceError(
+                f"bad fault position {pos!r} in {clause!r}"
+            ) from None
+    else:
+        kind = tail
+    if kind == "fsync-fail":
+        if op not in ("*", OP_FSYNC, OP_FSYNC_DIR):
+            raise InvalidInstanceError(
+                f"fsync-fail applies to fsync ops, not {op!r}"
+            )
+        kind = KIND_EIO
+        if op == "*":
+            op = OP_FSYNC
+    return FaultRule(op=op, path_class=cls, kind=kind,
+                     index=index, count=count)
+
+
+def parse_plan(spec: str) -> "tuple[FaultRule, ...]":
+    """A comma-separated plan spec -> rules (empty spec -> no rules)."""
+    return tuple(
+        parse_rule(clause)
+        for clause in spec.split(",") if clause.strip()
+    )
+
+
+class FaultFS(RealFS):
+    """A filesystem handle that injects faults per a deterministic plan.
+
+    Every operation first classifies its path, bumps the per-(op,
+    class) counter, and checks the rules; unmatched operations fall
+    through to the real OS call.  Matched operations raise
+    ``OSError(EIO)``/``OSError(ENOSPC)``, silently write/read short
+    (half the bytes — the CRC layers catch it later), or sleep.
+
+    The instance records what it did: :attr:`fired` is the ordered log
+    of injected faults, :attr:`counters` the operation census — both
+    are what the fuzz sweeps and the chaos drills assert against.
+    ``armed=False`` (or :meth:`disarm`) turns the shim into a pure
+    pass-through counter.
+    """
+
+    def __init__(self, rules="", *, armed: bool = True) -> None:
+        if isinstance(rules, str):
+            rules = parse_plan(rules)
+        self.rules: "tuple[FaultRule, ...]" = tuple(rules)
+        self.armed = armed
+        #: (op, class) -> operations seen (matched or not).
+        self.counters: "dict[tuple[str, str], int]" = {}
+        #: ordered log of injected faults.
+        self.fired: "list[dict]" = []
+
+    def to_spec(self) -> str:
+        """The full plan as a DSL string (round-trips)."""
+        return ",".join(r.to_spec() for r in self.rules)
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def reset(self) -> None:
+        """Clear counters and the fired log (rules stay)."""
+        self.counters.clear()
+        self.fired.clear()
+
+    # -- matching ----------------------------------------------------
+
+    def _match(self, op: str, path, *, of=None) -> "FaultRule | None":
+        cls = classify_path(path if of is None else of)
+        key = (op, cls)
+        i = self.counters.get(key, 0)
+        self.counters[key] = i + 1
+        if not self.armed:
+            return None
+        for rule in self.rules:
+            if rule.op != op and rule.op != "*":
+                continue
+            if rule.path_class != cls and rule.path_class != "*":
+                continue
+            if i < rule.index:
+                continue
+            if rule.count and i >= rule.index + rule.count:
+                continue
+            self.fired.append({
+                "op": op, "class": cls, "kind": rule.kind,
+                "path": str(path), "index": i,
+            })
+            return rule
+        return None
+
+    def _raise(self, rule: FaultRule, path) -> None:
+        """Raise the rule's error (``short`` escalates to ``EIO`` on
+        operations that have no short form)."""
+        if rule.kind == KIND_ENOSPC:
+            raise OSError(errno.ENOSPC, "injected ENOSPC", str(path))
+        raise OSError(errno.EIO, "injected EIO", str(path))
+
+    # -- operations --------------------------------------------------
+
+    def open(self, path, mode: str = "rb"):
+        rule = self._match(OP_OPEN, path)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, path)
+        return open(path, mode)
+
+    def read(self, f, n: int = -1) -> bytes:
+        rule = self._match(OP_READ, f.name)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            elif rule.kind == KIND_SHORT:
+                data = f.read(n)
+                return data[: len(data) // 2]
+            else:
+                self._raise(rule, f.name)
+        return f.read(n)
+
+    def read_bytes(self, path) -> bytes:
+        rule = self._match(OP_READ, path)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            elif rule.kind == KIND_SHORT:
+                with open(path, "rb") as f:
+                    data = f.read()
+                return data[: len(data) // 2]
+            else:
+                self._raise(rule, path)
+        with open(path, "rb") as f:
+            return f.read()
+
+    def write(self, f, data: bytes) -> int:
+        rule = self._match(OP_WRITE, f.name)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            elif rule.kind == KIND_SHORT:
+                # The lying disk: accept half the bytes, report success.
+                return f.write(data[: len(data) // 2])
+            else:
+                self._raise(rule, f.name)
+        return f.write(data)
+
+    def fsync(self, f) -> None:
+        rule = self._match(OP_FSYNC, f.name)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, f.name)
+        os.fsync(f.fileno())
+
+    def truncate(self, f, length: int) -> None:
+        rule = self._match(OP_TRUNCATE, f.name)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, f.name)
+        f.truncate(length)
+
+    def replace(self, src, dst) -> None:
+        rule = self._match(OP_REPLACE, dst)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, dst)
+        os.replace(src, dst)
+
+    def unlink(self, path) -> None:
+        rule = self._match(OP_UNLINK, path)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, path)
+        os.unlink(path)
+
+    def fsync_dir(self, path, *, of=None) -> None:
+        rule = self._match(OP_FSYNC_DIR, path, of=of)
+        if rule is not None:
+            if rule.kind == KIND_SLOW:
+                time.sleep(rule.delay)
+            else:
+                self._raise(rule, path)
+        super().fsync_dir(path, of=of)
+
+
+def chaos_disk_fault_spec(draw: int) -> str:
+    """The plan spec a chaos ``disk-fault`` event with ``draw`` uses."""
+    return CHAOS_DISK_FAULT_SPECS[draw % len(CHAOS_DISK_FAULT_SPECS)]
+
+
+__all__ = [
+    "FaultFS",
+    "FaultRule",
+    "parse_plan",
+    "parse_rule",
+    "classify_path",
+    "chaos_disk_fault_spec",
+    "CHAOS_DISK_FAULT_SPECS",
+    "PATH_CLASSES",
+    "IO_OPS",
+    "IO_FAULT_KINDS",
+    "CLASS_WAL",
+    "CLASS_SSTABLE",
+    "CLASS_MANIFEST",
+    "CLASS_JOURNAL",
+    "OP_OPEN",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_FSYNC",
+    "OP_FSYNC_DIR",
+    "OP_REPLACE",
+    "OP_UNLINK",
+    "OP_TRUNCATE",
+    "KIND_EIO",
+    "KIND_ENOSPC",
+    "KIND_SHORT",
+    "KIND_SLOW",
+    # re-exported fs-handle seam (canonical home: repro.util.fsio)
+    "RealFS",
+    "REAL_FS",
+    "current_fs",
+    "install",
+    "installed",
+    "resolve",
+]

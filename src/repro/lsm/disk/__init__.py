@@ -21,7 +21,12 @@ robustness discipline the journal subsystem established:
   salvage, quarantine, and shadowing-aware loss classification.
 """
 
-from repro.lsm.disk.kvstore import KVStore
+from repro.lsm.disk.kvstore import (
+    DEGRADED_ENOSPC,
+    DEGRADED_FSYNC,
+    DEGRADED_IO,
+    KVStore,
+)
 from repro.lsm.disk.manifest import (
     Manifest,
     commit_manifest,
@@ -56,6 +61,9 @@ from repro.lsm.disk.wal import (
 )
 
 __all__ = [
+    "DEGRADED_ENOSPC",
+    "DEGRADED_FSYNC",
+    "DEGRADED_IO",
     "KVStore",
     "Manifest",
     "commit_manifest",

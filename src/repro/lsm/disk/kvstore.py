@@ -27,11 +27,39 @@ pure function of the surviving files: manifest -> live SSTables ->
 WAL replay (``seq > last_flushed_seq``, contiguity enforced) -> the
 exact acknowledged state, or a typed
 :class:`~repro.util.errors.StorageCorruptionError` — never silence.
+
+**The degradation policy (live I/O faults).**  Crashes are not the only
+fault model: disks return ``EIO``, fill up (``ENOSPC``), and — the
+fsyncgate lesson — an ``fsync`` that fails once may have silently
+dropped the dirty pages it covered, so retrying it can acknowledge data
+that never reached the platter.  The store's responses, mildest first:
+
+* **transient read EIO** — bounded retry with backoff
+  (``read_retries`` × ``retry_backoff``), then a typed
+  :class:`~repro.util.errors.StorageIOError`; the store stays healthy.
+* **any write-path fault** — *fail-stop*: the poisoned memtable/WAL
+  generation is discarded (never re-flushed, never re-fsynced) and the
+  store re-opens from its last durable state via the normal recovery
+  path.  A transient write fault surfaces as ``StorageIOError`` with
+  the store healthy again on a fresh generation.
+* **ENOSPC or an acknowledgment fsync failure** — additionally enter
+  **read-only degraded mode**: every subsequent ``put``/``delete``
+  raises a typed :class:`~repro.util.errors.StoreDegradedError`
+  (counted in ``rejections``), reads keep working, and every
+  ``probe_every``-th rejection triggers :meth:`try_rearm` — a full
+  probing re-open that leaves degraded mode automatically once the
+  fault has cleared (space returned, controller recovered).
+
+An operation that raises *after* its WAL record was flushed is a ghost
+(durable but unacknowledged) — recovery may resurrect it, which is the
+safe side of the ledger: acknowledged operations are never lost.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import os
+import time
 from pathlib import Path
 
 from repro.lsm.disk.manifest import (
@@ -64,7 +92,18 @@ from repro.lsm.disk.wal import (
 )
 from repro.obs.hooks import current_obs
 from repro.util.atomic import remove_stale_tmp
-from repro.util.errors import InvalidInstanceError, StorageError
+from repro.util.errors import (
+    InvalidInstanceError,
+    StorageError,
+    StorageIOError,
+    StoreDegradedError,
+)
+from repro.util.fsio import resolve
+
+#: Degraded-mode reason tags (``StoreDegradedError.reason``).
+DEGRADED_ENOSPC = "enospc"
+DEGRADED_FSYNC = "fsync-fail"
+DEGRADED_IO = "io"
 
 
 class KVStore:
@@ -87,6 +126,18 @@ class KVStore:
         Compaction scheduler; default :class:`HornDensityPolicy`.
     auto_maintain:
         Run one scheduled compaction task after each automatic flush.
+    fs:
+        Filesystem handle override (``None`` = the ambient handle from
+        :mod:`repro.util.fsio`, re-resolved per operation so a fault
+        window installed mid-run is seen by live stores).
+    read_retries:
+        Transient read ``EIO`` retries before the typed error.
+    retry_backoff:
+        Seconds slept before retry ``n`` is ``retry_backoff * n``
+        (``0`` disables sleeping — what the fault suites use).
+    probe_every:
+        While degraded, every ``probe_every``-th rejected write runs a
+        :meth:`try_rearm` probe (``1`` probes on every rejection).
     """
 
     def __init__(
@@ -95,11 +146,19 @@ class KVStore:
         sync: bool = True, block_entries: int = 64,
         policy: "DiskCompactionPolicy | None" = None,
         auto_maintain: bool = True,
+        fs=None, read_retries: int = 2, retry_backoff: float = 0.01,
+        probe_every: int = 8,
     ) -> None:
         if memtable_capacity < 1 or size_ratio < 2:
             raise InvalidInstanceError(
                 "need memtable_capacity >= 1 and size_ratio >= 2, got "
                 f"{memtable_capacity}, {size_ratio}"
+            )
+        if read_retries < 0 or retry_backoff < 0 or probe_every < 1:
+            raise InvalidInstanceError(
+                "need read_retries >= 0, retry_backoff >= 0 and "
+                f"probe_every >= 1, got {read_retries}, {retry_backoff}, "
+                f"{probe_every}"
             )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -109,11 +168,45 @@ class KVStore:
         self.block_entries = int(block_entries)
         self.policy = policy if policy is not None else HornDensityPolicy()
         self.auto_maintain = bool(auto_maintain)
+        self._fs = fs
+        self.read_retries = int(read_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.probe_every = int(probe_every)
         obs = current_obs()
         self._metrics = obs.metrics if obs.enabled else None
+        # -- degradation state ------------------------------------------
+        self._degraded = ""  # "" = healthy, else a DEGRADED_* reason
+        self.rejections = 0
+        self.reopens = 0
+        #: compaction tasks executed (cumulative; the stability harness
+        #: samples this to attribute compaction-caused stall windows).
+        self.compactions = 0
+        self._wal = None
+        self._closed = False
         # -- recovery ---------------------------------------------------
+        try:
+            self._recover()
+        except OSError as exc:
+            raise StorageIOError(
+                f"{self.directory}: open failed ({exc})",
+                op="open",
+                path=str(getattr(exc, "filename", "") or self.directory),
+                errno=exc.errno or 0,
+            ) from exc
+
+    # -- recovery helpers ----------------------------------------------
+    def _recover(self) -> None:
+        """(Re)build the in-memory state from the durable files.
+
+        Runs at open and after every fail-stop: discard open handles,
+        collect crash litter, replay the WAL past the manifest frontier
+        and continue writing in a fresh generation.  Raises the
+        underlying ``OSError`` if the disk is still faulting — callers
+        decide whether that means degraded mode or a typed open error.
+        """
+        self._discard_wal()
         remove_stale_tmp(self.directory)
-        self.manifest = load_or_init_manifest(self.directory)
+        self.manifest = load_or_init_manifest(self.directory, fs=self._fs)
         self._gc_orphans()
         self._readers: "dict[int, SSTableReader]" = {}
         #: key -> (seq, kind, value); replay rebuilds the pre-crash one.
@@ -122,6 +215,7 @@ class KVStore:
             self.directory,
             from_gen=self.manifest.wal_gen,
             after_seq=self.manifest.last_flushed_seq,
+            fs=self._fs,
         )
         self.recovered_records = len(records)
         self.recovered_torn_bytes = int(torn)
@@ -140,29 +234,168 @@ class KVStore:
         # replays both, in order — contiguity carries across.
         gens = wal_generations(self.directory)
         self._wal_gen = (gens[-1][0] + 1) if gens else self.manifest.wal_gen
-        self._wal = open_wal(self.directory, self._wal_gen, sync=self.sync)
-        self._closed = False
+        self._wal = open_wal(
+            self.directory, self._wal_gen, sync=self.sync, fs=self._fs
+        )
         if self._metrics is not None and self.recovered_records:
             self._metrics.counter(
                 "kv_recovered_records_total",
                 "WAL records replayed into the memtable at open",
             ).inc(self.recovered_records)
 
-    # -- recovery helpers ----------------------------------------------
+    def _discard_wal(self) -> None:
+        """Release the WAL handle without flushing (fail-stop rule)."""
+        wal, self._wal = self._wal, None
+        if wal is not None:
+            wal.abort()
+
     def _gc_orphans(self) -> None:
         """Delete files the manifest does not reference (crash litter)."""
+        fsh = resolve(self._fs)
         live = {meta.name for meta in self.manifest.live_files()}
         for path in self.directory.glob("sst-*.sst"):
             if path.name not in live:
-                path.unlink()
+                fsh.unlink(path)
         for gen, path in wal_generations(self.directory):
             if gen < self.manifest.wal_gen:
-                path.unlink()
+                fsh.unlink(path)
+
+    # -- degradation machinery ------------------------------------------
+    @property
+    def degraded(self) -> str:
+        """``""`` while healthy, else the read-only degraded reason."""
+        return self._degraded
+
+    def health(self) -> dict:
+        """Degradation snapshot for serving-side breakers."""
+        return {
+            "degraded": self._degraded,
+            "rejections": self.rejections,
+            "reopens": self.reopens,
+        }
+
+    def _fail_write(self, exc: OSError, op: str) -> None:
+        """Fail-stop after a write-path fault: discard and re-open.
+
+        The poisoned memtable/WAL generation is discarded — a failed
+        fsync is *never* retried (fsyncgate: the page cache may have
+        silently dropped the dirty pages it covered) — and the store
+        re-opens from its last durable state.  ``ENOSPC`` and
+        acknowledgment fsync failures enter read-only degraded mode;
+        other transient faults surface as :class:`StorageIOError` with
+        the store healthy again on a fresh WAL generation.
+        """
+        self._count("kv_io_errors_total", "write-path I/O faults observed")
+        path = str(getattr(exc, "filename", "") or self.directory)
+        try:
+            self._recover()
+            recovered = True
+        except OSError:
+            self._discard_wal()
+            recovered = False
+        self.reopens += 1
+        self._count("kv_io_reopens_total", "fail-stop re-opens after faults")
+        if exc.errno == _errno.ENOSPC:
+            reason = DEGRADED_ENOSPC
+        elif op == "fsync":
+            reason = DEGRADED_FSYNC
+        elif not recovered:
+            reason = DEGRADED_IO
+        else:
+            raise StorageIOError(
+                f"{self.directory}: {op} failed ({exc}); the store "
+                "re-opened from its last durable state",
+                op=op, path=path, errno=exc.errno or 0,
+            ) from exc
+        if not self._degraded:
+            self._degraded = reason
+            self._count(
+                "kv_degraded_entries_total",
+                "transitions into read-only degraded mode",
+            )
+        raise StoreDegradedError(
+            f"{self.directory}: store is read-only degraded ({reason})",
+            reason=reason, path=path, rejections=self.rejections,
+        ) from exc
+
+    def try_rearm(self) -> bool:
+        """Probe the fault; leave degraded mode if it has cleared.
+
+        The probe is a full re-open: recovery replays the durable
+        state, and opening a fresh WAL generation exercises the very
+        write (and, with ``sync=True``, fsync) path that failed.
+        Called automatically on every ``probe_every``-th rejected
+        write; safe to call explicitly at any time.  Returns ``True``
+        when the store is healthy afterwards.
+        """
+        self._require_open()
+        if not self._degraded:
+            return True
+        try:
+            self._recover()
+        except OSError:
+            self._discard_wal()
+            return False
+        self._degraded = ""
+        self._count(
+            "kv_rearms_total", "degraded stores re-armed after probes"
+        )
+        return True
+
+    def _retry_read(self, fn, path):
+        """Run ``fn``, retrying transient ``EIO`` ``read_retries`` times.
+
+        Anything still failing raises a typed :class:`StorageIOError`
+        carrying the attempt count; non-EIO errors are not retried.
+        """
+        attempts = 0
+        while True:
+            try:
+                return fn()
+            except StorageIOError:
+                raise  # already typed by a nested read
+            except OSError as exc:
+                attempts += 1
+                self._count(
+                    "kv_io_read_errors_total",
+                    "read-path I/O faults observed",
+                )
+                if exc.errno != _errno.EIO or attempts > self.read_retries:
+                    raise StorageIOError(
+                        f"{path}: read failed after {attempts} "
+                        f"attempt(s) ({exc})",
+                        op="read", path=str(path), errno=exc.errno or 0,
+                        attempts=attempts,
+                    ) from exc
+                self._count(
+                    "kv_io_read_retries_total",
+                    "transient read faults retried",
+                )
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * attempts)
 
     # -- write path -----------------------------------------------------
     def _require_open(self) -> None:
         if self._closed:
             raise StorageError(f"{self.directory}: store is closed")
+
+    def _require_writable(self) -> None:
+        self._require_open()
+        if not self._degraded:
+            return
+        self.rejections += 1
+        self._count(
+            "kv_degraded_rejections_total",
+            "writes rejected while read-only degraded",
+        )
+        if self.rejections % self.probe_every == 0 and self.try_rearm():
+            return  # the fault cleared; proceed with this write
+        raise StoreDegradedError(
+            f"{self.directory}: store is read-only degraded "
+            f"({self._degraded}); write rejected",
+            reason=self._degraded, path=str(self.directory),
+            rejections=self.rejections,
+        )
 
     def put(self, key, value) -> int:
         """Write ``key -> value``; returns the operation's sequence number.
@@ -170,10 +403,16 @@ class KVStore:
         The operation is durable (to the configured ``sync`` level) when
         this returns: WAL first, memtable second.
         """
-        self._require_open()
+        self._require_writable()
         self._seq += 1
-        self._wal.append(put_record(self._seq, key, value))
-        self._wal.flush()
+        try:
+            self._wal.append(put_record(self._seq, key, value))
+        except OSError as exc:
+            self._fail_write(exc, "write")
+        try:
+            self._wal.flush()
+        except OSError as exc:
+            self._fail_write(exc, "fsync")
         self._count("kv_wal_appends_total", "WAL records acknowledged")
         self.memtable[key] = (self._seq, KIND_PUT, value)
         self._maybe_flush()
@@ -181,10 +420,16 @@ class KVStore:
 
     def delete(self, key) -> int:
         """Write a tombstone for ``key``; returns its sequence number."""
-        self._require_open()
+        self._require_writable()
         self._seq += 1
-        self._wal.append(delete_record(self._seq, key))
-        self._wal.flush()
+        try:
+            self._wal.append(delete_record(self._seq, key))
+        except OSError as exc:
+            self._fail_write(exc, "write")
+        try:
+            self._wal.flush()
+        except OSError as exc:
+            self._fail_write(exc, "fsync")
         self._count("kv_wal_appends_total", "WAL records acknowledged")
         self.memtable[key] = (self._seq, KIND_TOMBSTONE, None)
         self._maybe_flush()
@@ -201,13 +446,20 @@ class KVStore:
     def _reader(self, meta: SSTableMeta) -> SSTableReader:
         reader = self._readers.get(meta.file_id)
         if reader is None:
-            reader = SSTableReader(self.directory / meta.name)
+            path = self.directory / meta.name
+            reader = self._retry_read(
+                lambda: SSTableReader(path, fs=self._fs), path
+            )
             self._readers[meta.file_id] = reader
         return reader
 
     def get(self, key, default=None):
         """The newest visible value for ``key`` (``default`` if absent
-        or tombstoned)."""
+        or tombstoned).
+
+        Reads keep working in degraded mode; transient ``EIO`` is
+        retried ``read_retries`` times before the typed error.
+        """
         self._require_open()
         hit = self.memtable.get(key)
         if hit is not None:
@@ -218,7 +470,10 @@ class KVStore:
             for meta in level:
                 if meta.entries == 0 or not meta.overlaps_range(key, key):
                     continue
-                found = self._reader(meta).get(key)
+                found = self._retry_read(
+                    lambda m=meta: self._reader(m).get(key),
+                    self.directory / meta.name,
+                )
                 if found is not None and (best is None or found[0] > best[0]):
                     best = found
                 if depth > 0:
@@ -239,7 +494,11 @@ class KVStore:
         newest: "dict" = {}
         for level in self.manifest.levels:
             for meta in level:
-                for k, seq, kind, value in self._reader(meta).iter_entries():
+                rows = self._retry_read(
+                    lambda m=meta: list(self._reader(m).iter_entries()),
+                    self.directory / meta.name,
+                )
+                for k, seq, kind, value in rows:
                     cur = newest.get(k)
                     if cur is None or seq > cur[0]:
                         newest[k] = (seq, kind, value)
@@ -254,24 +513,37 @@ class KVStore:
 
     # -- flush and compaction -------------------------------------------
     def flush_memtable(self) -> "SSTableMeta | None":
-        """Seal the memtable into a level-0 SSTable (None if empty)."""
-        self._require_open()
+        """Seal the memtable into a level-0 SSTable (None if empty).
+
+        A fault anywhere in the protocol fail-stops: the store re-opens
+        from the last committed manifest (acknowledged operations
+        replay from their WAL generation) and a typed error surfaces.
+        """
+        self._require_writable()
         if not self.memtable:
             return None
+        try:
+            return self._flush_protocol()
+        except OSError as exc:
+            self._fail_write(exc, "flush")
+
+    def _flush_protocol(self) -> SSTableMeta:
         entries = [
             (k, seq, kind, value)
             for k, (seq, kind, value) in sorted(self.memtable.items())
         ]
         meta = write_sstable(
             self.directory, self.manifest.next_file_id, entries,
-            block_entries=self.block_entries,
+            block_entries=self.block_entries, fs=self._fs,
         )
         # Rotate the WAL *before* the commit that obsoletes the old
         # generation: there is never an instant with no live home for
         # an acknowledged operation.
         self._wal.close()
         self._wal_gen += 1
-        self._wal = open_wal(self.directory, self._wal_gen, sync=self.sync)
+        self._wal = open_wal(
+            self.directory, self._wal_gen, sync=self.sync, fs=self._fs
+        )
         levels = list(self.manifest.levels) or [()]
         levels[0] = levels[0] + (meta,)
         self.manifest = self.manifest.with_edit(
@@ -280,16 +552,22 @@ class KVStore:
             last_flushed_seq=self._seq,
             levels=tuple(levels),
         )
-        commit_manifest(self.directory, self.manifest)
+        commit_manifest(self.directory, self.manifest, fs=self._fs)
+        fsh = resolve(self._fs)
         for gen, path in wal_generations(self.directory):
             if gen < self._wal_gen:
-                path.unlink()
+                fsh.unlink(path)
         self.memtable = {}
         self._count("kv_flushes_total", "memtable flushes to level 0")
         return meta
 
     def maintain(self, budget: int = 1) -> "list[CompactionTask]":
-        """Run up to ``budget`` scheduled compaction tasks; returns them."""
+        """Run up to ``budget`` scheduled compaction tasks; returns them.
+
+        A fault mid-compaction fail-stops exactly like a flush fault:
+        outputs not yet committed by the manifest are garbage the
+        re-open collects, never state.
+        """
         self._require_open()
         done: "list[CompactionTask]" = []
         for _ in range(max(0, budget)):
@@ -300,8 +578,12 @@ class KVStore:
             )
             if task is None:
                 break
-            self._execute(task)
+            try:
+                self._execute(task)
+            except OSError as exc:
+                self._fail_write(exc, "compact")
             done.append(task)
+            self.compactions += 1
             self._count(
                 f"kv_compactions_{task.regime}_total",
                 "compaction tasks by scheduling regime",
@@ -334,7 +616,11 @@ class KVStore:
         # Newest sequence wins per key across every input run.
         newest: "dict" = {}
         for meta in [*srcs, *merged_below]:
-            for k, seq, kind, value in self._reader(meta).iter_entries():
+            rows = self._retry_read(
+                lambda m=meta: list(self._reader(m).iter_entries()),
+                self.directory / meta.name,
+            )
+            for k, seq, kind, value in rows:
                 cur = newest.get(k)
                 if cur is None or seq > cur[0]:
                     newest[k] = (seq, kind, value)
@@ -364,7 +650,7 @@ class KVStore:
         for start in range(0, len(rows), run_entries):
             out_metas.append(write_sstable(
                 self.directory, next_id, rows[start:start + run_entries],
-                block_entries=self.block_entries,
+                block_entries=self.block_entries, fs=self._fs,
             ))
             next_id += 1
         merged_ids = chosen | {m.file_id for m in merged_below}
@@ -383,23 +669,35 @@ class KVStore:
         self.manifest = self.manifest.with_edit(
             next_file_id=next_id, levels=tuple(levels),
         )
-        commit_manifest(self.directory, self.manifest)
+        commit_manifest(self.directory, self.manifest, fs=self._fs)
+        fsh = resolve(self._fs)
         for meta in [*srcs, *merged_below]:
             self._readers.pop(meta.file_id, None)
-            (self.directory / meta.name).unlink()
+            fsh.unlink(self.directory / meta.name)
 
     # -- lifecycle ------------------------------------------------------
     def sync_wal(self) -> None:
         """Force the WAL to the configured durability level now."""
         self._require_open()
-        self._wal.flush()
+        if self._wal is None:
+            return  # degraded with no live generation: nothing to sync
+        try:
+            self._wal.flush()
+        except OSError as exc:
+            self._fail_write(exc, "fsync")
 
     def close(self) -> None:
         """Flush the WAL and release file handles (state stays on disk)."""
         if self._closed:
             return
-        self._wal.flush()
-        self._wal.close()
+        wal, self._wal = self._wal, None
+        if wal is not None:
+            try:
+                wal.close()
+            except OSError:
+                # Fail-stop even on the way out: the flush's records
+                # were never acknowledged, so a torn tail is legal.
+                wal.abort()
         self._readers.clear()
         self._closed = True
 
@@ -441,6 +739,10 @@ class KVStore:
             ],
             "recovered_records": self.recovered_records,
             "recovered_torn_bytes": self.recovered_torn_bytes,
+            "compactions": self.compactions,
+            "degraded": self._degraded,
+            "rejections": self.rejections,
+            "io_reopens": self.reopens,
         }
 
     def check_invariants(self) -> None:

@@ -35,6 +35,7 @@ from pathlib import Path
 from repro.lsm.disk.sstable import SSTableMeta
 from repro.util.atomic import atomic_write_bytes
 from repro.util.errors import StorageCorruptionError
+from repro.util.fsio import resolve
 
 MANIFEST_NAME = "MANIFEST"
 MAN_MAGIC = b"WMAN"
@@ -112,20 +113,20 @@ def manifest_path(directory: "str | os.PathLike") -> Path:
 
 
 def commit_manifest(directory: "str | os.PathLike",
-                    manifest: Manifest) -> None:
+                    manifest: Manifest, *, fs=None) -> None:
     """Atomically install ``manifest`` as the store's current version."""
     payload = json.dumps(
         manifest.to_payload(), separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
     blob = _MAN_HEADER + _SECTION.pack(len(payload), zlib.crc32(payload))
-    atomic_write_bytes(manifest_path(directory), blob + payload)
+    atomic_write_bytes(manifest_path(directory), blob + payload, fs=fs)
 
 
-def read_manifest(directory: "str | os.PathLike") -> Manifest:
+def read_manifest(directory: "str | os.PathLike", *, fs=None) -> Manifest:
     """The current manifest, CRC-verified; raises typed errors on damage."""
     path = manifest_path(directory)
     try:
-        data = path.read_bytes()
+        data = resolve(fs).read_bytes(path)
     except FileNotFoundError:
         raise StorageCorruptionError(
             f"{path}: no manifest found",
@@ -159,7 +160,8 @@ def read_manifest(directory: "str | os.PathLike") -> Manifest:
         ) from None
 
 
-def load_or_init_manifest(directory: "str | os.PathLike") -> Manifest:
+def load_or_init_manifest(directory: "str | os.PathLike", *,
+                          fs=None) -> Manifest:
     """Read the manifest, or create version 1 for a genuinely fresh store.
 
     "Fresh" means no manifest **and** no SSTables: a directory holding
@@ -169,7 +171,7 @@ def load_or_init_manifest(directory: "str | os.PathLike") -> Manifest:
     """
     directory = Path(directory)
     try:
-        return read_manifest(directory)
+        return read_manifest(directory, fs=fs)
     except StorageCorruptionError as exc:
         if exc.reason != "no-manifest":
             raise
@@ -182,5 +184,5 @@ def load_or_init_manifest(directory: "str | os.PathLike") -> Manifest:
                 path=str(directory / MANIFEST_NAME), reason="no-manifest",
             ) from None
         fresh = Manifest()
-        commit_manifest(directory, fresh)
+        commit_manifest(directory, fresh, fs=fs)
         return fresh

@@ -5,6 +5,11 @@ against their CRC-32 checksums, so in-place damage (bit flips, torn
 sectors from misdirected writes) is found *proactively* instead of at
 whatever future read happens to land on the bad block.
 
+A block counts as damaged whether the disk returns wrong bytes (CRC
+failure) or no bytes at all (persistent ``EIO`` — retried once, then
+recorded with reason ``io-error``): both are unreadable regions, and
+both get the same salvage treatment.
+
 For a damaged SSTable the scrubber repairs what redundancy allows:
 
 * intact blocks are **salvaged** into a replacement run (new file id,
@@ -134,13 +139,16 @@ def run_scrub(store, *, repair: bool = True) -> ScrubReport:
             path = store.directory / meta.name
             report.files_checked += 1
             try:
-                reader = SSTableReader(path)
-            except StorageCorruptionError as exc:
-                # Structural damage: nothing salvageable through the
-                # index — the whole file's range is lost.
+                reader = SSTableReader(path, fs=store._fs)
+            except (StorageCorruptionError, OSError) as exc:
+                # Structural damage (or a file the disk will not hand
+                # back at all): nothing salvageable through the index —
+                # the whole file's range is lost.
                 report.findings.append(BlockFinding(
-                    path=str(path), block=-1, offset=max(0, exc.offset),
-                    reason=exc.reason, first_key=meta.min_key,
+                    path=str(path), block=-1,
+                    offset=max(0, getattr(exc, "offset", 0)),
+                    reason=getattr(exc, "reason", "") or "io-error",
+                    first_key=meta.min_key,
                     last_key=meta.max_key, entries_lost=meta.entries,
                 ))
                 report.lost.append(LostRange(
@@ -177,7 +185,7 @@ def run_scrub(store, *, repair: bool = True) -> ScrubReport:
             if good:
                 salvage_meta = write_sstable(
                     store.directory, store.manifest.next_file_id, good,
-                    block_entries=store.block_entries,
+                    block_entries=store.block_entries, fs=store._fs,
                 )
                 report.salvaged_entries += len(good)
                 store.manifest = store.manifest.with_edit(
@@ -195,17 +203,18 @@ def run_scrub(store, *, repair: bool = True) -> ScrubReport:
         store.manifest = store.manifest.with_edit(
             levels=tuple(tuple(level) for level in levels),
         )
-        commit_manifest(store.directory, store.manifest)
+        commit_manifest(store.directory, store.manifest, fs=store._fs)
     # -- WAL generations ------------------------------------------------
     gens = wal_generations(store.directory)
     for i, (gen, path) in enumerate(gens):
         report.wal_generations_checked += 1
         try:
-            scan = scan_journal(path)
-        except JournalCorruptionError as exc:
+            scan = scan_journal(path, fs=store._fs)
+        except (JournalCorruptionError, OSError) as exc:
             report.findings.append(BlockFinding(
-                path=str(path), block=-1, offset=max(0, exc.offset),
-                reason=exc.reason or "bad-crc",
+                path=str(path), block=-1,
+                offset=max(0, getattr(exc, "offset", 0)),
+                reason=getattr(exc, "reason", "") or "io-error",
             ))
             continue
         if scan.torn_bytes:
@@ -220,6 +229,14 @@ def run_scrub(store, *, repair: bool = True) -> ScrubReport:
         metrics.counter(
             "kv_scrub_findings_total", "corruptions found by scrub passes"
         ).inc(len(report.findings))
+        io_findings = sum(
+            1 for f in report.findings if f.reason == "io-error"
+        )
+        if io_findings:
+            metrics.counter(
+                "kv_scrub_io_findings_total",
+                "unreadable (persistent-EIO) regions found by scrub",
+            ).inc(io_findings)
     return report
 
 

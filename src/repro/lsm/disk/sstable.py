@@ -31,6 +31,7 @@ asymmetry the paper's model charges for, now in real bytes.
 
 from __future__ import annotations
 
+import errno as _errno
 import json
 import os
 import struct
@@ -40,6 +41,7 @@ from pathlib import Path
 
 from repro.util.atomic import atomic_write_bytes
 from repro.util.errors import InvalidInstanceError, StorageCorruptionError
+from repro.util.fsio import resolve
 
 SST_MAGIC = b"WSST"
 SST_VERSION = 1
@@ -166,6 +168,7 @@ def write_sstable(
     directory: "str | os.PathLike", file_id: int,
     entries: "list[tuple]", *,
     block_entries: int = 64, bloom_bits_per_key: int = 10,
+    fs=None,
 ) -> SSTableMeta:
     """Write ``entries`` as SSTable ``file_id``; returns its manifest meta.
 
@@ -211,7 +214,7 @@ def write_sstable(
     packed = struct.pack("<QQQ", bloom_off, index_off, len(entries))
     blob += packed + struct.pack("<I", zlib.crc32(packed)) + FOOTER_MAGIC
     name = sstable_name(file_id)
-    atomic_write_bytes(Path(directory) / name, bytes(blob))
+    atomic_write_bytes(Path(directory) / name, bytes(blob), fs=fs)
     seqs = [int(e[1]) for e in entries]
     return SSTableMeta(
         name=name, file_id=int(file_id),
@@ -251,9 +254,10 @@ class SSTableReader:
     block damage raises at the probe that touches the block.
     """
 
-    def __init__(self, path: "str | os.PathLike") -> None:
+    def __init__(self, path: "str | os.PathLike", *, fs=None) -> None:
         self.path = Path(path)
-        data = self.path.read_bytes()
+        self._fs = fs
+        data = resolve(fs).read_bytes(self.path)
         self._size = len(data)
         if len(data) < len(_SST_HEADER) + _FOOTER.size:
             raise StorageCorruptionError(
@@ -321,9 +325,10 @@ class SSTableReader:
 
     def _read_block(self, i: int) -> "list[list]":
         offset, length, _n, _fk, _lk = self._index[i]
-        with open(self.path, "rb") as f:
+        fsh = resolve(self._fs)
+        with fsh.open(self.path, "rb") as f:
             f.seek(offset)
-            data = f.read(length)
+            data = fsh.read(f, length)
         self.block_reads += 1
         if len(data) != length:
             raise StorageCorruptionError(
@@ -376,16 +381,38 @@ class SSTableReader:
             for k, seq, kind, value in self._read_block(i):
                 yield k, int(seq), int(kind), value
 
+    def _scrub_block(self, i: int, *, retries: int = 1) -> "list[list]":
+        """Read block ``i`` for a scrub pass, retrying transient ``EIO``.
+
+        A fault that persists past ``retries`` attempts propagates to
+        the caller, which records the block as unreadable (reason
+        ``io-error``) — scrub treats a block the disk will not return
+        exactly like one that fails its CRC: salvage around it.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._read_block(i)
+            except OSError as exc:
+                if exc.errno != _errno.EIO or attempt >= retries:
+                    raise
+                attempt += 1
+
     def verify(self) -> "list[BlockFinding]":
-        """Scrub every data block; returns findings (empty = clean)."""
+        """Scrub every data block; returns findings (empty = clean).
+
+        A finding is a block that fails its CRC, does not decode, *or*
+        cannot be read at all (persistent ``EIO`` -> ``io-error``).
+        """
         findings: "list[BlockFinding]" = []
         for i, (offset, _length, n, first, last) in enumerate(self._index):
             try:
-                self._read_block(i)
-            except StorageCorruptionError as exc:
+                self._scrub_block(i)
+            except (StorageCorruptionError, OSError) as exc:
                 findings.append(BlockFinding(
                     path=str(self.path), block=i, offset=offset,
-                    reason=exc.reason, first_key=first, last_key=last,
+                    reason=getattr(exc, "reason", "") or "io-error",
+                    first_key=first, last_key=last,
                     entries_lost=int(n),
                 ))
         return findings
@@ -396,11 +423,12 @@ class SSTableReader:
         findings: "list[BlockFinding]" = []
         for i, (offset, _length, n, first, last) in enumerate(self._index):
             try:
-                rows = self._read_block(i)
-            except StorageCorruptionError as exc:
+                rows = self._scrub_block(i)
+            except (StorageCorruptionError, OSError) as exc:
                 findings.append(BlockFinding(
                     path=str(self.path), block=i, offset=offset,
-                    reason=exc.reason, first_key=first, last_key=last,
+                    reason=getattr(exc, "reason", "") or "io-error",
+                    first_key=first, last_key=last,
                     entries_lost=int(n),
                 ))
                 continue

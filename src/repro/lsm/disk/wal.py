@@ -44,6 +44,7 @@ from repro.dam.journal import (
     scan_journal,
 )
 from repro.util.errors import StorageCorruptionError
+from repro.util.fsio import resolve
 
 #: WAL record types (alongside the journal's own ``meta``).
 REC_PUT = "put"
@@ -82,23 +83,26 @@ def delete_record(seq: int, key) -> dict:
 
 def open_wal(
     directory: "str | os.PathLike", gen: int, *, sync: bool = True,
+    fs=None,
 ) -> JournalWriter:
     """Open (create) WAL generation ``gen`` for appending.
 
     The returned writer is a plain :class:`JournalWriter`; callers
     append :func:`put_record` / :func:`delete_record` payloads and flush
-    at their acknowledgment points.
+    at their acknowledgment points.  ``fs`` overrides the filesystem
+    handle (fault-injection seam; see :mod:`repro.util.fsio`).
     """
     return JournalWriter(
         wal_path(directory, gen),
         meta={"policy": WAL_POLICY, "gen": int(gen)},
         sync=sync,
+        fs=fs,
     )
 
 
 def replay_wal(
     directory: "str | os.PathLike", *,
-    from_gen: int, after_seq: int, repair: bool = True,
+    from_gen: int, after_seq: int, repair: bool = True, fs=None,
 ) -> "tuple[list[dict], int]":
     """Replay generations ``>= from_gen``; returns ``(records, torn_bytes)``.
 
@@ -111,12 +115,13 @@ def replay_wal(
     the scanner's own :class:`~repro.util.errors.JournalCorruptionError`
     (a WAL generation *is* a journal).
     """
+    fsh = resolve(fs)
     gens = [(g, p) for g, p in wal_generations(directory) if g >= from_gen]
     torn_total = 0
     applied: "list[dict]" = []
     expected = int(after_seq) + 1
     for i, (gen, path) in enumerate(gens):
-        scan = scan_journal(path)
+        scan = scan_journal(path, fs=fsh)
         last = i == len(gens) - 1
         if scan.torn_bytes and not last:
             raise StorageCorruptionError(
@@ -128,8 +133,8 @@ def replay_wal(
                 reason="wal-mid-chain-tear",
             )
         if scan.torn_bytes and last and repair:
-            with open(path, "r+b") as f:
-                f.truncate(scan.tail_valid_bytes)
+            with fsh.open(path, "r+b") as f:
+                fsh.truncate(f, scan.tail_valid_bytes)
         torn_total += scan.torn_bytes
         for rec in scan.records:
             if rec["type"] == REC_META:

@@ -64,6 +64,7 @@ from repro.util.errors import (
     ExecutionStalledError,
     InvalidInstanceError,
     JournalCorruptionError,
+    StorageError,
 )
 
 #: meta "policy" tag distinguishing serve journals from batch ones.
@@ -405,12 +406,25 @@ class ServiceLoop:
         #: loop, opened in the parent so SIGKILLed workers never hold it.
         self.store = None
         self._gid_key: "dict[int, int]" = {}
+        #: durable-sink writes rejected by a degraded/faulted store;
+        #: serving continues (the completion is journal-durable), the
+        #: rejection is surfaced here and via serve_store_degraded_total.
+        self.store_put_errors = 0
         if config.engine == "lsm":
-            # Local import: repro.lsm.disk is pure storage, no serve
-            # dependency, but keeping the sim path import-free means a
-            # sim-only process never touches the disk engine.
-            from repro.lsm.disk import KVStore
-            self.store = KVStore(config.data_dir, sync=False)
+            self.store = self._open_store(config)
+
+    def _open_store(self, config: ServeConfig):
+        """The parent-held durable sink (engine='lsm').
+
+        The in-process and threaded drivers keep one store for the whole
+        run; the procpool driver overrides this to ``None`` — its
+        workers own per-shard stores under ``data_dir/shard-<k>``.
+        """
+        # Local import: repro.lsm.disk is pure storage, no serve
+        # dependency, but keeping the sim path import-free means a
+        # sim-only process never touches the disk engine.
+        from repro.lsm.disk import KVStore
+        return KVStore(config.data_dir, sync=False)
 
     @staticmethod
     def _derived_key_space(config: ServeConfig) -> int:
@@ -531,13 +545,33 @@ class ServiceLoop:
             if key is not None:
                 # The durable acknowledgment: by the time the loop calls
                 # _complete the message is delivered, so the completion
-                # record must survive any crash after this line.  Every
-                # driver (in-process, threaded, procpool) funnels
-                # completions through here in the parent, so worker
-                # SIGKILLs can never take the store down with them.
-                self.store.put(
+                # record must survive any crash after this line.  The
+                # in-process and threaded drivers funnel completions
+                # through here in the parent; the procpool driver's
+                # workers own per-shard stores and write at their own
+                # completion points instead (see repro.serve.procpool).
+                self._store_put(
                     str(key), {"gid": int(gid), "step": int(step)}
                 )
+
+    def _store_put(self, key: str, value: dict) -> None:
+        """One durable-sink write, degradation-tolerant.
+
+        A degraded or faulted store must not take serving down with it:
+        the completion being recorded is already journal-durable, so a
+        typed storage error is counted (``serve_store_degraded_total``)
+        and the loop keeps serving read-only until the store re-arms.
+        """
+        try:
+            self.store.put(key, value)
+        except StorageError:
+            self.store_put_errors += 1
+            obs = current_obs()
+            if obs.enabled:
+                obs.metrics.counter(
+                    "serve_store_degraded_total",
+                    "durable-sink writes rejected by a degraded store",
+                ).inc()
 
     def _note_routed(self, gid: int, key, sid: int, t: int) -> None:
         """Phase-1 hook: one arrival was routed (parent-side, pre-offer).

@@ -64,8 +64,12 @@ import signal
 import time
 from dataclasses import asdict
 
+from pathlib import Path
+
 from repro.dam.journal import REC_FLUSH
 from repro.dam.schedule import FlushSchedule
+from repro.faults.chaos import CHAOS_DISK_FAULT
+from repro.faults.iofaults import FaultFS, parse_plan
 from repro.obs.hooks import current_obs
 from repro.obs.profile import PHASE_EXECUTE
 from repro.policies.executor import MAX_IDLE_STEPS
@@ -79,12 +83,19 @@ from repro.serve.tenancy.fair import TenantAdmissionController
 from repro.serve.router import ShardStats
 from repro.serve.supervisor import (
     BREAKER_OPEN,
+    DEGRADED,
+    HEALTHY,
     QUARANTINED,
     SupervisedLoop,
     _ShardJournalBuffer,
     apply_chaos_windows,
 )
-from repro.util.errors import ExecutionStalledError, InvalidInstanceError
+from repro.util.errors import (
+    ExecutionStalledError,
+    InvalidInstanceError,
+    StorageError,
+)
+from repro.util.fsio import install
 
 #: seconds each escalation rung waits before climbing to the next.
 ESCALATION_GRACE = 1.0
@@ -146,6 +157,27 @@ class _ShardWorker:
             engine = build_shard_engine(config, specs[sid])
             apply_chaos_windows(engine, chaos, config, sid)
             self.shards[sid] = _WorkerShard(engine)
+        #: per-shard durable sinks (engine='lsm'): each hosted shard
+        #: owns ``data_dir/shard-<sid>``.  Opening is normal recovery —
+        #: a fresh process after a SIGKILL replays the WAL it was left.
+        self.stores: dict = {}
+        if config.engine == "lsm":
+            from repro.lsm.disk import KVStore
+            for sid in sorted(specs):
+                self.stores[sid] = KVStore(
+                    Path(config.data_dir) / f"shard-{sid}", sync=False
+                )
+        #: gid -> routed key, fed by the parent with each batch/restore
+        #: (the durable sink records completions under the routed key).
+        self.key_of: "dict[int, int]" = {}
+        #: per-chunk durable-sink rejections, reported with the result.
+        self._store_errors: "dict[int, int]" = {}
+        #: chaos disk-fault windows live worker-side too: the worker
+        #: owns the stores, so its syscalls are the fault domain.
+        self.chaos = chaos
+        self._fault_windows: "list[tuple[int, tuple]]" = []
+        self._fault_fs: "FaultFS | None" = None
+        self._faults_fired = 0
         # Deltas are taken against the last *reported* totals, not the
         # chunk start, so counters bumped between chunks (the forced
         # re-plan a restore issues) reach the parent with the next chunk.
@@ -170,12 +202,80 @@ class _ShardWorker:
             while True:
                 time.sleep(0.05)
 
+    # -- disk-fault windows (worker-side fault domain) -----------------
+    def _step_fault_windows(self, t: int) -> None:
+        """Expire/open chaos disk-fault windows at step ``t``.  A window
+        arms only on the worker hosting the event's shard, so per-shard
+        stores get per-shard fault domains."""
+        refresh = False
+        if self._fault_windows:
+            live = [w for w in self._fault_windows if w[0] > t]
+            if len(live) != len(self._fault_windows):
+                self._fault_windows = live
+                refresh = True
+        for ev in self.chaos.events_at(t):
+            if ev.kind == CHAOS_DISK_FAULT and ev.shard in self.shards:
+                self._fault_windows.append(
+                    (t + ev.duration, parse_plan(ev.spec))
+                )
+                refresh = True
+        if refresh:
+            self._refresh_fault_fs()
+
+    def _refresh_fault_fs(self) -> None:
+        if self._fault_fs is not None:
+            self._faults_fired += len(self._fault_fs.fired)
+            self._fault_fs.fired.clear()
+        rules = tuple(
+            rule for _end, plan in self._fault_windows for rule in plan
+        )
+        if rules:
+            self._fault_fs = FaultFS(rules)
+            install(self._fault_fs)
+        else:
+            self._fault_fs = None
+            install(None)
+
+    # -- durable sink --------------------------------------------------
+    def _store_put(self, sid: int, gid: int, step: int) -> None:
+        """Record one completion in the shard's store (degradation-
+        tolerant: the completion's acknowledgment is the parent journal;
+        a rejected write is counted and shipped home, never fatal)."""
+        store = self.stores.get(sid)
+        if store is None:
+            return
+        key = self.key_of.pop(gid, None)
+        if key is None:
+            return
+        try:
+            store.put(str(key), {"gid": int(gid), "step": int(step)})
+        except StorageError:
+            self._store_errors[sid] = self._store_errors.get(sid, 0) + 1
+
+    def shutdown(self) -> None:
+        """Close the stores (flushing their WALs) before the process
+        exits via ``os._exit`` — which skips finalizers on purpose."""
+        for store in self.stores.values():
+            try:
+                store.close()
+            except (StorageError, OSError):
+                pass
+        self.stores.clear()
+        if self._fault_fs is not None or self._fault_windows:
+            self._fault_windows = []
+            self._fault_fs = None
+            install(None)
+
     def restore(self, sid, locations, targets, queue_items,
-                tenants=None) -> None:
+                tenants=None, keys=None) -> None:
         """Install folded restart state shipped by the parent."""
         if tenants:
             self.tenant_of.update(
                 {int(g): int(tid) for g, tid in tenants.items()}
+            )
+        if keys:
+            self.key_of.update(
+                {int(g): int(k) for g, k in keys.items()}
             )
         ws = self.shards[sid]
         ws.engine.wipe()
@@ -207,11 +307,17 @@ class _ShardWorker:
             for sid in order
         }
         adm = self.admission
+        self._store_errors = {}
         for sid in order:
             tags = batch.get(sid, {}).get("tenants")
             if tags:
                 self.tenant_of.update(
                     {int(g): int(tid) for g, tid in tags.items()}
+                )
+            keys = batch.get(sid, {}).get("keys")
+            if keys:
+                self.key_of.update(
+                    {int(g): int(k) for g, k in keys.items()}
                 )
         if slo is not None:
             adm.door_closed = set(slo["door"])
@@ -230,6 +336,7 @@ class _ShardWorker:
             self._maybe_hang(t)
             if self.cancel.is_set():
                 return None
+            self._step_fault_windows(t)
             boundary = self.planner.is_boundary(t)
             for sid in order:  # phase 1: offer routed arrivals
                 ws = self.shards[sid]
@@ -251,6 +358,9 @@ class _ShardWorker:
                                              in admits]
                     ws.fresh.extend(g for g, _l, done in admits
                                     if done is None)
+                    for g, _l, done in admits:
+                        if done is not None:
+                            self._store_put(sid, g, done)
             for sid in order:  # phase 3: epoch / forced planning
                 ws = self.shards[sid]
                 if ws.frozen_at is not None:
@@ -275,8 +385,9 @@ class _ShardWorker:
                     out[sid]["records"][t] = buf.records
                 if done:
                     out[sid]["exec"][t] = done
-                    for gid, _step in done:
+                    for gid, step in done:
                         adm.note_departed(gid)
+                        self._store_put(sid, gid, step)
             for sid in order:  # phase 5: depth samples
                 ws = self.shards[sid]
                 out[sid]["depths"][t] = (
@@ -293,6 +404,21 @@ class _ShardWorker:
             out[sid]["unconsumed"] = ws.unconsumed
             ws.unconsumed = []
             out[sid]["queue_len"] = adm.queue_depth(sid)
+            store = self.stores.get(sid)
+            if store is not None:
+                # Flush the WAL before the results ship: every
+                # completion the parent merges (= acknowledges) from
+                # this chunk has its store write out of process-local
+                # buffers, so a SIGKILL between chunks loses none.
+                try:
+                    store.sync_wal()
+                except StorageError:
+                    self._store_errors[sid] = (
+                        self._store_errors.get(sid, 0) + 1
+                    )
+                out[sid]["store"] = dict(
+                    store.health(), errors=self._store_errors.get(sid, 0)
+                )
         cur = asdict(adm.stats)
         prev, self._last_adm = self._last_adm, cur
         adm_out = {
@@ -306,10 +432,15 @@ class _ShardWorker:
         }
         cur = asdict(self.planner.stats)
         prev, self._last_plan = self._last_plan, cur
+        if self._fault_fs is not None:
+            self._faults_fired += len(self._fault_fs.fired)
+            self._fault_fs.fired.clear()
+        fired, self._faults_fired = self._faults_fired, 0
         return {
             "shards": out,
             "admission": adm_out,
             "planner": {k: cur[k] - prev[k] for k in cur},
+            "faults_fired": fired,
         }
 
 
@@ -341,6 +472,10 @@ def _worker_main(conn, cancel, config, chaos, specs,
                 except Exception:
                     break
     finally:
+        try:
+            worker.shutdown()  # the stores are child-owned: close them
+        except Exception:
+            pass
         try:
             conn.close()
         except Exception:
@@ -431,10 +566,66 @@ class ProcPoolLoop(SupervisedLoop):
         self._door: "list[int]" = []
         self._door_version = 0
         self._owed_purge: "list[set[int]]" = [set() for _ in range(n)]
+        #: last reported per-shard store degradation reason ("" = ok).
+        self._store_health: "list[str]" = [""] * n
 
     # -- journal meta --------------------------------------------------
     def _driver_meta(self) -> dict:
         return {"kind": "procpool", "processes": self.processes}
+
+    # -- durable sink (worker-owned under this driver) ------------------
+    def _open_store(self, config):
+        """Per-shard stores live in the workers (``data_dir/shard-<k>``),
+        never in the parent: a store held here would double-write every
+        completion the merge path replays, and a SIGKILLed worker could
+        not take its own store down with it."""
+        return None
+
+    def _note_routed(self, gid: int, key, sid: int, t: int) -> None:
+        super()._note_routed(gid, key, sid, t)
+        if self._worker_stores:
+            # The parent still owns the gid -> key map: restores ship it
+            # to fresh workers, batches carry the per-chunk slice.
+            self._gid_key[gid] = key
+
+    @property
+    def _worker_stores(self) -> bool:
+        return self.config.engine == "lsm"
+
+    def _merge_store_health(self, sid: int, sdata: dict) -> None:
+        """Fold one shard's reported store health into supervision.
+
+        Degradation feeds the existing health machinery at its advisory
+        stage: the shard is marked DEGRADED (heartbeats re-evaluate it
+        every epoch), counted on first entry and on re-arm.  It never
+        trips the breaker by itself — completions are journal-durable,
+        so a read-only store degrades the sink, not the service.
+        """
+        errs = int(sdata.get("errors", 0))
+        if errs:
+            self.store_put_errors += errs
+            self._count(
+                "serve_store_degraded_total",
+                "durable-sink writes rejected by a degraded store",
+                shard=sid, n=errs,
+            )
+        reason = str(sdata.get("degraded", ""))
+        prev, self._store_health[sid] = self._store_health[sid], reason
+        if reason:
+            if self._health[sid] == HEALTHY:
+                self._health[sid] = DEGRADED
+            if not prev:
+                self._count(
+                    "serve_shard_store_degraded_total",
+                    "shard stores that entered degraded (read-only) mode",
+                    shard=sid,
+                )
+        elif prev:
+            self._count(
+                "serve_shard_store_rearmed_total",
+                "shard stores that re-armed out of degraded mode",
+                shard=sid,
+            )
 
     # -- worker lifecycle ----------------------------------------------
     def _start_workers(self) -> None:
@@ -516,6 +707,9 @@ class ProcPoolLoop(SupervisedLoop):
             # The worker's machine state for this shard is lost with it.
             self._last_inflight[sid] = 0
             self._last_backlog[sid] = 0
+            # The respawned worker re-opens the store (normal recovery);
+            # its first chunk reports fresh health.
+            self._store_health[sid] = ""
             if self._abandoned[sid]:
                 continue
             if self._breakers[sid].state != BREAKER_OPEN:
@@ -646,15 +840,20 @@ class ProcPoolLoop(SupervisedLoop):
                 resp.labels(shard=sid).inc()
         targets = {m: self._leaf_of[m] for m in locations}
         tenants = None
+        keys = None
+        gids = set(locations) | {g for g, _leaf in queue_items}
         if self._tenancy is not None:
             tenant_of = self.metrics.tenant_of
-            gids = set(locations) | {g for g, _leaf in queue_items}
             tenants = {
                 g: tenant_of[g] for g in gids if g in tenant_of
             }
+        if self._worker_stores:
+            keys = {
+                g: self._gid_key[g] for g in gids if g in self._gid_key
+            }
         try:
             slot.conn.send(("restore", sid, locations, targets,
-                            queue_items, tenants))
+                            queue_items, tenants, keys))
             msg = slot.conn.recv()
             if msg[0] == "err":
                 raise msg[1]
@@ -700,6 +899,8 @@ class ProcPoolLoop(SupervisedLoop):
                 entry.setdefault("tenants", {})[gid] = (
                     self.metrics.tenant_of[gid]
                 )
+            if self._worker_stores and gid in self._gid_key:
+                entry.setdefault("keys", {})[gid] = self._gid_key[gid]
             self._mirror[sid][gid] = leaf
         else:
             SupervisedLoop._offer(self, sid, gid, leaf, t)
@@ -741,6 +942,10 @@ class ProcPoolLoop(SupervisedLoop):
                         tid = self.metrics.tenant_of.get(gid)
                         if tid is not None:
                             entry.setdefault("tenants", {})[gid] = tid
+                    if self._worker_stores and gid in self._gid_key:
+                        entry.setdefault("keys", {})[gid] = (
+                            self._gid_key[gid]
+                        )
             else:
                 # The divert target itself went down before delivery:
                 # park the handoff in its spill, shedding past capacity.
@@ -860,10 +1065,20 @@ class ProcPoolLoop(SupervisedLoop):
         unconsumed: "dict[int, list]" = {}
         purged: "dict[int, list]" = {}
         for res in results.values():
+            fired = res.get("faults_fired", 0)
+            if fired:
+                self.sup_stats.disk_faults_injected += fired
+                self._count(
+                    "serve_disk_faults_injected_total",
+                    "syscall faults injected by chaos disk-fault windows",
+                    n=fired,
+                )
             for sid, data in res["shards"].items():
                 per_shard[sid] = data
                 if data.get("purged"):
                     purged[sid] = data["purged"]
+                if data.get("store"):
+                    self._merge_store_health(sid, data["store"])
                 acc = self._acc_stats[sid]
                 for k, v in data["stats"].items():
                     setattr(acc, k, getattr(acc, k) + v)

@@ -70,11 +70,13 @@ from repro.dam.journal import JournalWriter, REC_FLUSH, RecoveryManager
 from repro.dam.schedule import Flush, FlushSchedule
 from repro.faults.chaos import (
     CHAOS_CORRUPT,
+    CHAOS_DISK_FAULT,
     CHAOS_KILL,
     CHAOS_KILL_WORKER,
     ChaosInjector,
     ChaosPlan,
 )
+from repro.faults.iofaults import FaultFS, parse_plan
 from repro.obs.hooks import current_obs
 from repro.serve.loop import (
     MAX_FORCED_REPLANS,
@@ -91,6 +93,7 @@ from repro.util.errors import (
     InvalidInstanceError,
     JournalCorruptionError,
 )
+from repro.util.fsio import install
 
 #: Shard health states.
 HEALTHY = "healthy"
@@ -309,6 +312,10 @@ class SupervisorStats:
     watchdog_cancels: int = 0
     watchdog_terminates: int = 0
     watchdog_kills: int = 0
+    #: chaos ``disk-fault`` windows (always 0 without disk-fault events).
+    disk_fault_windows: int = 0
+    disk_faults_injected: int = 0
+    store_degraded_epochs: int = 0
     #: breaker-aware routing (always 0 unless ``divert`` is enabled).
     diversions: int = 0
     merge_backs: int = 0
@@ -520,6 +527,10 @@ class SupervisedLoop(ServiceLoop):
         self.health_log: "list[Heartbeat]" = []
         self.worker_log: "list[tuple]" = []
         self._pool: "ThreadPoolExecutor | None" = None
+        #: active chaos disk-fault windows as ``(end_step, rules)``; the
+        #: union of their rules is the ambient FaultFS while any is open.
+        self._fault_windows: "list[tuple[int, tuple]]" = []
+        self._fault_fs: "FaultFS | None" = None
         #: the step currently being supervised (diversion handoffs fire
         #: from breaker trips, which happen at several call depths).
         self._clock = 0
@@ -565,6 +576,9 @@ class SupervisedLoop(ServiceLoop):
         try:
             return super().run()
         finally:
+            if self._fault_fs is not None or self._fault_windows:
+                self._fault_windows = []
+                self._refresh_fault_fs()
             if self._pool is not None:
                 self._pool.shutdown(wait=True, cancel_futures=True)
                 self._pool = None
@@ -706,6 +720,12 @@ class SupervisedLoop(ServiceLoop):
         super()._begin_step(t)  # tenancy: epoch ledger + SLO breakers
         if self.planner.is_boundary(t) and t > 1:
             self._heartbeat(t)
+        refresh = False
+        if self._fault_windows:
+            live = [w for w in self._fault_windows if w[0] > t]
+            if len(live) != len(self._fault_windows):
+                self._fault_windows = live
+                refresh = True
         for event in self.chaos.events_at(t):
             if event.shard >= len(self.engines):
                 continue
@@ -715,6 +735,54 @@ class SupervisedLoop(ServiceLoop):
                 self._corrupted[event.shard] = True
             elif event.kind == CHAOS_KILL_WORKER:
                 self._kill_worker(event.shard, t)
+            elif event.kind == CHAOS_DISK_FAULT:
+                refresh = self._open_fault_window(event, t) or refresh
+        if refresh:
+            self._refresh_fault_fs()
+
+    # -- disk-fault windows --------------------------------------------
+    def _open_fault_window(self, event, t: int) -> bool:
+        """Start one chaos ``disk-fault`` window: for ``duration`` steps
+        every storage syscall in this process routes through a
+        :class:`FaultFS` armed with the event's plan.  The thread driver
+        owns every store and journal in-process, so the ambient handle
+        is the whole fault domain (the process driver additionally arms
+        its workers; see :mod:`repro.serve.procpool`)."""
+        self._fault_windows.append((t + event.duration,
+                                    parse_plan(event.spec)))
+        self.sup_stats.disk_fault_windows += 1
+        self._count(
+            "serve_disk_fault_windows_total",
+            "chaos disk-fault windows opened",
+            shard=event.shard,
+        )
+        return True
+
+    def _refresh_fault_fs(self) -> None:
+        """(Re)install the ambient handle for the active windows; the
+        retiring handle's fired log is drained into the stats first."""
+        if self._fault_fs is not None:
+            self._note_faults_fired(self._fault_fs)
+        rules = tuple(
+            rule for _end, plan in self._fault_windows for rule in plan
+        )
+        if rules:
+            self._fault_fs = FaultFS(rules)
+            install(self._fault_fs)
+        else:
+            self._fault_fs = None
+            install(None)
+
+    def _note_faults_fired(self, fs: "FaultFS") -> None:
+        fired = len(fs.fired)
+        if fired:
+            self.sup_stats.disk_faults_injected += fired
+            self._count(
+                "serve_disk_faults_injected_total",
+                "syscall faults injected by chaos disk-fault windows",
+                n=fired,
+            )
+            fs.fired.clear()
 
     def _kill_worker(self, sid: int, t: int) -> None:
         """``kill-worker`` under a threads-only driver degrades to a
@@ -847,6 +915,16 @@ class SupervisedLoop(ServiceLoop):
         """Evaluate the epoch that ended at step ``t - 1``."""
         epoch = self.planner.epoch_of(t - 1)
         stats = self.sup_stats
+        if self._fault_fs is not None:
+            # Surface injected faults as they happen, not only at close.
+            self._note_faults_fired(self._fault_fs)
+        store = getattr(self, "store", None)
+        if store is not None and getattr(store, "degraded", ""):
+            stats.store_degraded_epochs += 1
+            self._count(
+                "serve_store_degraded_epochs_total",
+                "epochs the durable store spent degraded (read-only)",
+            )
         for sid in range(len(self.engines)):
             flushes, completed, failed, in_flight = self._vitals(sid)
             prev = self._last_hb[sid]

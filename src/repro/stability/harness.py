@@ -12,13 +12,17 @@ regimes the stability literature cares about:
 * ``flash-crowd`` — rare, intense bursts: short burst sojourns at many
   times the calm rate, the classic trigger for backlog-driven stalls.
 
-Compaction interference is injected via the serve fault pipeline
-(``fault_rate``): a faulted node stalls flushes through it exactly the
-way a background compaction steals the IO budget.  Attribution then
-reads the same per-shard counters the obs registry exports
-(``serve_retries_total`` / stall skips / planned flushes) as per-window
-deltas and classifies each stall interval:
+Compaction interference comes in two flavors.  Simulated: the serve
+fault pipeline (``fault_rate``) stalls flushes through a faulted node
+exactly the way a background compaction steals the IO budget.  Native:
+under ``engine='lsm'`` the durable store's *real* leveled compactions
+run inline with serving, and the harness samples the store's cumulative
+compaction counter per step.  Attribution then reads these counters as
+per-window deltas and classifies each stall interval:
 
+* ``compaction`` — the disk engine ran compaction tasks during the
+  interval: real background storage work stole the foreground budget
+  (``engine='lsm'`` only; takes precedence over ``interference``);
 * ``interference`` — fault/stall counters moved during the interval:
   background work blocked foreground flushes;
 * ``arrival-lull`` — nothing arrived and nothing was admitted: the
@@ -77,6 +81,10 @@ class StabilityConfig:
     #: compaction-interference injection (serve fault pipeline).
     fault_rate: float = 0.0
     fault_seed: int = 0
+    #: durable engine ("sim" = scheduling only; "lsm" = real disk store,
+    #: whose compactions the attribution pass reads natively).
+    engine: str = "sim"
+    data_dir: str = ""
     #: DAM steps per detector window.
     window: int = 16
     #: stalled when throughput < stall_frac * trailing healthy mean.
@@ -114,6 +122,8 @@ class StabilityConfig:
             pace=self.pace,
             fault_rate=self.fault_rate,
             fault_seed=self.fault_seed,
+            engine=self.engine,
+            data_dir=self.data_dir,
             seed=self.seed,
         )
 
@@ -129,8 +139,8 @@ class _MeteredLoop(ServiceLoop):
     def __init__(self, config: ServeConfig, **kwargs) -> None:
         super().__init__(config, **kwargs)
         #: one row per step: (completed, admitted, arrived, stall_skips,
-        #: failed_attempts, planned_flushes) — all cumulative.
-        self.samples: "list[tuple[int, int, int, int, int, int]]" = []
+        #: failed_attempts, planned_flushes, compactions) — cumulative.
+        self.samples: "list[tuple[int, ...]]" = []
 
     def _meter(self, t: int) -> None:
         super()._meter(t)
@@ -141,6 +151,7 @@ class _MeteredLoop(ServiceLoop):
             sum(e.stats.stalled_skips for e in self.engines),
             sum(e.stats.failed_attempts for e in self.engines),
             self.planner.stats.planned_flushes,
+            self.store.compactions if self.store is not None else 0,
         ))
 
 
@@ -149,6 +160,8 @@ def _attribute(
 ) -> str:
     """Classify one stall interval (see module docstring)."""
     lo, hi = interval.start, interval.end
+    if sum(series["compactions"][lo:hi]) > 0:
+        return "compaction"
     interference = sum(series["stall_skips"][lo:hi]) \
         + sum(series["failed_attempts"][lo:hi])
     if interference > 0:
@@ -171,9 +184,9 @@ def run_stability(config: StabilityConfig, *, journal=None) -> dict:
     loop = _MeteredLoop(config.to_serve_config(), journal=journal)
     report = loop.run()
 
-    cols = list(zip(*loop.samples)) if loop.samples else [[]] * 6
+    cols = list(zip(*loop.samples)) if loop.samples else [[]] * 7
     names = ("completed", "admitted", "arrived", "stall_skips",
-             "failed_attempts", "planned_flushes")
+             "failed_attempts", "planned_flushes", "compactions")
     series = {
         name: window_sums(list(col), config.window)
         for name, col in zip(names, cols)
@@ -187,7 +200,8 @@ def run_stability(config: StabilityConfig, *, journal=None) -> dict:
     gaps = stall_gaps(intervals)
     causes = [_attribute(iv, series) for iv in intervals]
     attribution: "dict[str, int]" = {
-        "interference": 0, "arrival-lull": 0, "backlog": 0,
+        "compaction": 0, "interference": 0, "arrival-lull": 0,
+        "backlog": 0,
     }
     for cause in causes:
         attribution[cause] += 1
@@ -270,7 +284,8 @@ def format_stability_report(doc: dict) -> str:
         f"stalls: {stalls['count']} interval(s), "
         f"{stalls['stalled_windows']} window(s), "
         f"max len {stalls['max_len']}  "
-        f"[interference {stalls['attribution']['interference']}, "
+        f"[compaction {stalls['attribution'].get('compaction', 0)}, "
+        f"interference {stalls['attribution']['interference']}, "
         f"lull {stalls['attribution']['arrival-lull']}, "
         f"backlog {stalls['attribution']['backlog']}]",
         f"sojourn: p50 {soj['p50']:.0f}  p99 {soj['p99']:.0f}  "

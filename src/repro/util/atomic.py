@@ -22,33 +22,35 @@ what the kill-at-every-offset fuzz suites quantify over.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from pathlib import Path
+
+from repro.util.fsio import resolve
 
 #: Infix every temporary file carries, so stale ones are recognizable.
 TMP_INFIX = ".tmp-"
 
 
-def fsync_dir(path: "str | os.PathLike") -> None:
+def fsync_dir(path: "str | os.PathLike", *, of=None, fs=None) -> None:
     """``fsync`` a directory so a rename inside it is durable.
 
     Silently skipped on platforms where directories cannot be opened
-    for syncing (Windows); the rename is still atomic there.
+    for syncing (Windows); the rename is still atomic there.  If the
+    directory *does* open but its ``fsync`` fails, the error is
+    re-raised — that failure means the rename may not survive a power
+    cut, and swallowing it would silently drop durability.
+
+    ``of`` names the file whose rename this sync covers (fault-
+    injection handles classify by it); ``fs`` overrides the ambient
+    filesystem handle (see :mod:`repro.util.fsio`).
     """
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
-    finally:
-        os.close(fd)
+    resolve(fs).fsync_dir(path, of=of)
 
 
 def atomic_write_bytes(
     path: "str | os.PathLike", data: bytes, *, fsync: bool = True,
+    fs=None,
 ) -> Path:
     """Replace ``path`` with ``data`` atomically; returns the path.
 
@@ -57,17 +59,33 @@ def atomic_write_bytes(
     keeps the atomicity (a reader never sees a partial file) but trades
     power-cut durability for speed — appropriate only where the caller
     syncs at a coarser granularity.
+
+    If the write or sync of the temporary file fails, the stray tmp is
+    unlinked before the error propagates — under ``ENOSPC`` a stranded
+    tmp would make the disk-full condition it reports *worse* until the
+    next :func:`remove_stale_tmp` sweep.
+
+    ``fs`` overrides the ambient filesystem handle (injection point
+    for :class:`repro.faults.iofaults.FaultFS`).
     """
+    fsh = resolve(fs)
     path = Path(path)
     tmp = path.with_name(f"{path.name}{TMP_INFIX}{os.getpid()}")
-    with open(tmp, "wb") as f:
-        f.write(data)
-        f.flush()
-        if fsync:
-            os.fsync(f.fileno())
-    os.replace(tmp, path)
+    try:
+        with fsh.open(tmp, "wb") as f:
+            fsh.write(f, data)
+            f.flush()
+            if fsync:
+                fsh.fsync(f)
+        fsh.replace(tmp, path)
+    except OSError:
+        # Best-effort reclaim via the real unlink: the injected fault
+        # is the error being reported, not the cleanup's to repeat.
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     if fsync:
-        fsync_dir(path.parent)
+        fsync_dir(path.parent, of=path, fs=fsh)
     return path
 
 

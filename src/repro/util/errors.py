@@ -111,6 +111,79 @@ class StorageCorruptionError(StorageError):
         return (type(self), self.args, dict(self.__dict__))
 
 
+class StorageIOError(StorageError):
+    """A disk operation failed at the syscall layer and stayed failed.
+
+    The typed surface of a live I/O fault (``EIO`` and friends) — as
+    opposed to :class:`StorageCorruptionError`, which is about *bytes
+    that read back wrong*.  Raised when a read keeps failing after the
+    bounded retry policy, or when a write-path syscall fails in a way
+    that forces a fail-stop re-open (a failed ``fsync`` is never
+    retried; see the fsyncgate discussion in ``docs/STORAGE.md``).
+
+    Attributes
+    ----------
+    op:
+        The operation that failed (``open``, ``read``, ``write``,
+        ``fsync``, ``fsync-dir``, ``replace``, ``unlink``).
+    path:
+        The file the operation targeted ("" if not applicable).
+    errno:
+        The OS error number carried by the underlying ``OSError``
+        (0 if unknown).
+    attempts:
+        How many times the operation was tried before giving up
+        (1 for fail-stop operations that are never retried).
+    """
+
+    def __init__(self, message: str, *, op: str = "", path: str = "",
+                 errno: int = 0, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.op = op
+        self.path = path
+        self.errno = errno
+        self.attempts = attempts
+
+    def __reduce__(self):
+        # See JournalCorruptionError.__reduce__: keyword-only diagnostics
+        # survive pickling across a worker-process boundary.
+        return (type(self), self.args, dict(self.__dict__))
+
+
+class StoreDegradedError(StorageError):
+    """The store is in read-only degraded mode and rejected a write.
+
+    Entered when the disk says it cannot durably accept more bytes
+    (``ENOSPC`` anywhere on the write path, or repeated write-path
+    ``EIO``): reads keep working, writes raise this error and are
+    counted, and the store periodically probes the disk so it can
+    re-arm automatically once space returns.  Because the memtable and
+    the poisoned WAL generation are discarded *before* entering
+    degraded mode, nothing the store ever acknowledged is lost.
+
+    Attributes
+    ----------
+    reason:
+        Why the store degraded (``enospc``, ``fsync-fail``, ``io``).
+    path:
+        The file whose operation triggered degradation ("").
+    rejections:
+        Writes rejected since the store degraded (including this one).
+    """
+
+    def __init__(self, message: str, *, reason: str = "", path: str = "",
+                 rejections: int = 0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.path = path
+        self.rejections = rejections
+
+    def __reduce__(self):
+        # See JournalCorruptionError.__reduce__: keyword-only diagnostics
+        # survive pickling across a worker-process boundary.
+        return (type(self), self.args, dict(self.__dict__))
+
+
 class ExecutionStalledError(InvalidScheduleError):
     """An executor made no progress and exhausted its recovery options.
 

@@ -1,0 +1,142 @@
+"""The injectable filesystem handle behind every storage syscall.
+
+Everything that touches disk in this package — the journal
+(:mod:`repro.dam.journal`), the atomic-rename protocol
+(:mod:`repro.util.atomic`), and the KV engine (:mod:`repro.lsm.disk`) —
+routes its syscalls through one small object, the *fs handle*.  The
+default handle, :data:`REAL_FS`, is a thin pass-through to the real OS
+calls: no wrapping, no bookkeeping, no allocation, so fault-free runs
+are byte-identical to code that called ``os`` directly.
+
+The point of the seam is :class:`repro.faults.iofaults.FaultFS`, which
+substitutes a handle that injects ``EIO``/``ENOSPC``/short-write/
+fsync-fail/slow-io faults at chosen operation indices.  Handles are
+resolved per call site via :func:`resolve`::
+
+    fs = resolve(fs)          # explicit handle, else the ambient one
+
+so a store can be opened with its own ``fs=`` for targeted tests, while
+chaos drills :func:`install` a process-wide handle that every storage
+layer in the worker picks up.
+
+This module is dependency-free on purpose (the faults package imports
+numpy and the tree machinery); keep it that way.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+class RealFS:
+    """Pass-through fs handle: each method is one real OS call.
+
+    File-object operations (``read``/``write``/``fsync``/``truncate``)
+    take the open file rather than a path — the file's own ``.name``
+    carries the path for handles that need it (fault classification).
+    """
+
+    __slots__ = ()
+
+    def open(self, path, mode: str = "rb"):
+        """Open ``path``; the returned object supports the io protocol."""
+        return open(path, mode)
+
+    def read(self, f, n: int = -1) -> bytes:
+        """Read up to ``n`` bytes from an open file."""
+        return f.read(n)
+
+    def read_bytes(self, path) -> bytes:
+        """The whole contents of ``path``."""
+        with open(path, "rb") as f:
+            return f.read()
+
+    def write(self, f, data: bytes) -> int:
+        """Write ``data`` to an open file; returns the byte count."""
+        return f.write(data)
+
+    def fsync(self, f) -> None:
+        """``fsync`` an open file."""
+        os.fsync(f.fileno())
+
+    def truncate(self, f, length: int) -> None:
+        """Truncate an open file to ``length`` bytes."""
+        f.truncate(length)
+
+    def replace(self, src, dst) -> None:
+        """Atomically rename ``src`` over ``dst``."""
+        os.replace(src, dst)
+
+    def unlink(self, path) -> None:
+        """Delete ``path``."""
+        os.unlink(path)
+
+    def fsync_dir(self, path, *, of=None) -> None:
+        """``fsync`` a directory so a rename inside it is durable.
+
+        Silently skipped on platforms where directories cannot be
+        opened for syncing (Windows) — the rename is still atomic
+        there.  A *successfully opened* directory fd whose ``fsync``
+        fails re-raises: that failure means the rename may not survive
+        a power cut, and swallowing it would silently drop durability.
+
+        ``of`` names the file whose rename this sync makes durable;
+        the real handle ignores it (fault handles classify by it).
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: The process-default handle: real OS calls, shared and stateless.
+REAL_FS = RealFS()
+
+_current: RealFS = REAL_FS
+
+
+def current_fs() -> RealFS:
+    """The ambient fs handle new stores/journals pick up by default."""
+    return _current
+
+
+def install(fs: "RealFS | None") -> RealFS:
+    """Set the ambient handle (``None`` restores :data:`REAL_FS`)."""
+    global _current
+    _current = REAL_FS if fs is None else fs
+    return _current
+
+
+class installed:
+    """Context manager: ambient handle swapped in, restored on exit."""
+
+    def __init__(self, fs: RealFS) -> None:
+        self._fs = fs
+        self._prior: "RealFS | None" = None
+
+    def __enter__(self) -> RealFS:
+        self._prior = current_fs()
+        return install(self._fs)
+
+    def __exit__(self, *exc) -> None:
+        install(self._prior)
+
+
+def resolve(fs: "RealFS | None") -> RealFS:
+    """The handle a call site should use: explicit, else ambient."""
+    return _current if fs is None else fs
+
+
+__all__ = [
+    "RealFS",
+    "REAL_FS",
+    "current_fs",
+    "install",
+    "installed",
+    "resolve",
+]

@@ -235,3 +235,37 @@ def test_kill_at_every_offset_across_rotation_boundary(tmp_path):
                 report.result.completion_times.tolist()
                 == reference.completion_times.tolist()
             )
+
+
+def test_enospc_during_rotation_loses_no_acked_records(tmp_path):
+    """The disk fills exactly when rotation opens its successor segment:
+    the append raises a real ``ENOSPC``, the sealed chain stays intact,
+    and recovery yields exactly the records acknowledged before it."""
+    import errno
+
+    from repro.faults.iofaults import FaultFS
+
+    path = tmp_path / "rot.journal"
+    # Journal opens are index 0 (the writer itself); the rotation's
+    # successor-segment open is index 1.
+    fs = FaultFS("open:journal:enospc@1x1")
+    writer = JournalWriter(path, meta={"n_messages": 40},
+                           max_segment_bytes=256, fs=fs)
+    written = 0
+    with pytest.raises(OSError) as ei:
+        for i in range(40):
+            writer.append({"type": REC_FLUSH, "t": i + 1, "src": 0,
+                           "dest": 1, "msgs": [i]})
+            written += 1
+            writer.flush()
+    assert ei.value.errno == errno.ENOSPC
+    writer.abort()  # fail-stop: never re-flush a poisoned tail
+    # The sealed prefix reads back exactly: every record flushed before
+    # the failed rotation, none after, no torn bytes, typed scan.
+    scan = scan_journal(path)
+    flushes = [r for r in scan.records if r["type"] == REC_FLUSH]
+    assert [r["t"] for r in flushes] == list(range(1, written + 1))
+    assert scan.torn_bytes == 0
+    # Space returns: a fresh writer appended to a new journal continues
+    # the stream (rotation is per-writer state, nothing leaked on disk).
+    assert len(journal_segments(path)) == 1

@@ -1,0 +1,209 @@
+"""The errfs-style ``FaultFS`` shim: DSL, determinism, and the seam.
+
+Contracts under test:
+
+* the plan DSL round-trips and rejects malformed clauses with typed
+  errors;
+* path classification keys on the *destination* filename (atomic-rename
+  tmp names classify as what they will become);
+* a ``FaultFS`` is a pure function of its rules and the operation
+  sequence — same ops, same faults, every time;
+* the fs-handle seam: :data:`REAL_FS` is the default, ``install`` swaps
+  the ambient handle, ``installed`` restores it, and a *disarmed*
+  ``FaultFS`` is a pure pass-through counter.
+"""
+
+from __future__ import annotations
+
+import errno
+from pathlib import Path
+
+import pytest
+
+from repro.faults.iofaults import (
+    CHAOS_DISK_FAULT_SPECS,
+    FaultFS,
+    FaultRule,
+    chaos_disk_fault_spec,
+    classify_path,
+    parse_plan,
+    parse_rule,
+)
+from repro.util.errors import InvalidInstanceError
+from repro.util.fsio import REAL_FS, current_fs, install, installed
+
+
+# -- DSL ----------------------------------------------------------------
+
+def test_parse_rule_defaults():
+    r = parse_rule("write:wal:enospc")
+    assert (r.op, r.path_class, r.kind) == ("write", "wal", "enospc")
+    assert (r.index, r.count) == (0, 0)  # every matching operation
+
+
+def test_parse_rule_positions():
+    r = parse_rule("read:sstable:eio@3")
+    assert (r.index, r.count) == (3, 1)
+    r = parse_rule("read:sstable:eio@3x2")
+    assert (r.index, r.count) == (3, 2)
+    r = parse_rule("read:sstable:eio@0x0")
+    assert (r.index, r.count) == (0, 0)
+
+
+def test_fsync_fail_sugar():
+    r = parse_rule("fsync-fail:manifest")
+    assert (r.op, r.path_class, r.kind) == ("fsync", "manifest", "eio")
+    r = parse_rule("fsync:wal:fsync-fail@2")
+    assert (r.op, r.kind, r.index) == ("fsync", "eio", 2)
+    with pytest.raises(InvalidInstanceError):
+        parse_rule("write:wal:fsync-fail")  # sugar pins the op
+
+
+@pytest.mark.parametrize("bad", [
+    "write:wal", "write:wal:eio:extra", "bogus:wal:eio",
+    "write:bogus:eio", "write:wal:bogus", "write:wal:eio@x",
+    "write:wal:eio@1xq",
+])
+def test_malformed_clauses_are_typed_errors(bad):
+    with pytest.raises(InvalidInstanceError):
+        parse_rule(bad)
+
+
+def test_parse_plan_and_roundtrip():
+    spec = "write:wal:enospc@3x1,read:sstable:eio"
+    rules = parse_plan(spec)
+    assert len(rules) == 2
+    fs = FaultFS(rules)
+    assert parse_plan(fs.to_spec()) == rules
+    assert parse_plan("") == ()
+    assert parse_plan(" , ") == ()
+
+
+def test_rule_validation():
+    with pytest.raises(InvalidInstanceError):
+        FaultRule(op="write", path_class="wal", kind="eio", index=-1)
+
+
+# -- path classification ------------------------------------------------
+
+@pytest.mark.parametrize("name,cls", [
+    ("wal-000001.log", "wal"),
+    ("sst-000042.sst", "sstable"),
+    ("MANIFEST", "manifest"),
+    ("run.woj", "journal"),
+    ("anything-else", "journal"),
+    # Atomic-rename tmp names classify as their destination.
+    ("MANIFEST.tmp-1234", "manifest"),
+    ("sst-000042.sst.tmp-99", "sstable"),
+])
+def test_classify_path(name, cls):
+    assert classify_path(f"/some/dir/{name}") == cls
+    assert classify_path(Path("/other") / name) == cls
+
+
+# -- injection ----------------------------------------------------------
+
+def _touch(p: Path, data: bytes = b"payload") -> Path:
+    p.write_bytes(data)
+    return p
+
+
+def test_eio_at_exact_index(tmp_path):
+    fs = FaultFS("read:journal:eio@1")
+    p = _touch(tmp_path / "a.woj")
+    assert fs.read_bytes(p) == b"payload"  # index 0: clean
+    with pytest.raises(OSError) as ei:
+        fs.read_bytes(p)  # index 1: faulted
+    assert ei.value.errno == errno.EIO
+    assert fs.read_bytes(p) == b"payload"  # index 2: clean again
+    assert [f["index"] for f in fs.fired] == [1]
+    assert fs.counters[("read", "journal")] == 3
+
+
+def test_enospc_write(tmp_path):
+    fs = FaultFS("write:wal:enospc")
+    with open(tmp_path / "wal-000001.log", "wb") as f:
+        with pytest.raises(OSError) as ei:
+            fs.write(f, b"x")
+    assert ei.value.errno == errno.ENOSPC
+
+
+def test_short_write_lies(tmp_path):
+    fs = FaultFS("write:journal:short@0x1")
+    p = tmp_path / "j.woj"
+    with open(p, "wb") as f:
+        assert fs.write(f, b"12345678") == 4  # accepted half, "succeeded"
+        assert fs.write(f, b"abcd") == 4      # next write is clean
+    assert p.read_bytes() == b"1234abcd"
+
+
+def test_determinism_same_ops_same_faults(tmp_path):
+    p = _touch(tmp_path / "x.woj")
+
+    def run() -> list:
+        fs = FaultFS("read:journal:eio@2x2")
+        log = []
+        for _ in range(6):
+            try:
+                fs.read_bytes(p)
+                log.append("ok")
+            except OSError:
+                log.append("eio")
+        return log
+
+    assert run() == run() == ["ok", "ok", "eio", "eio", "ok", "ok"]
+
+
+def test_disarmed_is_pure_passthrough_counter(tmp_path):
+    fs = FaultFS("read:journal:eio", armed=False)
+    p = _touch(tmp_path / "x.woj")
+    assert fs.read_bytes(p) == b"payload"
+    assert fs.fired == []
+    assert fs.counters[("read", "journal")] == 1
+    fs.arm()
+    with pytest.raises(OSError):
+        fs.read_bytes(p)
+    fs.disarm()
+    assert fs.read_bytes(p) == b"payload"
+    fs.reset()
+    assert fs.counters == {} and fs.fired == []
+
+
+def test_scoping_by_class(tmp_path):
+    fs = FaultFS("read:sstable:eio")
+    assert fs.read_bytes(_touch(tmp_path / "j.woj")) == b"payload"
+    with pytest.raises(OSError):
+        fs.read_bytes(_touch(tmp_path / "sst-000001.sst"))
+
+
+# -- the ambient seam ---------------------------------------------------
+
+def test_install_and_restore():
+    assert current_fs() is REAL_FS
+    fs = FaultFS("")
+    try:
+        assert install(fs) is fs
+        assert current_fs() is fs
+    finally:
+        install(None)
+    assert current_fs() is REAL_FS
+
+
+def test_installed_context_manager():
+    fs = FaultFS("")
+    with installed(fs) as got:
+        assert got is fs and current_fs() is fs
+    assert current_fs() is REAL_FS
+
+
+# -- the chaos menu -----------------------------------------------------
+
+def test_chaos_menu_specs_all_parse():
+    for spec in CHAOS_DISK_FAULT_SPECS:
+        assert parse_plan(spec)
+
+
+def test_chaos_draw_is_modular():
+    n = len(CHAOS_DISK_FAULT_SPECS)
+    for draw in range(2 * n):
+        assert chaos_disk_fault_spec(draw) == CHAOS_DISK_FAULT_SPECS[draw % n]

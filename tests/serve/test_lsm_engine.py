@@ -6,13 +6,19 @@ Contracts:
   bytes are identical between ``engine='sim'`` and ``engine='lsm'``;
 * every completion the loop acknowledges is durably recorded: the store
   holds exactly the newest completion per key, across all drivers;
+* the in-process and threaded drivers keep one parent-held store; the
+  procpool driver's workers own per-shard stores (``data_dir/shard-<k>``)
+  and write at their own completion points;
 * chaos ``kill-worker`` drills (real SIGKILLs to shard processes) lose
-  zero acknowledged writes — the store lives in the parent;
+  zero acknowledged writes — the respawned worker re-opens its shard's
+  store via normal recovery;
 * recovery re-derivation of an lsm-engine journal forces the sim engine
   (no double writes into the live store) and stays exact.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
@@ -40,6 +46,15 @@ def _store_state(data_dir) -> dict:
     store = KVStore(data_dir, sync=False)
     items = dict(store.items())
     store.close()
+    return items
+
+
+def _sharded_store_state(data_dir) -> dict:
+    """The union of the procpool driver's per-shard stores (key spaces
+    are disjoint by routing, so the union is well-defined)."""
+    items: dict = {}
+    for shard_dir in sorted(Path(data_dir).glob("shard-*")):
+        items.update(_store_state(shard_dir))
     return items
 
 
@@ -87,15 +102,22 @@ def test_supervised_and_procpool_drivers_feed_the_store(tmp_path):
 
     cfg2 = serve_config(tmp_path, data_dir=str(tmp_path / "kv-proc"))
     proc = ProcPoolLoop(cfg2, processes=2).run()
-    items2 = _store_state(cfg2.data_dir)
+    # The procpool driver's workers own per-shard stores; nothing lives
+    # at the data-dir root.
+    assert not (Path(cfg2.data_dir) / "MANIFEST").exists()
+    shard_dirs = sorted(Path(cfg2.data_dir).glob("shard-*"))
+    assert len(shard_dirs) == cfg2.shards
+    items2 = _sharded_store_state(cfg2.data_dir)
     assert items2
     for key, rec in items2.items():
         assert proc.completions[rec["gid"]] == rec["step"]
 
 
 def test_chaos_kill_worker_loses_zero_acked_writes(tmp_path):
-    """Real SIGKILLs to shard workers: the parent-held store records
-    every completion the run acknowledged, exactly."""
+    """Real SIGKILLs to shard workers: the per-shard stores record every
+    completion the run acknowledged, exactly — the respawned worker
+    re-opens its shard's store through normal recovery and keeps
+    writing."""
     cfg = serve_config(tmp_path)
     plan = ChaosPlan((ChaosEvent(13, CHAOS_KILL_WORKER, 2),))
     report = ProcPoolLoop(
@@ -103,7 +125,7 @@ def test_chaos_kill_worker_loses_zero_acked_writes(tmp_path):
     ).run()
     assert report.supervisor.worker_deaths >= 1
     assert len(report.completions) == cfg.messages
-    items = _store_state(cfg.data_dir)
+    items = _sharded_store_state(cfg.data_dir)
     assert items
     for key, rec in items.items():
         assert report.completions[rec["gid"]] == rec["step"]

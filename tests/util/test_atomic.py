@@ -97,3 +97,62 @@ def test_every_offset_kill_is_old_or_new(tmp_path: Path) -> None:
         remove_stale_tmp(tmp_path)
     atomic_write_bytes(p, new)  # the rename itself is the commit point
     assert p.read_bytes() == new
+
+
+# -- error paths: stranded tmps and swallowed fsync errors --------------
+
+def test_failed_write_unlinks_its_tmp(tmp_path: Path) -> None:
+    """A write fault mid-protocol must not strand the tmp file — under
+    ENOSPC a stranded tmp makes the disk-full condition it reports
+    worse until the next sweep."""
+    from repro.faults.iofaults import FaultFS
+
+    p = tmp_path / "state.bin"
+    atomic_write_bytes(p, b"old contents")
+    for spec in ("write:journal:enospc@0x1", "fsync:journal:eio@0x1"):
+        with pytest.raises(OSError):
+            atomic_write_bytes(p, b"never lands", fs=FaultFS(spec))
+        assert p.read_bytes() == b"old contents"
+        assert [f.name for f in tmp_path.iterdir()] == ["state.bin"], \
+            f"{spec}: stranded a tmp file"
+
+
+def test_failed_replace_unlinks_its_tmp(tmp_path: Path) -> None:
+    from repro.faults.iofaults import FaultFS
+
+    p = tmp_path / "state.bin"
+    atomic_write_bytes(p, b"old contents")
+    with pytest.raises(OSError):
+        atomic_write_bytes(
+            p, b"never lands", fs=FaultFS("replace:journal:eio@0x1")
+        )
+    assert p.read_bytes() == b"old contents"
+    assert [f.name for f in tmp_path.iterdir()] == ["state.bin"]
+
+
+def test_fsync_dir_reraises_from_an_opened_fd(
+    tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    """The can't-open-the-directory skip must not swallow a *failed*
+    fsync on a directory that did open: that failure means the rename
+    may not survive a power cut."""
+    def failing_fsync(fd: int) -> None:
+        raise OSError(5, "injected dir-fsync EIO")
+
+    monkeypatch.setattr(os, "fsync", failing_fsync)
+    with pytest.raises(OSError, match="dir-fsync"):
+        fsync_dir(tmp_path)
+
+
+def test_fsync_dir_skips_when_directory_wont_open(
+    tmp_path: Path, monkeypatch: pytest.MonkeyPatch
+) -> None:
+    real_open = os.open
+
+    def failing_open(path, flags, *a, **kw):
+        if Path(path) == tmp_path:
+            raise OSError(13, "cannot open directories here")
+        return real_open(path, flags, *a, **kw)
+
+    monkeypatch.setattr(os, "open", failing_open)
+    fsync_dir(tmp_path)  # Windows-style platform: silently skipped

@@ -70,6 +70,8 @@ def _error_cases():
         JournalError,
         StorageCorruptionError,
         StorageError,
+        StorageIOError,
+        StoreDegradedError,
     )
 
     return [
@@ -88,6 +90,13 @@ def _error_cases():
         StorageCorruptionError(
             "bad block", path="sst-000001.sst", offset=42,
             reason="bad-block",
+        ),
+        StorageIOError(
+            "read failed", op="read", path="sst-000001.sst",
+            errno=5, attempts=3,
+        ),
+        StoreDegradedError(
+            "read-only", reason="enospc", path="data", rejections=7,
         ),
     ]
 
